@@ -1,0 +1,62 @@
+#ifndef BZK_BENCH_BENCHUTIL_H_
+#define BZK_BENCH_BENCHUTIL_H_
+
+/**
+ * @file
+ * Shared helpers for the table-regeneration benchmarks. Every bench
+ * binary prints the corresponding paper table with the same rows and
+ * columns, so EXPERIMENTS.md can be checked against `./bench_*` output
+ * directly.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "util/Stats.h"
+
+namespace bzk::bench {
+
+/** Print a table with a title and optional footnote. */
+inline void
+printTable(const std::string &title, const TablePrinter &table,
+           const std::string &footnote = "")
+{
+    std::printf("\n== %s ==\n%s", title.c_str(), table.render().c_str());
+    if (!footnote.empty())
+        std::printf("%s\n", footnote.c_str());
+    std::fflush(stdout);
+}
+
+/** Format a throughput like the paper (items/ms, 4 significant digits). */
+inline std::string
+fmtThroughput(double per_ms)
+{
+    if (per_ms < 0.01)
+        return formatSig(per_ms * 1e3, 4) + "e-3";
+    return formatSig(per_ms, 4);
+}
+
+/** Format a speedup column ("123.4x"). */
+inline std::string
+fmtSpeedup(double x)
+{
+    return formatSig(x, 4) + "x";
+}
+
+/** Format milliseconds. */
+inline std::string
+fmtMs(double ms)
+{
+    return formatSig(ms, 4);
+}
+
+/** "2^18" style size labels. */
+inline std::string
+fmtPow2(unsigned log2)
+{
+    return "2^" + std::to_string(log2);
+}
+
+} // namespace bzk::bench
+
+#endif // BZK_BENCH_BENCHUTIL_H_

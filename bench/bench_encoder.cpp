@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Table 5: throughput of linear-time encoder modules (codes/ms) for
+ * messages of N 256-bit field elements, N = 2^18 .. 2^22, GH200 spec.
+ *
+ * Columns: Orion-style CPU encoder (real, measured at 2^18 and scaled
+ * linearly — the encoder is O(N)), our non-pipelined GPU encoder
+ * ("Ours-np", simulated) and the pipelined one (simulated).
+ */
+
+#include "bench/BenchUtil.h"
+#include "encoder/GpuEncoder.h"
+#include "gpusim/Device.h"
+#include "util/Rng.h"
+
+using namespace bzk;
+using namespace bzk::bench;
+
+int
+main()
+{
+    gpusim::Device dev(gpusim::DeviceSpec::gh200());
+    Rng rng(0xdead03);
+
+    // One real CPU measurement at 2^18; the Spielman encoder is O(N),
+    // so larger rows scale linearly (footnoted).
+    const unsigned cpu_base_log = 18;
+    CpuEncoderBaseline cpu(/*sample_codes=*/1);
+    auto cpu_base = cpu.run(1, size_t{1} << cpu_base_log, rng);
+
+    TablePrinter table({"Size", "Orion(CPU) c/ms", "Ours-np(GPU) c/ms",
+                        "Ours(GPU) c/ms", "vs CPU", "vs np"});
+
+    for (unsigned logn = 22; logn >= 18; --logn) {
+        size_t k = size_t{1} << logn;
+        double cpu_per_ms =
+            cpu_base.throughput_per_ms /
+            static_cast<double>(size_t{1} << (logn - cpu_base_log));
+
+        GpuEncoderOptions opt;
+        opt.functional = 0;
+        auto np = NonPipelinedEncoderGpu(dev, opt).run(32, k, rng);
+        auto ours = PipelinedEncoderGpu(dev, opt).run(128, k, rng);
+
+        table.addRow({fmtPow2(logn), fmtThroughput(cpu_per_ms),
+                      fmtThroughput(np.throughput_per_ms),
+                      fmtThroughput(ours.throughput_per_ms),
+                      fmtSpeedup(ours.throughput_per_ms / cpu_per_ms),
+                      fmtSpeedup(ours.throughput_per_ms /
+                                 np.throughput_per_ms)});
+    }
+
+    printTable("Table 5: throughput of linear-time encoder modules "
+               "(GH200 spec)",
+               table,
+               "CPU column measured at 2^18 on this host and scaled "
+               "linearly (the encoder is O(N)); GPU columns simulated.");
+    return 0;
+}

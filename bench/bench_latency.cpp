@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Table 6: per-item latency of the ZKP modules at N = 2^18 and 2^20 —
+ * the throughput/latency trade-off: the pipelined modules are *slower*
+ * per item than the intuitive baselines (speedup < 1).
+ */
+
+#include "bench/BenchUtil.h"
+#include "encoder/GpuEncoder.h"
+#include "gpusim/Device.h"
+#include "merkle/GpuMerkle.h"
+#include "sumcheck/GpuSumcheck.h"
+#include "util/Rng.h"
+
+using namespace bzk;
+using namespace bzk::bench;
+
+int
+main()
+{
+    gpusim::Device dev(gpusim::DeviceSpec::gh200());
+    Rng rng(0xdead06);
+
+    TablePrinter table({"Size", "Module", "Scheme", "Latency (ms)",
+                        "Speedup"});
+
+    for (unsigned logn : {18u, 20u}) {
+        size_t n = size_t{1} << logn;
+        size_t batch = 64;
+
+        GpuMerkleOptions mopt;
+        mopt.functional = 0;
+        auto simon = IntuitiveMerkleGpu(dev, mopt).run(8, n, rng);
+        auto m_ours = PipelinedMerkleGpu(dev, mopt).run(batch, n, rng);
+        table.addRow({fmtPow2(logn), "Merkle", "Simon",
+                      fmtMs(simon.first_latency_ms), ""});
+        table.addRow({"", "", "Ours", fmtMs(m_ours.first_latency_ms),
+                      fmtSpeedup(simon.first_latency_ms /
+                                 m_ours.first_latency_ms)});
+
+        GpuSumcheckOptions sopt;
+        sopt.functional = 0;
+        auto icicle = IntuitiveSumcheckGpu(dev, sopt).run(8, logn, rng);
+        auto s_ours = PipelinedSumcheckGpu(dev, sopt).run(batch, logn, rng);
+        table.addRow({"", "Sumcheck", "Icicle",
+                      fmtMs(icicle.first_latency_ms), ""});
+        table.addRow({"", "", "Ours", fmtMs(s_ours.first_latency_ms),
+                      fmtSpeedup(icicle.first_latency_ms /
+                                 s_ours.first_latency_ms)});
+
+        GpuEncoderOptions eopt;
+        eopt.functional = 0;
+        auto np = NonPipelinedEncoderGpu(dev, eopt).run(8, n, rng);
+        auto e_ours = PipelinedEncoderGpu(dev, eopt).run(batch, n, rng);
+        table.addRow({"", "Encoder", "Ours-np",
+                      fmtMs(np.first_latency_ms), ""});
+        table.addRow({"", "", "Ours", fmtMs(e_ours.first_latency_ms),
+                      fmtSpeedup(np.first_latency_ms /
+                                 e_ours.first_latency_ms)});
+    }
+
+    printTable("Table 6: latency of ZKP modules (GH200 spec)", table,
+               "Speedup < 1 reproduces the paper's trade-off: pipelining "
+               "buys throughput at the cost of per-item latency.");
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Table 3: throughput of Merkle-tree modules (trees/ms) for N 512-bit
+ * blocks, N = 2^18 .. 2^22, on the GH200 spec.
+ *
+ * Columns: Orion-style CPU baseline (real, measured on this host),
+ * Simon-style intuitive GPU baseline (simulated), our pipelined module
+ * (simulated), and the two speedup columns the paper reports.
+ */
+
+#include "bench/BenchUtil.h"
+#include "gpusim/Device.h"
+#include "merkle/GpuMerkle.h"
+#include "util/Rng.h"
+
+using namespace bzk;
+using namespace bzk::bench;
+
+int
+main()
+{
+    gpusim::Device dev(gpusim::DeviceSpec::gh200());
+    Rng rng(0xdead01);
+
+    TablePrinter table({"Size", "Orion(CPU) t/ms", "Simon(GPU) t/ms",
+                        "Ours(GPU) t/ms", "vs CPU", "vs GPU"});
+
+    for (unsigned logn = 22; logn >= 18; --logn) {
+        size_t n_blocks = size_t{1} << logn;
+
+        CpuMerkleBaseline cpu(/*sample_trees=*/1);
+        auto cpu_stats = cpu.run(16, n_blocks, rng);
+
+        GpuMerkleOptions opt;
+        opt.functional = 0; // functional equality is covered in tests
+        auto simon = IntuitiveMerkleGpu(dev, opt).run(32, n_blocks, rng);
+        size_t batch = 128;
+        auto ours = PipelinedMerkleGpu(dev, opt).run(batch, n_blocks, rng);
+
+        table.addRow({fmtPow2(logn),
+                      fmtThroughput(cpu_stats.throughput_per_ms),
+                      fmtThroughput(simon.throughput_per_ms),
+                      fmtThroughput(ours.throughput_per_ms),
+                      fmtSpeedup(ours.throughput_per_ms /
+                                 cpu_stats.throughput_per_ms),
+                      fmtSpeedup(ours.throughput_per_ms /
+                                 simon.throughput_per_ms)});
+    }
+
+    printTable("Table 3: throughput of Merkle tree modules (GH200 spec)",
+               table,
+               "CPU column measured on this host (single thread); GPU "
+               "columns from the calibrated simulator.");
+    return 0;
+}

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the cryptographic primitives the
+ * modules are built from. These are the real host-side costs behind the
+ * measured CPU baseline columns in Tables 3-5 and 7.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/TensorPcs.h"
+#include "curve/Msm.h"
+#include "encoder/SpielmanCode.h"
+#include "ff/Fields.h"
+#include "ff/Ntt.h"
+#include "gkr/Gkr.h"
+#include "hash/Sha256.h"
+#include "merkle/MerkleTree.h"
+#include "poly/Multilinear.h"
+#include "sumcheck/Sumcheck.h"
+
+namespace bzk {
+namespace {
+
+void
+BM_Sha256Compress(benchmark::State &state)
+{
+    uint8_t block[64] = {1, 2, 3};
+    for (auto _ : state) {
+        auto d = Sha256::compressBlock(std::span<const uint8_t, 64>(block));
+        benchmark::DoNotOptimize(d);
+    }
+}
+BENCHMARK(BM_Sha256Compress);
+
+void
+BM_Sha256Digest1K(benchmark::State &state)
+{
+    std::vector<uint8_t> data(1024, 0xab);
+    for (auto _ : state) {
+        auto d = Sha256::digest(data);
+        benchmark::DoNotOptimize(d);
+    }
+}
+BENCHMARK(BM_Sha256Digest1K);
+
+void
+BM_FrMul(benchmark::State &state)
+{
+    Rng rng(1);
+    Fr a = Fr::random(rng);
+    Fr b = Fr::random(rng);
+    for (auto _ : state) {
+        a = a * b;
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_FrMul);
+
+void
+BM_FrAdd(benchmark::State &state)
+{
+    Rng rng(2);
+    Fr a = Fr::random(rng);
+    Fr b = Fr::random(rng);
+    for (auto _ : state) {
+        a = a + b;
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_FrAdd);
+
+void
+BM_FrInverse(benchmark::State &state)
+{
+    Rng rng(3);
+    Fr a = Fr::random(rng);
+    for (auto _ : state) {
+        a = a.inverse() + Fr::one();
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_FrInverse);
+
+void
+BM_GoldilocksMul(benchmark::State &state)
+{
+    Rng rng(4);
+    Gl64 a = Gl64::random(rng);
+    Gl64 b = Gl64::random(rng);
+    for (auto _ : state) {
+        a = a * b;
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_GoldilocksMul);
+
+void
+BM_Ntt(benchmark::State &state)
+{
+    Rng rng(5);
+    size_t n = static_cast<size_t>(state.range(0));
+    std::vector<Fr> data(n);
+    for (auto &x : data)
+        x = Fr::random(rng);
+    for (auto _ : state) {
+        ntt(data);
+        benchmark::DoNotOptimize(data.data());
+    }
+    state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Ntt)->Range(1 << 8, 1 << 12)->Complexity();
+
+void
+BM_MsmPippenger(benchmark::State &state)
+{
+    Rng rng(6);
+    size_t n = static_cast<size_t>(state.range(0));
+    auto points = randomPoints(n, rng);
+    std::vector<Fr> scalars(n);
+    for (auto &s : scalars)
+        s = Fr::random(rng);
+    for (auto _ : state) {
+        auto r = msmPippenger(points, scalars);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_MsmPippenger)->Range(1 << 6, 1 << 10);
+
+void
+BM_MerkleBuild(benchmark::State &state)
+{
+    size_t blocks = static_cast<size_t>(state.range(0));
+    std::vector<uint8_t> data(blocks * 64, 0x5a);
+    for (auto _ : state) {
+        auto t = MerkleTree::build(data);
+        benchmark::DoNotOptimize(t.root());
+    }
+}
+BENCHMARK(BM_MerkleBuild)->Range(1 << 8, 1 << 12);
+
+void
+BM_SumcheckProve(benchmark::State &state)
+{
+    Rng rng(7);
+    unsigned n = static_cast<unsigned>(state.range(0));
+    auto poly = Multilinear<Fr>::random(n, rng);
+    std::vector<Fr> challenges(n);
+    for (auto &c : challenges)
+        c = Fr::random(rng);
+    for (auto _ : state) {
+        auto proof = proveSumcheck(poly, challenges);
+        benchmark::DoNotOptimize(proof.rounds.data());
+    }
+}
+BENCHMARK(BM_SumcheckProve)->DenseRange(8, 14, 3);
+
+void
+BM_SpielmanEncode(benchmark::State &state)
+{
+    Rng rng(8);
+    size_t k = static_cast<size_t>(state.range(0));
+    SpielmanCode<Fr> code(k, 99);
+    std::vector<Fr> msg(k);
+    for (auto &m : msg)
+        m = Fr::random(rng);
+    for (auto _ : state) {
+        auto cw = code.encode(msg);
+        benchmark::DoNotOptimize(cw.data());
+    }
+}
+BENCHMARK(BM_SpielmanEncode)->Range(1 << 8, 1 << 12);
+
+void
+BM_PcsCommit(benchmark::State &state)
+{
+    Rng rng(9);
+    unsigned n = static_cast<unsigned>(state.range(0));
+    TensorPcs<Fr> pcs(n, 42);
+    std::vector<Fr> poly(size_t{1} << n);
+    for (auto &p : poly)
+        p = Fr::random(rng);
+    for (auto _ : state) {
+        auto st = pcs.commit(poly);
+        benchmark::DoNotOptimize(st.commitment.root);
+    }
+}
+BENCHMARK(BM_PcsCommit)->DenseRange(10, 14, 2);
+
+void
+BM_GkrProveLayer(benchmark::State &state)
+{
+    Rng rng(10);
+    unsigned width_vars = static_cast<unsigned>(state.range(0));
+    auto c = randomLayeredCircuit<Fr>(width_vars, 2,
+                                      size_t{1} << width_vars, rng);
+    std::vector<Fr> inputs(size_t{1} << width_vars);
+    for (auto &x : inputs)
+        x = Fr::random(rng);
+    Gkr<Fr> gkr(c);
+    for (auto _ : state) {
+        Transcript t("bench");
+        auto proof = gkr.prove(inputs, t);
+        benchmark::DoNotOptimize(proof.layers.data());
+    }
+}
+BENCHMARK(BM_GkrProveLayer)->DenseRange(6, 10, 2);
+
+} // namespace
+} // namespace bzk
+
+BENCHMARK_MAIN();

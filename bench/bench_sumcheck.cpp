@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Table 4: throughput of sum-check modules (proofs/ms) for n-variable
+ * multilinear polynomials, n = 18 .. 22, on the GH200 spec.
+ *
+ * Columns: Arkworks-style CPU prover (real, measured), Icicle-style
+ * intuitive GPU baseline (simulated), our pipelined module (simulated).
+ */
+
+#include "bench/BenchUtil.h"
+#include "gpusim/Device.h"
+#include "sumcheck/GpuSumcheck.h"
+#include "util/Rng.h"
+
+using namespace bzk;
+using namespace bzk::bench;
+
+int
+main()
+{
+    gpusim::Device dev(gpusim::DeviceSpec::gh200());
+    Rng rng(0xdead02);
+
+    TablePrinter table({"Size", "Arkworks(CPU) p/ms", "Icicle(GPU) p/ms",
+                        "Ours(GPU) p/ms", "vs CPU", "vs GPU"});
+
+    for (unsigned n = 22; n >= 18; --n) {
+        CpuSumcheckBaseline cpu(/*sample_proofs=*/1);
+        auto cpu_stats = cpu.run(16, n, rng);
+
+        GpuSumcheckOptions opt;
+        opt.functional = 0;
+        auto icicle = IntuitiveSumcheckGpu(dev, opt).run(32, n, rng);
+        auto ours = PipelinedSumcheckGpu(dev, opt).run(128, n, rng);
+
+        table.addRow({fmtPow2(n),
+                      fmtThroughput(cpu_stats.throughput_per_ms),
+                      fmtThroughput(icicle.throughput_per_ms),
+                      fmtThroughput(ours.throughput_per_ms),
+                      fmtSpeedup(ours.throughput_per_ms /
+                                 cpu_stats.throughput_per_ms),
+                      fmtSpeedup(ours.throughput_per_ms /
+                                 icicle.throughput_per_ms)});
+    }
+
+    printTable("Table 4: throughput of sum-check modules (GH200 spec)",
+               table,
+               "CPU column measured on this host (single thread, like the "
+               "arkworks sumcheck crate); both GPU drivers stream tables "
+               "from host memory as the paper's module does.");
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * zkCNN-style verifiable inference with GKR: compile a CNN into a
+ * layered circuit and prove the forward pass layer by layer — the
+ * protocol family whose sum-check inner loop BatchZK's pipelined module
+ * accelerates. Inputs and weights are public here (verifiable
+ * outsourcing); see verifiable_mlaas for the hidden-model SNARK path.
+ *
+ *   $ ./examples/gkr_inference
+ */
+
+#include <cstdio>
+
+#include "ff/Fields.h"
+#include "gkr/Gkr.h"
+#include "util/Timer.h"
+#include "zkml/LayeredCnnCompiler.h"
+
+using namespace bzk;
+
+int
+main()
+{
+    Rng rng(2024);
+    CnnModel model(CnnConfig::tiny(), rng);
+    std::printf("CNN: %zu weights, %zu MACs per inference\n",
+                model.numWeights(), model.macCount());
+
+    auto compiled = compileCnnLayered<Fr>(model);
+    std::printf("layered circuit: %zu layers, %zu gates\n",
+                compiled.circuit.depth(), compiled.circuit.numGates());
+
+    // A customer's image.
+    Tensor image(1, 8, 8);
+    for (auto &p : image.data)
+        p = static_cast<int64_t>(rng.nextBounded(8));
+    auto inputs = layeredCnnInputs<Fr>(model, image);
+
+    // Prove the inference.
+    Gkr<Fr> gkr(compiled.circuit);
+    Transcript pt("gkr-inference");
+    Timer timer;
+    auto proof = gkr.prove(inputs, pt);
+    double prove_ms = timer.milliseconds();
+
+    // The proven logits.
+    Tensor expect = model.forward(image);
+    int best = 0;
+    for (size_t i = 1; i < compiled.num_outputs; ++i)
+        if (expect.data[i] > expect.data[best])
+            best = static_cast<int>(i);
+    std::printf("prediction: class %d (proved in %.1f ms, %zu-byte "
+                "proof for %zu gates)\n",
+                best, prove_ms, proof.sizeBytes(),
+                compiled.circuit.numGates());
+
+    // Verify.
+    Transcript vt("gkr-inference");
+    timer.reset();
+    bool ok = gkr.verify(proof, inputs, vt);
+    std::printf("verification: %s (%.1f ms)\n", ok ? "ACCEPT" : "REJECT",
+                timer.milliseconds());
+
+    // Forged logits do not verify.
+    auto forged = proof;
+    forged.outputs[best] += Fr::one();
+    Transcript vt2("gkr-inference");
+    std::printf("forged-logit verification: %s\n",
+                gkr.verify(forged, inputs, vt2) ? "ACCEPT (BUG!)"
+                                                : "REJECT");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,336 @@
+#ifndef BZK_CIRCUIT_CIRCUIT_H_
+#define BZK_CIRCUIT_CIRCUIT_H_
+
+/**
+ * @file
+ * Arithmetic circuits and their constraint tables.
+ *
+ * A circuit is a DAG of input/constant/add/mul gates. For proving, each
+ * gate i contributes one constraint row  a_i * b_i = c_i:
+ *
+ *   mul gate : a = w[l],  b = w[r],   c = w[out]
+ *   add gate : a = w[l] + w[r], b = 1, c = w[out]
+ *   input    : a = value, b = 1,      c = w[out]
+ *   const    : a = value, b = 1,      c = w[out]
+ *
+ * The three columns, padded to a power of two, become the multilinear
+ * tables the SNARK core commits to and sum-checks over. The paper's
+ * scale parameter S ("number of multiplication gates") maps to
+ * numGates() here.
+ */
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/Log.h"
+#include "util/Rng.h"
+
+namespace bzk {
+
+/** Wire identifier within a circuit. */
+using WireId = uint32_t;
+
+/** Gate kinds, exposed for the R1CS builder. */
+enum class CircuitGateKind { Input, Witness, Const, Add, Mul };
+
+/** One gate's constraint-table rows. */
+template <typename F>
+struct ConstraintTables
+{
+    std::vector<F> a;
+    std::vector<F> b;
+    std::vector<F> c;
+    /** log2 of the padded table size. */
+    unsigned n_vars = 0;
+};
+
+/** A wire-value assignment produced by evaluate(). */
+template <typename F>
+struct Assignment
+{
+    std::vector<F> wires;
+};
+
+/** An arithmetic circuit over field F. */
+template <typename F>
+class Circuit
+{
+  public:
+    /** Declare a public-input wire. */
+    WireId
+    addInput()
+    {
+        gates_.push_back({Op::Input, 0, 0, F::zero()});
+        ++num_inputs_;
+        return lastWire();
+    }
+
+    /** Declare a private witness wire. */
+    WireId
+    addWitness()
+    {
+        gates_.push_back({Op::Witness, 0, 0, F::zero()});
+        ++num_witnesses_;
+        return lastWire();
+    }
+
+    /** Declare a constant wire. */
+    WireId
+    addConst(const F &value)
+    {
+        gates_.push_back({Op::Const, 0, 0, value});
+        return lastWire();
+    }
+
+    /** w_out = w_l * w_r. */
+    WireId
+    mul(WireId l, WireId r)
+    {
+        checkWire(l);
+        checkWire(r);
+        gates_.push_back({Op::Mul, l, r, F::zero()});
+        ++num_mul_;
+        return lastWire();
+    }
+
+    /** w_out = w_l + w_r. */
+    WireId
+    add(WireId l, WireId r)
+    {
+        checkWire(l);
+        checkWire(r);
+        gates_.push_back({Op::Add, l, r, F::zero()});
+        return lastWire();
+    }
+
+    /** Total gates (= constraint rows before padding). */
+    size_t numGates() const { return gates_.size(); }
+
+    /** Multiplication gates — the paper's scale S. */
+    size_t numMulGates() const { return num_mul_; }
+
+    /** Declared public inputs. */
+    size_t numInputs() const { return num_inputs_; }
+
+    /** Declared witness wires. */
+    size_t numWitnesses() const { return num_witnesses_; }
+
+    /**
+     * Evaluate all wires given public @p inputs and private @p witness
+     * values (consumed in declaration order).
+     */
+    Assignment<F>
+    evaluate(std::span<const F> inputs, std::span<const F> witness) const
+    {
+        if (inputs.size() != num_inputs_)
+            panic("Circuit::evaluate: %zu inputs, expected %zu",
+                  inputs.size(), num_inputs_);
+        if (witness.size() != num_witnesses_)
+            panic("Circuit::evaluate: %zu witnesses, expected %zu",
+                  witness.size(), num_witnesses_);
+        Assignment<F> out;
+        out.wires.resize(gates_.size());
+        size_t in_pos = 0;
+        size_t wit_pos = 0;
+        for (size_t i = 0; i < gates_.size(); ++i) {
+            const Gate &g = gates_[i];
+            switch (g.op) {
+              case Op::Input:
+                out.wires[i] = inputs[in_pos++];
+                break;
+              case Op::Witness:
+                out.wires[i] = witness[wit_pos++];
+                break;
+              case Op::Const:
+                out.wires[i] = g.value;
+                break;
+              case Op::Add:
+                out.wires[i] = out.wires[g.l] + out.wires[g.r];
+                break;
+              case Op::Mul:
+                out.wires[i] = out.wires[g.l] * out.wires[g.r];
+                break;
+            }
+        }
+        return out;
+    }
+
+    /**
+     * Build the padded (a, b, c) constraint tables for an assignment.
+     * Padding rows are (0, 0, 0), trivially satisfying a*b = c.
+     */
+    ConstraintTables<F>
+    buildTables(const Assignment<F> &assignment) const
+    {
+        if (assignment.wires.size() != gates_.size())
+            panic("Circuit::buildTables: assignment size mismatch");
+        size_t padded = 1;
+        unsigned n_vars = 0;
+        while (padded < gates_.size()) {
+            padded <<= 1;
+            ++n_vars;
+        }
+        ConstraintTables<F> t;
+        t.n_vars = n_vars;
+        t.a.assign(padded, F::zero());
+        t.b.assign(padded, F::zero());
+        t.c.assign(padded, F::zero());
+        for (size_t i = 0; i < gates_.size(); ++i) {
+            const Gate &g = gates_[i];
+            switch (g.op) {
+              case Op::Input:
+              case Op::Witness:
+              case Op::Const:
+                t.a[i] = assignment.wires[i];
+                t.b[i] = F::one();
+                t.c[i] = assignment.wires[i];
+                break;
+              case Op::Add:
+                t.a[i] = assignment.wires[g.l] + assignment.wires[g.r];
+                t.b[i] = F::one();
+                t.c[i] = assignment.wires[i];
+                break;
+              case Op::Mul:
+                t.a[i] = assignment.wires[g.l];
+                t.b[i] = assignment.wires[g.r];
+                t.c[i] = assignment.wires[i];
+                break;
+            }
+        }
+        return t;
+    }
+
+    /** Check a*b == c on every row of an assignment's tables. */
+    bool
+    checkSatisfied(const Assignment<F> &assignment) const
+    {
+        auto t = buildTables(assignment);
+        for (size_t i = 0; i < t.a.size(); ++i)
+            if (t.a[i] * t.b[i] != t.c[i])
+                return false;
+        return true;
+    }
+
+    /** Kind of gate @p i (for the R1CS builder). */
+    CircuitGateKind
+    gateKind(WireId i) const
+    {
+        checkWire(i);
+        switch (gates_[i].op) {
+          case Op::Input: return CircuitGateKind::Input;
+          case Op::Witness: return CircuitGateKind::Witness;
+          case Op::Const: return CircuitGateKind::Const;
+          case Op::Add: return CircuitGateKind::Add;
+          default: return CircuitGateKind::Mul;
+        }
+    }
+
+    /** Left operand wire of gate @p i (Add/Mul only). */
+    WireId
+    gateLeft(WireId i) const
+    {
+        checkWire(i);
+        return gates_[i].l;
+    }
+
+    /** Right operand wire of gate @p i (Add/Mul only). */
+    WireId
+    gateRight(WireId i) const
+    {
+        checkWire(i);
+        return gates_[i].r;
+    }
+
+    /** Constant value of gate @p i (Const only). */
+    const F &
+    gateConst(WireId i) const
+    {
+        checkWire(i);
+        return gates_[i].value;
+    }
+
+    /**
+     * Position of input gate @p i among the declared inputs (0-based);
+     * panics when gate i is not an input gate.
+     */
+    size_t
+    gateInputIndex(WireId i) const
+    {
+        checkWire(i);
+        if (gates_[i].op != Op::Input)
+            panic("gateInputIndex: gate %u is not an input", i);
+        size_t idx = 0;
+        for (WireId g = 0; g < i; ++g)
+            if (gates_[g].op == Op::Input)
+                ++idx;
+        return idx;
+    }
+
+    /** The output wire (last gate), by convention. */
+    WireId
+    outputWire() const
+    {
+        if (gates_.empty())
+            panic("Circuit::outputWire: empty circuit");
+        return static_cast<WireId>(gates_.size() - 1);
+    }
+
+  private:
+    enum class Op { Input, Witness, Const, Add, Mul };
+
+    struct Gate
+    {
+        Op op;
+        WireId l;
+        WireId r;
+        F value;
+    };
+
+    WireId
+    lastWire() const
+    {
+        return static_cast<WireId>(gates_.size() - 1);
+    }
+
+    void
+    checkWire(WireId w) const
+    {
+        if (w >= gates_.size())
+            panic("Circuit: wire %u does not exist yet", w);
+    }
+
+    std::vector<Gate> gates_;
+    size_t num_inputs_ = 0;
+    size_t num_witnesses_ = 0;
+    size_t num_mul_ = 0;
+};
+
+/**
+ * Generate a random layered circuit with approximately @p target_gates
+ * gates (roughly half mul), plus matching witness values. Used by the
+ * benches as the paper's "circuit with S multiplication gates".
+ */
+template <typename F>
+Circuit<F>
+randomCircuit(size_t target_gates, size_t num_witness, Rng &rng)
+{
+    Circuit<F> c;
+    std::vector<WireId> pool;
+    pool.push_back(c.addConst(F::one()));
+    for (size_t i = 0; i < num_witness; ++i)
+        pool.push_back(c.addWitness());
+    while (c.numGates() < target_gates) {
+        WireId l = pool[rng.nextBounded(pool.size())];
+        WireId r = pool[rng.nextBounded(pool.size())];
+        WireId out = (rng.next() & 1) ? c.mul(l, r) : c.add(l, r);
+        pool.push_back(out);
+        if (pool.size() > 256)
+            pool.erase(pool.begin() + 1); // keep the pool bounded
+    }
+    return c;
+}
+
+} // namespace bzk
+
+#endif // BZK_CIRCUIT_CIRCUIT_H_

@@ -1,0 +1,241 @@
+#ifndef BZK_CIRCUIT_R1CS_H_
+#define BZK_CIRCUIT_R1CS_H_
+
+/**
+ * @file
+ * Sparse R1CS view of a circuit, Spartan-style.
+ *
+ * The extended witness z has 2^col_vars slots split by the top index
+ * bit:
+ *
+ *   public half (top bit 0): slot 0 holds the constant 1, slots
+ *     1..n_in hold the public inputs, rest zero — the verifier can
+ *     evaluate this half's MLE itself;
+ *   private half (top bit 1): slot half+i holds wire i's value — this
+ *     half is what the prover commits to.
+ *
+ * An assignment satisfies the circuit iff (Az) o (Bz) = Cz row-wise,
+ * with one row per gate:
+ *
+ *   input (k-th)  : A = {pub 1+k},          B = {pub 0}, C = {priv i}
+ *   witness       : A = {priv i},           B = {pub 0}, C = {priv i}
+ *   const v       : A = {(pub 0, coeff v)}, B = {pub 0}, C = {priv i}
+ *   add           : A = {priv l, priv r},   B = {pub 0}, C = {priv i}
+ *   mul           : A = {priv l},           B = {priv r}, C = {priv i}
+ *
+ * Because the *wiring* lives in the matrices, a SNARK that proves
+ * (Az) o (Bz) = Cz against a committed private half proves full
+ * circuit satisfiability, including that public inputs and constants
+ * are what the verifier thinks they are — closing the gap of the
+ * table-commitment Snark (DESIGN.md Sec. 6).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/Circuit.h"
+#include "poly/Multilinear.h"
+#include "util/Log.h"
+
+namespace bzk {
+
+/** One non-zero entry of a sparse R1CS matrix. */
+template <typename F>
+struct R1csEntry
+{
+    /** Constraint row (gate index). */
+    uint32_t row = 0;
+    /** Column into z (see file comment for the layout). */
+    uint32_t col = 0;
+    /** Coefficient (one except for constant gates). */
+    F coeff = F::one();
+};
+
+/** Sparse R1CS instance for one circuit. */
+template <typename F>
+struct R1cs
+{
+    /** log2 of the padded number of constraint rows. */
+    unsigned row_vars = 0;
+    /** log2 of the padded length of z (>= 1 + private-half vars). */
+    unsigned col_vars = 0;
+    /** Number of declared public inputs. */
+    size_t num_inputs = 0;
+    std::vector<R1csEntry<F>> a;
+    std::vector<R1csEntry<F>> b;
+    std::vector<R1csEntry<F>> c;
+
+    size_t numRows() const { return size_t{1} << row_vars; }
+    size_t numCols() const { return size_t{1} << col_vars; }
+    size_t half() const { return numCols() / 2; }
+
+    /** The public half of z for given input values. */
+    std::vector<F>
+    publicHalf(std::span<const F> inputs) const
+    {
+        if (inputs.size() != num_inputs)
+            panic("R1cs::publicHalf: %zu inputs, expected %zu",
+                  inputs.size(), num_inputs);
+        std::vector<F> pub(half(), F::zero());
+        pub[0] = F::one();
+        for (size_t k = 0; k < inputs.size(); ++k)
+            pub[1 + k] = inputs[k];
+        return pub;
+    }
+
+    /** The private half: wire values, zero padded. */
+    std::vector<F>
+    privateHalf(const Assignment<F> &assignment) const
+    {
+        if (assignment.wires.size() > half())
+            panic("R1cs::privateHalf: %zu wires exceed half size %zu",
+                  assignment.wires.size(), half());
+        std::vector<F> priv(half(), F::zero());
+        for (size_t i = 0; i < assignment.wires.size(); ++i)
+            priv[i] = assignment.wires[i];
+        return priv;
+    }
+
+    /** Full z = [public | private]. */
+    std::vector<F>
+    extendWitness(std::span<const F> inputs,
+                  const Assignment<F> &assignment) const
+    {
+        std::vector<F> z = publicHalf(inputs);
+        auto priv = privateHalf(assignment);
+        z.insert(z.end(), priv.begin(), priv.end());
+        return z;
+    }
+
+    /** Dense M*z for one of the three matrices. */
+    std::vector<F>
+    apply(const std::vector<R1csEntry<F>> &m,
+          const std::vector<F> &z) const
+    {
+        std::vector<F> out(numRows(), F::zero());
+        for (const auto &e : m)
+            out[e.row] += e.coeff * z[e.col];
+        return out;
+    }
+
+    /** Row-wise (Az) o (Bz) == Cz check. */
+    bool
+    isSatisfied(const std::vector<F> &z) const
+    {
+        auto az = apply(a, z);
+        auto bz = apply(b, z);
+        auto cz = apply(c, z);
+        for (size_t i = 0; i < numRows(); ++i)
+            if (az[i] * bz[i] != cz[i])
+                return false;
+        return true;
+    }
+
+    /**
+     * Evaluate the multilinear extension M~(rx, ry) of a matrix in
+     * O(nnz + rows + cols): sum of coeff * eq(rx, row) * eq(ry, col).
+     * Linear-time verifier preprocessing, amortized per circuit.
+     */
+    F
+    evalMatrixMle(const std::vector<R1csEntry<F>> &m,
+                  const std::vector<F> &rx,
+                  const std::vector<F> &ry) const
+    {
+        if (rx.size() != row_vars || ry.size() != col_vars)
+            panic("evalMatrixMle: point dims (%zu, %zu) vs (%u, %u)",
+                  rx.size(), ry.size(), row_vars, col_vars);
+        auto eq_row = eqTable(rx);
+        auto eq_col = eqTable(ry);
+        F acc = F::zero();
+        for (const auto &e : m)
+            acc += e.coeff * eq_row[e.row] * eq_col[e.col];
+        return acc;
+    }
+
+    /**
+     * MLE of the public half at the column point's tail, i.e.
+     * pub~(ry[1:]): O(num_inputs * col_vars) for the verifier.
+     */
+    F
+    evalPublicMle(std::span<const F> inputs,
+                  const std::vector<F> &ry_tail) const
+    {
+        // eq(ry_tail, index) for index 0 and 1..num_inputs, where
+        // ry_tail has col_vars-1 coordinates, top-first bit order.
+        unsigned bits = col_vars - 1;
+        auto eq_at = [&](size_t index) {
+            F acc = F::one();
+            for (unsigned v = 0; v < bits; ++v) {
+                int bit = static_cast<int>(
+                    (index >> (bits - 1 - v)) & 1);
+                acc *= bit ? ry_tail[v] : F::one() - ry_tail[v];
+            }
+            return acc;
+        };
+        F acc = eq_at(0); // the constant-1 slot
+        for (size_t k = 0; k < inputs.size(); ++k)
+            acc += inputs[k] * eq_at(1 + k);
+        return acc;
+    }
+};
+
+/** Build the sparse R1CS of a circuit (see file comment for rows). */
+template <typename F>
+R1cs<F>
+buildR1cs(const Circuit<F> &circuit)
+{
+    R1cs<F> r;
+    r.num_inputs = circuit.numInputs();
+    size_t rows = circuit.numGates();
+    r.row_vars = 0;
+    while ((size_t{1} << r.row_vars) < rows)
+        ++r.row_vars;
+    // Half of z must fit all wires, and the public half all inputs + 1.
+    size_t half_needed =
+        std::max(circuit.numGates(), circuit.numInputs() + 1);
+    unsigned half_vars = 0;
+    while ((size_t{1} << half_vars) < half_needed)
+        ++half_vars;
+    r.col_vars = half_vars + 1;
+
+    uint32_t half = static_cast<uint32_t>(size_t{1} << half_vars);
+    auto priv = [half](WireId w) { return half + w; };
+
+    size_t input_idx = 0;
+    for (uint32_t i = 0; i < rows; ++i) {
+        switch (circuit.gateKind(i)) {
+          case CircuitGateKind::Input:
+            r.a.push_back({i, static_cast<uint32_t>(1 + input_idx++),
+                           F::one()});
+            r.b.push_back({i, 0, F::one()});
+            r.c.push_back({i, priv(i), F::one()});
+            break;
+          case CircuitGateKind::Witness:
+            r.a.push_back({i, priv(i), F::one()});
+            r.b.push_back({i, 0, F::one()});
+            r.c.push_back({i, priv(i), F::one()});
+            break;
+          case CircuitGateKind::Const:
+            r.a.push_back({i, 0, circuit.gateConst(i)});
+            r.b.push_back({i, 0, F::one()});
+            r.c.push_back({i, priv(i), F::one()});
+            break;
+          case CircuitGateKind::Add:
+            r.a.push_back({i, priv(circuit.gateLeft(i)), F::one()});
+            r.a.push_back({i, priv(circuit.gateRight(i)), F::one()});
+            r.b.push_back({i, 0, F::one()});
+            r.c.push_back({i, priv(i), F::one()});
+            break;
+          case CircuitGateKind::Mul:
+            r.a.push_back({i, priv(circuit.gateLeft(i)), F::one()});
+            r.b.push_back({i, priv(circuit.gateRight(i)), F::one()});
+            r.c.push_back({i, priv(i), F::one()});
+            break;
+        }
+    }
+    return r;
+}
+
+} // namespace bzk
+
+#endif // BZK_CIRCUIT_R1CS_H_

@@ -1,0 +1,84 @@
+#ifndef BZK_CORE_BATCHPROVER_H_
+#define BZK_CORE_BATCHPROVER_H_
+
+/**
+ * @file
+ * Host-side batch prover: generates many *real* proofs in parallel on
+ * the CPU thread pool. This is the functional counterpart of the
+ * simulated PipelinedZkpSystem — deployments without a GPU (or tests
+ * that need every proof materialized) use this path; the GPU system
+ * reproduces its timing behaviour at scale.
+ */
+
+#include <atomic>
+#include <vector>
+
+#include "circuit/Circuit.h"
+#include "core/Snark.h"
+#include "util/Log.h"
+#include "util/ThreadPool.h"
+
+namespace bzk {
+
+/** Result of a host batch run. */
+template <typename F>
+struct BatchProofs
+{
+    std::vector<SnarkProof<F>> proofs;
+    /** True iff every produced proof verified. */
+    bool all_verified = true;
+};
+
+/**
+ * Prove a batch of instances of one circuit-size class in parallel.
+ *
+ * @tparam F field type.
+ */
+template <typename F>
+class BatchProver
+{
+  public:
+    /**
+     * @param n_vars constraint-table log-size all instances share.
+     * @param seed   public encoder seed.
+     * @param threads worker threads (0 = hardware concurrency).
+     */
+    BatchProver(unsigned n_vars, uint64_t seed, size_t threads = 0,
+                size_t column_openings = 8)
+        : snark_(n_vars, seed, column_openings), pool_(threads)
+    {
+    }
+
+    const Snark<F> &snark() const { return snark_; }
+
+    /**
+     * Prove every instance; optionally self-verify each proof (the
+     * service-side sanity check before shipping).
+     */
+    BatchProofs<F>
+    proveAll(const std::vector<ConstraintTables<F>> &instances,
+             bool self_verify = true)
+    {
+        BatchProofs<F> out;
+        out.proofs.resize(instances.size());
+        std::atomic<bool> ok{true};
+        for (size_t i = 0; i < instances.size(); ++i) {
+            pool_.submit([this, &instances, &out, &ok, i, self_verify] {
+                out.proofs[i] = snark_.prove(instances[i], {});
+                if (self_verify && !snark_.verify(out.proofs[i], {}))
+                    ok.store(false, std::memory_order_relaxed);
+            });
+        }
+        pool_.wait();
+        out.all_verified = ok.load();
+        return out;
+    }
+
+  private:
+    Snark<F> snark_;
+    ThreadPool pool_;
+};
+
+} // namespace bzk
+
+#endif // BZK_CORE_BATCHPROVER_H_

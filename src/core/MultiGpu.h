@@ -1,0 +1,91 @@
+#ifndef BZK_CORE_MULTIGPU_H_
+#define BZK_CORE_MULTIGPU_H_
+
+/**
+ * @file
+ * Multi-GPU batch generation (extension beyond the paper's single-card
+ * evaluation). Proof tasks are independent, so a fleet of cards runs
+ * disjoint slices of the batch; each card hosts its own full pipeline
+ * and its own host link (the deployment the paper's zkBridge/MLaaS
+ * economics imply). Scaling is near-linear until the host-side witness
+ * producer saturates, which is outside this model.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "core/PipelinedSystem.h"
+#include "gpusim/Device.h"
+
+namespace bzk {
+
+/** Aggregate result of a fleet run. */
+struct MultiGpuResult
+{
+    /** Sum of per-device steady throughputs. */
+    double total_throughput_per_ms = 0.0;
+    /** Time until the slowest device finished its slice. */
+    double makespan_ms = 0.0;
+    /** Sum of per-device peak memory. */
+    uint64_t total_device_bytes = 0;
+    std::vector<SystemRunResult> per_device;
+};
+
+/** A fleet of simulated GPUs running the pipelined system. */
+class MultiGpuZkpSystem
+{
+  public:
+    MultiGpuZkpSystem(std::vector<gpusim::DeviceSpec> specs,
+                      SystemOptions opt = {})
+        : specs_(std::move(specs)), opt_(opt)
+    {
+        if (specs_.empty())
+            fatal("MultiGpuZkpSystem: no devices");
+    }
+
+    /**
+     * Run @p batch proofs for 2^n_vars-row circuits across the fleet.
+     * The batch splits proportionally to each card's lane throughput.
+     */
+    MultiGpuResult
+    run(size_t batch, unsigned n_vars, Rng &rng)
+    {
+        // Split proportional to lanes * clock.
+        double total_rate = 0.0;
+        for (const auto &spec : specs_)
+            total_rate += spec.cuda_cores * spec.clock_ghz;
+
+        MultiGpuResult result;
+        size_t assigned = 0;
+        SystemOptions opt = opt_;
+        opt.functional = 0; // functional proving is host-side anyway
+        for (size_t d = 0; d < specs_.size(); ++d) {
+            double share =
+                specs_[d].cuda_cores * specs_[d].clock_ghz / total_rate;
+            size_t slice =
+                d + 1 == specs_.size()
+                    ? batch - assigned
+                    : static_cast<size_t>(share * batch);
+            slice = std::max<size_t>(slice, 1);
+            assigned += slice;
+
+            gpusim::Device dev(specs_[d]);
+            PipelinedZkpSystem system(dev, opt);
+            auto r = system.run(slice, n_vars, rng);
+            result.total_throughput_per_ms += r.stats.throughput_per_ms;
+            result.makespan_ms =
+                std::max(result.makespan_ms, r.stats.total_ms);
+            result.total_device_bytes += r.stats.peak_device_bytes;
+            result.per_device.push_back(std::move(r));
+        }
+        return result;
+    }
+
+  private:
+    std::vector<gpusim::DeviceSpec> specs_;
+    SystemOptions opt_;
+};
+
+} // namespace bzk
+
+#endif // BZK_CORE_MULTIGPU_H_

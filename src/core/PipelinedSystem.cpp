@@ -1,0 +1,273 @@
+#include "core/PipelinedSystem.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "encoder/GpuEncoder.h"
+#include "gpusim/Calibration.h"
+#include "util/Log.h"
+#include "util/Timer.h"
+
+namespace bzk {
+
+using gpusim::BatchStats;
+using gpusim::KernelDesc;
+using gpusim::OpId;
+using gpusim::StreamId;
+
+namespace {
+
+/** PCS shape used by Snark/TensorPcs for n variables. */
+void
+pcsShape(unsigned n_vars, size_t &k_rows, size_t &m_cols)
+{
+    unsigned col = (n_vars + 1) / 2;
+    if (col < 5)
+        col = 5;
+    m_cols = size_t{1} << col;
+    k_rows = size_t{1} << (n_vars - col);
+}
+
+} // namespace
+
+ConstraintTables<Fr>
+randomInstance(unsigned n_vars, Rng &rng)
+{
+    size_t target = (size_t{1} << n_vars) - (size_t{1} << (n_vars - 2));
+    auto circuit = randomCircuit<Fr>(target, 8, rng);
+    std::vector<Fr> witness(circuit.numWitnesses());
+    for (auto &w : witness)
+        w = Fr::random(rng);
+    auto assignment = circuit.evaluate({}, witness);
+    return circuit.buildTables(assignment);
+}
+
+SystemWorkModel
+systemWorkModel(unsigned n_vars, uint64_t seed)
+{
+    size_t k, m;
+    pcsShape(n_vars, k, m);
+    double n_entries = static_cast<double>(size_t{1} << n_vars);
+
+    SystemWorkModel model;
+
+    // Encoder: 3 tables, each k row-messages of length m.
+    EncoderTopology topo(m, seed);
+    auto stages = encoderStageCosts(topo);
+    double per_code = 0.0;
+    for (const auto &s : stages)
+        per_code += s.lane_cycles_sorted;
+    model.encoder_cycles = 3.0 * static_cast<double>(k) * per_code;
+    model.encoder_stages = stages.size();
+
+    // Merkle: 3 trees; hashing 2m codeword columns of k elements each
+    // (k*32/64 compressions per column) plus the tree over 2m leaves.
+    double col_compress = static_cast<double>(k) / 2.0;
+    double per_tree = 2.0 * m * col_compress + (2.0 * m - 1.0);
+    model.merkle_cycles = 3.0 * per_tree * gpusim::kSha256CompressCycles;
+    size_t merkle_layers = 1;
+    for (size_t v = 2 * m; v > 1; v >>= 1)
+        ++merkle_layers;
+    model.merkle_stages = merkle_layers;
+
+    // Sum-check: the cubic constraint sum-check over 2^n rows (folds of
+    // four tables plus the degree-3 round evaluations), and the PCS
+    // row-combination passes (2 combos x 3 tables).
+    double per_pair = 12.0 * gpusim::kFieldMulCycles +
+                      30.0 * gpusim::kFieldAddCycles +
+                      3.0 * gpusim::kGlobalAccessCycles;
+    double combos = 6.0 * n_entries *
+                    (gpusim::kFieldMulCycles + gpusim::kFieldAddCycles);
+    model.sumcheck_cycles = n_entries * per_pair + combos;
+    model.sumcheck_stages = n_vars + 2;
+
+    // Dynamic loading per cycle: the three constraint tables plus the
+    // Lagrange-encoded intermediate results of the proving function
+    // (Sec. 4) — sized to match the paper's reported 320 MB per cycle
+    // at S = 2^20 (Table 9).
+    model.h2d_bytes = static_cast<uint64_t>(10.0 * n_entries * 32.0);
+    model.d2h_bytes =
+        static_cast<uint64_t>(n_entries * 16.0) + (uint64_t{1} << 20);
+
+    // Device residency (Table 10): the streamed per-cycle data is
+    // consumed stage by stage, so only the live stage slices stay
+    // resident — ~3 table-equivalents — plus a fixed floor for the
+    // encoder graphs, Merkle staging and runtime buffers.
+    model.device_bytes =
+        static_cast<uint64_t>(96.0 * n_entries) + (64ULL << 20);
+    return model;
+}
+
+PipelinedZkpSystem::PipelinedZkpSystem(gpusim::Device &dev,
+                                       SystemOptions opt)
+    : dev_(dev), opt_(opt)
+{
+}
+
+SystemRunResult
+PipelinedZkpSystem::run(size_t batch, unsigned n_vars, Rng &rng)
+{
+    SystemRunResult result;
+
+    // Functional proofs on the real prover, then verified.
+    if (n_vars <= opt_.max_functional_vars) {
+        size_t count = std::min(batch, opt_.functional);
+        Snark<Fr> snark(n_vars, opt_.seed, opt_.column_openings);
+        for (size_t i = 0; i < count; ++i) {
+            auto tables = randomInstance(n_vars, rng);
+            auto proof = snark.prove(tables, {});
+            result.verified =
+                result.verified && snark.verify(proof, {});
+            result.proofs.push_back(std::move(proof));
+        }
+    }
+
+    SystemWorkModel model = systemWorkModel(n_vars, opt_.seed);
+    double cores = dev_.spec().cuda_cores;
+    double total = model.totalCycles();
+
+    // Static lane partition proportional to module cost (Sec. 4's
+    // "35 : 12 : 113" method, derived here from the model itself).
+    result.lanes_encoder = cores * model.encoder_cycles / total;
+    result.lanes_merkle = cores * model.merkle_cycles / total;
+    result.lanes_sumcheck = cores * model.sumcheck_cycles / total;
+
+    double cycle_cycles = total / cores;
+    double cycle_ms =
+        cycle_cycles / dev_.spec().cyclesPerMs() + gpusim::kKernelLaunchMs;
+
+    dev_.resetTimeline();
+    dev_.resetMemoryPeak();
+    // Dynamic loading keeps one task's data per pipeline region; the
+    // preloading ablation stages the whole batch's inputs up front.
+    uint64_t resident = opt_.dynamic_loading
+                            ? model.device_bytes
+                            : model.device_bytes +
+                                  model.h2d_bytes * (batch - 1);
+    int64_t device_mem = dev_.alloc(resident);
+
+    StreamId compute = dev_.createStream();
+    StreamId h2d = opt_.overlap_transfers ? dev_.createStream() : compute;
+    StreamId d2h = opt_.overlap_transfers ? dev_.createStream() : compute;
+
+    size_t depth = model.totalStages();
+    size_t cycles = batch + depth - 1;
+    double per_stage_lanes = cores / static_cast<double>(depth);
+    double first_end = 0.0;
+    OpId prev_load = gpusim::kNoOp;
+    uint64_t traffic_per_cycle =
+        static_cast<uint64_t>(model.totalCycles() / 40.0); // approx bytes
+    if (!opt_.dynamic_loading) {
+        // Preloading ablation: one bulk transfer before the pipeline.
+        prev_load = dev_.copyH2D(h2d, model.h2d_bytes * batch);
+    }
+    for (size_t c = 0; c < cycles; ++c) {
+        OpId load = gpusim::kNoOp;
+        if (opt_.dynamic_loading && c < batch)
+            load = dev_.copyH2D(h2d, model.h2d_bytes);
+
+        // Ramp: lanes of stages holding live tasks.
+        size_t live = std::min({c + 1, depth, batch, cycles - c});
+        double active = per_stage_lanes * static_cast<double>(live);
+        KernelDesc k;
+        k.name = "system_cycle";
+        k.lanes = cores;
+        k.profile.push_back({cycle_cycles, active});
+        k.mem_bytes = traffic_per_cycle;
+        OpId op = dev_.launchKernel(compute, k, prev_load);
+        prev_load = load;
+
+        if (c + 1 >= depth)
+            dev_.copyD2H(d2h, model.d2h_bytes, op);
+        if (c == depth - 1)
+            first_end = dev_.opEnd(op);
+    }
+
+    result.stats.batch = batch;
+    result.stats.total_ms = dev_.now();
+    result.stats.first_latency_ms = first_end;
+    result.stats.item_latency_ms = static_cast<double>(depth) * cycle_ms;
+    result.stats.throughput_per_ms = batch / result.stats.total_ms;
+    result.stats.peak_device_bytes = dev_.peakMemory();
+    result.stats.busy_lane_ms = dev_.busyLaneMs();
+    result.stats.utilization =
+        result.stats.busy_lane_ms /
+        (result.stats.total_ms * dev_.spec().cuda_cores);
+
+    double per_ms = dev_.spec().cyclesPerMs() * cores;
+    result.encoder_ms = model.encoder_cycles / per_ms;
+    result.merkle_ms = model.merkle_cycles / per_ms;
+    result.sumcheck_ms = model.sumcheck_cycles / per_ms;
+    result.comm_ms_per_cycle = dev_.copyDurationMs(model.h2d_bytes) +
+                               dev_.copyDurationMs(model.d2h_bytes);
+    result.comp_ms_per_cycle = cycle_ms;
+    result.cycle_ms = std::max(result.comp_ms_per_cycle,
+                               dev_.copyDurationMs(model.h2d_bytes));
+    result.h2d_bytes_per_cycle = model.h2d_bytes;
+
+    dev_.free(device_mem);
+    return result;
+}
+
+SystemRunResult
+SameModulesCpuBaseline::run(size_t batch, unsigned n_vars, Rng &rng)
+{
+    SystemRunResult result;
+    unsigned nm = std::min(n_vars, cap_vars_);
+    double scale = std::pow(2.0, static_cast<double>(n_vars) -
+                                     static_cast<double>(nm));
+
+    auto tables = randomInstance(nm, rng);
+    size_t k, m;
+    pcsShape(nm, k, m);
+
+    // Encoder phase, measured: 3k real row encodings.
+    SpielmanCode<Fr> code(m, opt_.seed);
+    std::vector<std::vector<Fr>> encoded;
+    encoded.reserve(3 * k);
+    Timer enc_timer;
+    for (const std::vector<Fr> *table : {&tables.a, &tables.b, &tables.c}) {
+        for (size_t row = 0; row < k; ++row) {
+            std::span<const Fr> msg(table->data() + row * m, m);
+            encoded.push_back(code.encode(msg));
+        }
+    }
+    double enc_ms = enc_timer.milliseconds();
+
+    // Merkle phase, measured: column hashing + trees for the 3 tables.
+    Timer merkle_timer;
+    std::vector<uint8_t> buf(k * Fr::kNumBytes);
+    for (size_t t = 0; t < 3; ++t) {
+        std::vector<Digest> leaves(2 * m);
+        for (size_t col = 0; col < 2 * m; ++col) {
+            for (size_t row = 0; row < k; ++row)
+                encoded[t * k + row][col].toBytes(buf.data() +
+                                                  row * Fr::kNumBytes);
+            leaves[col] = Sha256::digest(buf);
+        }
+        MerkleTree::buildFromLeaves(std::move(leaves));
+    }
+    double merkle_ms = merkle_timer.milliseconds();
+
+    // Full prover, measured; sum-check time = total - enc - merkle.
+    Snark<Fr> snark(nm, opt_.seed, opt_.column_openings);
+    Timer total_timer;
+    auto proof = snark.prove(tables, {});
+    double total_ms = total_timer.milliseconds();
+    result.verified = snark.verify(proof, {});
+    result.proofs.push_back(std::move(proof));
+
+    double sc_ms = std::max(0.0, total_ms - enc_ms - merkle_ms);
+
+    result.encoder_ms = enc_ms * scale;
+    result.merkle_ms = merkle_ms * scale;
+    result.sumcheck_ms = sc_ms * scale;
+    result.stats.batch = batch;
+    result.stats.total_ms = total_ms * scale * static_cast<double>(batch);
+    result.stats.first_latency_ms = total_ms * scale;
+    result.stats.item_latency_ms = total_ms * scale;
+    result.stats.throughput_per_ms = 1.0 / (total_ms * scale);
+    return result;
+}
+
+} // namespace bzk

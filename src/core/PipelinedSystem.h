@@ -1,0 +1,155 @@
+#ifndef BZK_CORE_PIPELINEDSYSTEM_H_
+#define BZK_CORE_PIPELINEDSYSTEM_H_
+
+/**
+ * @file
+ * The fully pipelined ZKP system of the paper's Section 4 (Figure 7),
+ * plus the Orion&Arkworks-style CPU baseline it is compared against in
+ * Table 7.
+ *
+ * One proof task enters the pipeline per cycle. Inside a cycle the three
+ * module groups (linear-time encoders, Merkle trees, sum-check) all run
+ * concurrently on statically partitioned lanes — partitioned
+ * proportionally to each module's amortized cost, the paper's
+ * "35 : 12 : 113"-style allocation — while the next task's inputs stream
+ * from host memory and finished intermediate layers stream back
+ * (dynamic loading, multi-stream overlap).
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/Circuit.h"
+#include "core/Snark.h"
+#include "ff/Fields.h"
+#include "gpusim/BatchStats.h"
+#include "gpusim/Device.h"
+#include "util/Rng.h"
+
+namespace bzk {
+
+/** Configuration of the batch system. */
+struct SystemOptions
+{
+    /** Number of proofs to generate functionally (and verify). */
+    size_t functional = 1;
+    /** Skip functional proving above this table log-size. */
+    unsigned max_functional_vars = 14;
+    /** PCS spot-check count. */
+    size_t column_openings = 8;
+    /** Public encoder seed. */
+    uint64_t seed = 2024;
+    /**
+     * Ablation: overlap host transfers with compute via multi-stream
+     * (the paper's technique). When false, each cycle's input transfer
+     * serializes with its computation.
+     */
+    bool overlap_transfers = true;
+    /**
+     * Ablation: dynamic loading (one task's data resident per pipeline
+     * region). When false, the whole batch's inputs are staged on the
+     * device up front, as the intuitive designs do.
+     */
+    bool dynamic_loading = true;
+};
+
+/** Result of a batch system run. */
+struct SystemRunResult
+{
+    gpusim::BatchStats stats;
+    /** Amortized per-proof module times, ms (Table 7 columns). */
+    double encoder_ms = 0.0;
+    double merkle_ms = 0.0;
+    double sumcheck_ms = 0.0;
+    /** Per-cycle communication / computation, ms (Table 9). */
+    double comm_ms_per_cycle = 0.0;
+    double comp_ms_per_cycle = 0.0;
+    double cycle_ms = 0.0;
+    /** Host->device bytes streamed per cycle (Table 9's "Comm. Size"). */
+    uint64_t h2d_bytes_per_cycle = 0;
+    /** Lane split across the three module groups (Sec. 4 example). */
+    double lanes_encoder = 0.0;
+    double lanes_merkle = 0.0;
+    double lanes_sumcheck = 0.0;
+    /** Functional proofs produced (if any). */
+    std::vector<SnarkProof<Fr>> proofs;
+    /** All functional proofs passed verification. */
+    bool verified = true;
+};
+
+/** Per-proof module work in lane-cycles (the system's cost inventory). */
+struct SystemWorkModel
+{
+    double encoder_cycles = 0.0;
+    double merkle_cycles = 0.0;
+    double sumcheck_cycles = 0.0;
+    size_t encoder_stages = 0;
+    size_t merkle_stages = 0;
+    size_t sumcheck_stages = 0;
+    uint64_t h2d_bytes = 0;
+    uint64_t d2h_bytes = 0;
+    uint64_t device_bytes = 0;
+
+    double
+    totalCycles() const
+    {
+        return encoder_cycles + merkle_cycles + sumcheck_cycles;
+    }
+
+    size_t
+    totalStages() const
+    {
+        return encoder_stages + merkle_stages + sumcheck_stages;
+    }
+};
+
+/** Derive the per-proof work model for tables of 2^n_vars rows. */
+SystemWorkModel systemWorkModel(unsigned n_vars, uint64_t seed);
+
+/** The paper's system: batch proof generation on the simulated GPU. */
+class PipelinedZkpSystem
+{
+  public:
+    PipelinedZkpSystem(gpusim::Device &dev, SystemOptions opt = {});
+
+    /**
+     * Generate proofs for @p batch instances of a random circuit whose
+     * constraint tables have 2^n_vars rows.
+     */
+    SystemRunResult run(size_t batch, unsigned n_vars, Rng &rng);
+
+  private:
+    gpusim::Device &dev_;
+    SystemOptions opt_;
+};
+
+/**
+ * CPU baseline with the same computational modules (Orion's encoder and
+ * Merkle trees + Arkworks' sum-check): the real prover measured on the
+ * host, with per-module timing breakdowns. Large sizes are sampled at
+ * @p measure_cap_vars and extrapolated linearly (documented in
+ * DESIGN.md).
+ */
+class SameModulesCpuBaseline
+{
+  public:
+    explicit SameModulesCpuBaseline(SystemOptions opt = {},
+                                    unsigned measure_cap_vars = 16)
+        : opt_(opt), cap_vars_(measure_cap_vars)
+    {
+    }
+
+    /** @copydoc PipelinedZkpSystem::run */
+    SystemRunResult run(size_t batch, unsigned n_vars, Rng &rng);
+
+  private:
+    SystemOptions opt_;
+    unsigned cap_vars_;
+};
+
+/** Build a random satisfied instance sized for 2^n_vars rows. */
+ConstraintTables<Fr> randomInstance(unsigned n_vars, Rng &rng);
+
+} // namespace bzk
+
+#endif // BZK_CORE_PIPELINEDSYSTEM_H_

@@ -1,0 +1,91 @@
+#include "core/StreamingService.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "gpusim/Calibration.h"
+#include "util/Log.h"
+
+namespace bzk {
+
+StreamingResult
+StreamingZkpService::run(const StreamingOptions &workload, Rng &rng) const
+{
+    if (workload.arrival_rate_per_ms <= 0 || workload.num_requests == 0)
+        fatal("StreamingZkpService: empty workload");
+
+    // Steady-state admission interval from the same work model the
+    // batch system uses: one task enters per cycle, bounded by the
+    // slower of compute and (overlapped) transfer.
+    SystemWorkModel model =
+        systemWorkModel(workload.n_vars, workload.seed);
+    double cores = dev_.spec().cuda_cores;
+    double comp_ms = model.totalCycles() / (cores * dev_.spec().cyclesPerMs()) +
+                     gpusim::kKernelLaunchMs;
+    double comm_ms = dev_.copyDurationMs(model.h2d_bytes);
+    double cycle_ms = system_opt_.overlap_transfers
+                          ? std::max(comp_ms, comm_ms)
+                          : comp_ms + comm_ms;
+    size_t depth = model.totalStages();
+
+    StreamingResult result;
+    result.cycle_ms = cycle_ms;
+    result.depth = depth;
+    result.offered_load = workload.arrival_rate_per_ms * cycle_ms;
+
+    // Poisson arrivals.
+    std::vector<double> arrivals(workload.num_requests);
+    double t = 0.0;
+    for (auto &a : arrivals) {
+        // Exponential inter-arrival via inverse CDF.
+        double u = rng.nextDouble();
+        t += -std::log(1.0 - u) / workload.arrival_rate_per_ms;
+        a = t;
+    }
+
+    // Admission: one request per cycle boundary, FIFO.
+    std::vector<double> sojourns;
+    sojourns.reserve(workload.num_requests);
+    std::deque<double> queue;
+    size_t next_arrival = 0;
+    double queue_area = 0.0;
+    double now = 0.0;
+    double last_completion = 0.0;
+    while (sojourns.size() < workload.num_requests) {
+        double next_cycle = now + cycle_ms;
+        while (next_arrival < arrivals.size() &&
+               arrivals[next_arrival] <= next_cycle) {
+            queue.push_back(arrivals[next_arrival]);
+            ++next_arrival;
+        }
+        queue_area += static_cast<double>(queue.size()) * cycle_ms;
+        now = next_cycle;
+        if (!queue.empty()) {
+            double arrival = queue.front();
+            queue.pop_front();
+            // Admitted this cycle; completes after the pipeline depth.
+            double completion =
+                now + static_cast<double>(depth) * cycle_ms;
+            sojourns.push_back(completion - arrival);
+            last_completion = std::max(last_completion, completion);
+        }
+    }
+
+    std::sort(sojourns.begin(), sojourns.end());
+    auto pct = [&](double p) {
+        size_t idx = static_cast<size_t>(p * (sojourns.size() - 1));
+        return sojourns[idx];
+    };
+    result.p50_ms = pct(0.50);
+    result.p90_ms = pct(0.90);
+    result.p99_ms = pct(0.99);
+    result.max_ms = sojourns.back();
+    result.mean_queue = queue_area / now;
+    result.throughput_per_ms =
+        static_cast<double>(sojourns.size()) / last_completion;
+    return result;
+}
+
+} // namespace bzk

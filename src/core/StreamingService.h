@@ -1,0 +1,82 @@
+#ifndef BZK_CORE_STREAMINGSERVICE_H_
+#define BZK_CORE_STREAMINGSERVICE_H_
+
+/**
+ * @file
+ * Open-loop streaming service model: the paper motivates batch
+ * throughput with providers whose "customer inputs come in like a
+ * flowing stream" (Sec. 1, Sec. 5). This module closes the loop from
+ * the pipeline's cycle rate to request-level latency: Poisson arrivals
+ * queue for admission (one task enters the pipeline per cycle) and each
+ * admitted task completes after the pipeline depth.
+ *
+ * It exposes the queueing quantities a service operator cares about —
+ * sojourn percentiles, queue length, saturation — which the paper's
+ * tables imply but do not report.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/PipelinedSystem.h"
+#include "gpusim/Device.h"
+#include "util/Rng.h"
+
+namespace bzk {
+
+/** Workload description for a streaming run. */
+struct StreamingOptions
+{
+    /** Mean request arrival rate (requests per millisecond). */
+    double arrival_rate_per_ms = 1.0;
+    /** Requests to simulate. */
+    size_t num_requests = 10000;
+    /** Circuit-size class (constraint-table log-size). */
+    unsigned n_vars = 18;
+    /** Public encoder seed. */
+    uint64_t seed = 2024;
+};
+
+/** Request-level results of a streaming run. */
+struct StreamingResult
+{
+    /** Pipeline admission interval, ms. */
+    double cycle_ms = 0.0;
+    /** Pipeline depth in cycles. */
+    size_t depth = 0;
+    /** Offered load as a fraction of pipeline capacity. */
+    double offered_load = 0.0;
+    /** Sojourn time (arrival to proof completion) percentiles, ms. */
+    double p50_ms = 0.0;
+    double p90_ms = 0.0;
+    double p99_ms = 0.0;
+    double max_ms = 0.0;
+    /** Time-averaged queue length at admission. */
+    double mean_queue = 0.0;
+    /** Completed requests per ms over the run. */
+    double throughput_per_ms = 0.0;
+};
+
+/** Streaming front-end over the pipelined ZKP system. */
+class StreamingZkpService
+{
+  public:
+    StreamingZkpService(gpusim::Device &dev, SystemOptions system_opt = {})
+        : dev_(dev), system_opt_(system_opt)
+    {
+    }
+
+    /**
+     * Simulate @p workload against the pipeline's steady-state cycle.
+     * Deterministic given @p rng's seed.
+     */
+    StreamingResult run(const StreamingOptions &workload, Rng &rng) const;
+
+  private:
+    gpusim::Device &dev_;
+    SystemOptions system_opt_;
+};
+
+} // namespace bzk
+
+#endif // BZK_CORE_STREAMINGSERVICE_H_

@@ -1,0 +1,159 @@
+#include "curve/Bn254.h"
+
+namespace bzk {
+
+G1Point
+G1Point::fromAffine(const G1Affine &p)
+{
+    if (p.infinity)
+        return G1Point();
+    return G1Point(p.x, p.y, Fq::one());
+}
+
+G1Point
+G1Point::generator()
+{
+    return G1Point(Fq::fromUint(1), Fq::fromUint(2), Fq::one());
+}
+
+G1Point
+G1Point::random(Rng &rng)
+{
+    return generator().mul(Fr::random(rng));
+}
+
+G1Point
+G1Point::dbl() const
+{
+    if (isInfinity())
+        return *this;
+    // dbl-2009-l (a = 0).
+    Fq a = x_.square();
+    Fq b = y_.square();
+    Fq c = b.square();
+    Fq d = ((x_ + b).square() - a - c).dbl();
+    Fq e = a + a + a;
+    Fq f = e.square();
+    Fq x3 = f - d.dbl();
+    Fq y3 = e * (d - x3) - c.dbl().dbl().dbl();
+    Fq z3 = (y_ * z_).dbl();
+    return G1Point(x3, y3, z3);
+}
+
+G1Point
+G1Point::add(const G1Point &other) const
+{
+    if (isInfinity())
+        return other;
+    if (other.isInfinity())
+        return *this;
+    // add-2007-bl.
+    Fq z1z1 = z_.square();
+    Fq z2z2 = other.z_.square();
+    Fq u1 = x_ * z2z2;
+    Fq u2 = other.x_ * z1z1;
+    Fq s1 = y_ * other.z_ * z2z2;
+    Fq s2 = other.y_ * z_ * z1z1;
+    if (u1 == u2) {
+        if (s1 == s2)
+            return dbl();
+        return G1Point(); // P + (-P)
+    }
+    Fq h = u2 - u1;
+    Fq i = h.dbl().square();
+    Fq j = h * i;
+    Fq r = (s2 - s1).dbl();
+    Fq v = u1 * i;
+    Fq x3 = r.square() - j - v.dbl();
+    Fq y3 = r * (v - x3) - (s1 * j).dbl();
+    Fq z3 = ((z_ + other.z_).square() - z1z1 - z2z2) * h;
+    return G1Point(x3, y3, z3);
+}
+
+G1Point
+G1Point::addMixed(const G1Affine &other) const
+{
+    if (other.infinity)
+        return *this;
+    if (isInfinity())
+        return fromAffine(other);
+    // madd-2007-bl (Z2 = 1).
+    Fq z1z1 = z_.square();
+    Fq u2 = other.x * z1z1;
+    Fq s2 = other.y * z_ * z1z1;
+    if (x_ == u2) {
+        if (y_ == s2)
+            return dbl();
+        return G1Point();
+    }
+    Fq h = u2 - x_;
+    Fq hh = h.square();
+    Fq i = hh.dbl().dbl();
+    Fq j = h * i;
+    Fq r = (s2 - y_).dbl();
+    Fq v = x_ * i;
+    Fq x3 = r.square() - j - v.dbl();
+    Fq y3 = r * (v - x3) - (y_ * j).dbl();
+    Fq z3 = (z_ + h).square() - z1z1 - hh;
+    return G1Point(x3, y3, z3);
+}
+
+G1Point
+G1Point::neg() const
+{
+    if (isInfinity())
+        return *this;
+    return G1Point(x_, -y_, z_);
+}
+
+G1Point
+G1Point::mul(const Fr &scalar) const
+{
+    U256 e = scalar.toU256();
+    G1Point acc;
+    unsigned bits = e.bitLength();
+    for (int i = static_cast<int>(bits) - 1; i >= 0; --i) {
+        acc = acc.dbl();
+        if (e.bit(static_cast<unsigned>(i)))
+            acc = acc.add(*this);
+    }
+    return acc;
+}
+
+G1Affine
+G1Point::toAffine() const
+{
+    G1Affine out;
+    if (isInfinity())
+        return out;
+    Fq z_inv = z_.inverse();
+    Fq z_inv2 = z_inv.square();
+    out.x = x_ * z_inv2;
+    out.y = y_ * z_inv2 * z_inv;
+    out.infinity = false;
+    return out;
+}
+
+bool
+G1Point::isOnCurve() const
+{
+    if (isInfinity())
+        return true;
+    G1Affine p = toAffine();
+    return p.y.square() == p.x.square() * p.x + Fq::fromUint(3);
+}
+
+bool
+G1Point::operator==(const G1Point &other) const
+{
+    if (isInfinity() || other.isInfinity())
+        return isInfinity() == other.isInfinity();
+    // Cross-multiply to compare without inversions.
+    Fq z1z1 = z_.square();
+    Fq z2z2 = other.z_.square();
+    if (x_ * z2z2 != other.x_ * z1z1)
+        return false;
+    return y_ * other.z_ * z2z2 == other.y_ * z_ * z1z1;
+}
+
+} // namespace bzk

@@ -1,0 +1,91 @@
+#ifndef BZK_CURVE_BN254_H_
+#define BZK_CURVE_BN254_H_
+
+/**
+ * @file
+ * BN254 (alt_bn128) G1 arithmetic.
+ *
+ * This is a *baseline substrate*: the Groth16-style provers that
+ * Libsnark/Bellperson implement spend their time in multi-scalar
+ * multiplications over this group. BatchZK's protocols avoid it
+ * entirely; we build it to reproduce the paper's Table 7/8 comparisons.
+ *
+ * Curve: y^2 = x^3 + 3 over Fq, group order = Fr's modulus.
+ * Points use Jacobian coordinates (X, Y, Z) with infinity at Z = 0.
+ */
+
+#include "ff/Fields.h"
+#include "util/Rng.h"
+
+namespace bzk {
+
+/** Affine G1 point; infinity flagged explicitly. */
+struct G1Affine
+{
+    Fq x;
+    Fq y;
+    bool infinity = true;
+
+    bool
+    operator==(const G1Affine &o) const
+    {
+        if (infinity || o.infinity)
+            return infinity == o.infinity;
+        return x == o.x && y == o.y;
+    }
+};
+
+/** Jacobian G1 point. */
+class G1Point
+{
+  public:
+    /** The point at infinity. */
+    constexpr G1Point() = default;
+
+    /** Lift an affine point. */
+    static G1Point fromAffine(const G1Affine &p);
+
+    /** The standard generator (1, 2). */
+    static G1Point generator();
+
+    /** generator * scalar for a uniformly random scalar. */
+    static G1Point random(Rng &rng);
+
+    /** True iff this is the point at infinity. */
+    bool isInfinity() const { return z_.isZero(); }
+
+    /** Group double. */
+    G1Point dbl() const;
+
+    /** Group add (handles doubling and infinity cases). */
+    G1Point add(const G1Point &other) const;
+
+    /** Mixed add with an affine point (faster inner loop for MSM). */
+    G1Point addMixed(const G1Affine &other) const;
+
+    /** Negation. */
+    G1Point neg() const;
+
+    /** Double-and-add scalar multiplication by a field scalar. */
+    G1Point mul(const Fr &scalar) const;
+
+    /** Normalize to affine (one field inversion). */
+    G1Affine toAffine() const;
+
+    /** Affine curve-equation check (true for infinity). */
+    bool isOnCurve() const;
+
+    /** Equality as group elements (cross-multiplied, no inversion). */
+    bool operator==(const G1Point &other) const;
+
+  private:
+    G1Point(const Fq &x, const Fq &y, const Fq &z) : x_(x), y_(y), z_(z) {}
+
+    Fq x_ = Fq::zero();
+    Fq y_ = Fq::one();
+    Fq z_ = Fq::zero();
+};
+
+} // namespace bzk
+
+#endif // BZK_CURVE_BN254_H_

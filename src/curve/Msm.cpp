@@ -1,0 +1,96 @@
+#include "curve/Msm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/Log.h"
+
+namespace bzk {
+
+G1Point
+msmNaive(std::span<const G1Affine> points, std::span<const Fr> scalars)
+{
+    if (points.size() != scalars.size())
+        panic("msmNaive: %zu points vs %zu scalars", points.size(),
+              scalars.size());
+    G1Point acc;
+    for (size_t i = 0; i < points.size(); ++i)
+        acc = acc.add(G1Point::fromAffine(points[i]).mul(scalars[i]));
+    return acc;
+}
+
+G1Point
+msmPippenger(std::span<const G1Affine> points, std::span<const Fr> scalars,
+             unsigned window_bits)
+{
+    if (points.size() != scalars.size())
+        panic("msmPippenger: %zu points vs %zu scalars", points.size(),
+              scalars.size());
+    if (points.empty())
+        return G1Point();
+    if (window_bits == 0) {
+        // Classic heuristic: c ~ ln(n).
+        window_bits = std::max(
+            2u, static_cast<unsigned>(std::log2(
+                    static_cast<double>(points.size()) + 1.0) /
+                    1.3));
+        window_bits = std::min(window_bits, 16u);
+    }
+
+    // Standard-form scalars for windowed digit extraction.
+    std::vector<U256> es(scalars.size());
+    for (size_t i = 0; i < scalars.size(); ++i)
+        es[i] = scalars[i].toU256();
+
+    const unsigned total_bits = 254;
+    const unsigned windows =
+        (total_bits + window_bits - 1) / window_bits;
+    const size_t n_buckets = (size_t{1} << window_bits) - 1;
+
+    G1Point result;
+    for (int w = static_cast<int>(windows) - 1; w >= 0; --w) {
+        for (unsigned s = 0; s < window_bits; ++s)
+            result = result.dbl();
+
+        std::vector<G1Point> buckets(n_buckets);
+        unsigned shift = static_cast<unsigned>(w) * window_bits;
+        for (size_t i = 0; i < points.size(); ++i) {
+            uint64_t digit = 0;
+            for (unsigned b = 0; b < window_bits; ++b) {
+                unsigned bit = shift + b;
+                if (bit < 256)
+                    digit |= static_cast<uint64_t>(es[i].bit(bit)) << b;
+            }
+            if (digit != 0)
+                buckets[digit - 1] = buckets[digit - 1].addMixed(points[i]);
+        }
+
+        // Suffix-sum trick: sum_j j * bucket_j with 2*n_buckets adds.
+        G1Point running;
+        G1Point window_sum;
+        for (size_t j = n_buckets; j-- > 0;) {
+            running = running.add(buckets[j]);
+            window_sum = window_sum.add(running);
+        }
+        result = result.add(window_sum);
+    }
+    return result;
+}
+
+std::vector<G1Affine>
+randomPoints(size_t n, Rng &rng)
+{
+    std::vector<G1Affine> out;
+    out.reserve(n);
+    // Derive points by walking multiples of the generator with random
+    // strides — cheap and guarantees on-curve points.
+    G1Point cur = G1Point::random(rng);
+    G1Point stride = G1Point::random(rng);
+    for (size_t i = 0; i < n; ++i) {
+        out.push_back(cur.toAffine());
+        cur = cur.add(stride);
+    }
+    return out;
+}
+
+} // namespace bzk

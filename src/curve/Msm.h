@@ -1,0 +1,35 @@
+#ifndef BZK_CURVE_MSM_H_
+#define BZK_CURVE_MSM_H_
+
+/**
+ * @file
+ * Multi-scalar multiplication over BN254 G1 — the dominant cost of the
+ * Groth16-family provers the paper compares against (Table 7's MSM
+ * column).
+ */
+
+#include <span>
+#include <vector>
+
+#include "curve/Bn254.h"
+
+namespace bzk {
+
+/** Naive sum of scalar multiplications — reference for testing. */
+G1Point msmNaive(std::span<const G1Affine> points,
+                 std::span<const Fr> scalars);
+
+/**
+ * Pippenger bucket MSM.
+ * @param window_bits bucket window width; 0 picks a size-derived value.
+ */
+G1Point msmPippenger(std::span<const G1Affine> points,
+                     std::span<const Fr> scalars,
+                     unsigned window_bits = 0);
+
+/** Generate @p n pseudo-random affine points (and their generator). */
+std::vector<G1Affine> randomPoints(size_t n, Rng &rng);
+
+} // namespace bzk
+
+#endif // BZK_CURVE_MSM_H_

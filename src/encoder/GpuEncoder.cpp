@@ -1,0 +1,355 @@
+#include "encoder/GpuEncoder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "encoder/SpielmanCode.h"
+#include "gpusim/Calibration.h"
+#include "util/Timer.h"
+
+namespace bzk {
+
+using gpusim::BatchStats;
+using gpusim::KernelDesc;
+using gpusim::OpId;
+using gpusim::StreamId;
+
+namespace {
+
+/**
+ * Lane-cycles to process one sparse-row non-zero: the MAC itself plus
+ * the random-gather stall (sparse column indices defeat coalescing, so
+ * the fetch costs a near-full DRAM transaction — see Calibration.h).
+ */
+double
+nnzCycles()
+{
+    return gpusim::kFieldMulCycles + gpusim::kFieldAddCycles +
+           gpusim::kGatherStallCycles;
+}
+
+/**
+ * Warp-schedule cost of a degree sequence: each warp of 32 rows costs
+ * 32 * (longest row in the warp), because SIMD lanes wait for the
+ * straggler (Sec. 3.3).
+ */
+double
+warpScheduleCost(std::span<const uint8_t> degrees, bool sorted)
+{
+    std::vector<uint8_t> order(degrees.begin(), degrees.end());
+    if (sorted) {
+        // Bucket sort on the 1-byte lengths — the paper's choice.
+        size_t buckets[256] = {0};
+        for (uint8_t d : order)
+            ++buckets[d];
+        size_t pos = 0;
+        for (size_t d = 0; d < 256; ++d)
+            for (size_t c = 0; c < buckets[d]; ++c)
+                order[pos++] = static_cast<uint8_t>(d);
+    }
+    double total = 0.0;
+    for (size_t g = 0; g < order.size(); g += gpusim::kWarpSize) {
+        uint8_t max_deg = 0;
+        size_t end = std::min(order.size(), g + gpusim::kWarpSize);
+        for (size_t i = g; i < end; ++i)
+            max_deg = std::max(max_deg, order[i]);
+        total += static_cast<double>(gpusim::kWarpSize) * max_deg;
+    }
+    return total;
+}
+
+std::vector<std::vector<Fr>>
+encodeFunctional(size_t count, size_t k, Rng &rng)
+{
+    std::vector<std::vector<Fr>> out;
+    if (count == 0)
+        return out;
+    SpielmanCode<Fr> code(k, /*seed=*/0xbadc0de5 + k);
+    for (size_t i = 0; i < count; ++i) {
+        std::vector<Fr> message(k);
+        for (auto &m : message)
+            m = Fr::random(rng);
+        out.push_back(code.encode(message));
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<EncoderStageCost>
+encoderStageCosts(const EncoderTopology &topo)
+{
+    std::vector<EncoderStageCost> stages;
+    const double per_nnz = nnzCycles();
+
+    // Forward pass: one stage per A matrix.
+    for (const auto &level : topo.levels()) {
+        EncoderStageCost s;
+        s.rows = level.a_degrees.size();
+        s.lane_cycles_unsorted =
+            warpScheduleCost(level.a_degrees, false) * per_nnz;
+        s.lane_cycles_sorted =
+            warpScheduleCost(level.a_degrees, true) * per_nnz;
+        uint64_t nnz = 0;
+        for (uint8_t d : level.a_degrees)
+            nnz += d;
+        s.mem_bytes = nnz * 40 + s.rows * 32; // gathers + row writes
+        stages.push_back(s);
+    }
+
+    // Dense base case: all rows have the same length, so sorting is a
+    // no-op there.
+    {
+        EncoderStageCost s;
+        s.rows = topo.baseSize();
+        double cost = static_cast<double>(topo.baseSize()) *
+                      static_cast<double>(topo.baseSize()) * per_nnz;
+        s.lane_cycles_unsorted = cost;
+        s.lane_cycles_sorted = cost;
+        s.mem_bytes = static_cast<uint64_t>(topo.baseSize()) *
+                      topo.baseSize() * 40;
+        stages.push_back(s);
+    }
+
+    // Reverse pass: one stage per B matrix, smallest level first.
+    for (size_t l = topo.levels().size(); l-- > 0;) {
+        const auto &level = topo.levels()[l];
+        EncoderStageCost s;
+        s.rows = level.b_degrees.size();
+        s.lane_cycles_unsorted =
+            warpScheduleCost(level.b_degrees, false) * per_nnz;
+        s.lane_cycles_sorted =
+            warpScheduleCost(level.b_degrees, true) * per_nnz;
+        uint64_t nnz = 0;
+        for (uint8_t d : level.b_degrees)
+            nnz += d;
+        s.mem_bytes = nnz * 40 + s.rows * 32;
+        stages.push_back(s);
+    }
+    return stages;
+}
+
+NonPipelinedEncoderGpu::NonPipelinedEncoderGpu(gpusim::Device &dev,
+                                               GpuEncoderOptions opt)
+    : dev_(dev), opt_(opt)
+{
+}
+
+BatchStats
+NonPipelinedEncoderGpu::run(size_t batch, size_t k, Rng &rng,
+                            std::vector<std::vector<Fr>> *codewords)
+{
+    size_t functional =
+        k <= opt_.max_functional_k ? std::min(batch, opt_.functional) : 0;
+    auto codes = encodeFunctional(functional, k, rng);
+    if (codewords)
+        *codewords = std::move(codes);
+
+    EncoderTopology topo(k, 0xbadc0de5 + k);
+    auto stages = encoderStageCosts(topo);
+
+    dev_.resetTimeline();
+    dev_.resetMemoryPeak();
+
+    double cores = opt_.lane_budget > 0
+                       ? std::min<double>(opt_.lane_budget,
+                                          dev_.spec().cuda_cores)
+                       : dev_.spec().cuda_cores;
+
+    // Non-pipelined: all message/codeword buffers staged at once, plus
+    // the matrices.
+    int64_t buffers = dev_.alloc(batch * 3 * k * Fr::kNumBytes);
+    int64_t matrices = dev_.alloc(topo.totalNnz() * 8);
+
+    StreamId stream = dev_.createStream();
+
+    double sync_cycles = gpusim::kHostSyncMs * dev_.spec().cyclesPerMs();
+    double first_end = 0.0;
+    for (size_t c = 0; c < batch; ++c) {
+        // Non-overlapped input transfer (no multi-stream here).
+        if (opt_.stream_io)
+            dev_.copyH2D(stream, k * Fr::kNumBytes);
+        KernelDesc kd;
+        kd.name = "encoder_code";
+        kd.lanes = cores;
+        uint64_t traffic = 0;
+        for (const auto &s : stages) {
+            double lanes =
+                std::min(cores, static_cast<double>(
+                                    std::max<size_t>(s.rows, 1)));
+            // Unsorted warps (stragglers stretch every wave) plus the
+            // recursion emulated with per-stage host round-trips.
+            double waves_cost = s.lane_cycles_unsorted *
+                                gpusim::kNpEncoderInefficiency / lanes;
+            kd.profile.push_back({waves_cost + sync_cycles,
+                                  std::min(lanes, cores)});
+            traffic += s.mem_bytes;
+        }
+        kd.mem_bytes = traffic;
+        OpId op = dev_.launchKernel(stream, kd);
+        if (opt_.stream_io)
+            dev_.copyD2H(stream, 2 * k * Fr::kNumBytes, op);
+        if (c == 0)
+            first_end = dev_.opEnd(op);
+    }
+
+    BatchStats stats;
+    stats.batch = batch;
+    stats.total_ms = dev_.now();
+    stats.first_latency_ms = first_end;
+    stats.item_latency_ms = first_end;
+    stats.throughput_per_ms = batch / stats.total_ms;
+    stats.peak_device_bytes = dev_.peakMemory();
+    stats.busy_lane_ms = dev_.busyLaneMs();
+    stats.utilization =
+        stats.busy_lane_ms / (stats.total_ms * dev_.spec().cuda_cores);
+
+    dev_.free(buffers);
+    dev_.free(matrices);
+    return stats;
+}
+
+PipelinedEncoderGpu::PipelinedEncoderGpu(gpusim::Device &dev,
+                                         GpuEncoderOptions opt)
+    : dev_(dev), opt_(opt)
+{
+}
+
+BatchStats
+PipelinedEncoderGpu::run(size_t batch, size_t k, Rng &rng,
+                         std::vector<std::vector<Fr>> *codewords)
+{
+    size_t functional =
+        k <= opt_.max_functional_k ? std::min(batch, opt_.functional) : 0;
+    auto codes = encodeFunctional(functional, k, rng);
+    if (codewords)
+        *codewords = std::move(codes);
+
+    EncoderTopology topo(k, 0xbadc0de5 + k);
+    auto stages = encoderStageCosts(topo);
+    size_t n_stages = stages.size();
+
+    dev_.resetTimeline();
+    dev_.resetMemoryPeak();
+
+    double lanes_total = opt_.lane_budget > 0
+                             ? std::min<double>(opt_.lane_budget,
+                                                dev_.spec().cuda_cores)
+                             : dev_.spec().cuda_cores;
+
+    // Stage lanes proportional to stage cost, so the pipeline cycle is
+    // balanced. The ablation flag switches the warp schedule between
+    // bucket-sorted and natural row order.
+    auto stage_cost = [this](const EncoderStageCost &s) {
+        return opt_.sort_rows ? s.lane_cycles_sorted
+                              : s.lane_cycles_unsorted;
+    };
+    double total_cost = 0.0;
+    for (const auto &s : stages)
+        total_cost += stage_cost(s);
+    std::vector<double> stage_lanes(n_stages);
+    for (size_t i = 0; i < n_stages; ++i) {
+        stage_lanes[i] = std::max(
+            1.0, lanes_total * stage_cost(stages[i]) / total_cost);
+    }
+    double cycle_cycles = 0.0;
+    for (size_t i = 0; i < n_stages; ++i) {
+        cycle_cycles = std::max(cycle_cycles,
+                                stage_cost(stages[i]) / stage_lanes[i]);
+    }
+    // One-time bucket sort of the row lengths, amortized over the batch
+    // (cheap: one byte per row).
+    if (opt_.sort_rows) {
+        double sort_cycles = 0.0;
+        for (const auto &s : stages)
+            sort_cycles += static_cast<double>(s.rows) * 4.0;
+        cycle_cycles +=
+            sort_cycles / static_cast<double>(std::max<size_t>(batch, 1));
+    }
+
+    // Live vectors across both pipelines (~4k elements) plus matrices.
+    int64_t buffers = dev_.alloc(4 * k * Fr::kNumBytes);
+    int64_t matrices = dev_.alloc(topo.totalNnz() * 8);
+
+    StreamId compute = dev_.createStream();
+    StreamId h2d = dev_.createStream();
+    StreamId d2h = dev_.createStream();
+
+    size_t cycles = batch + n_stages - 1;
+    double first_end = 0.0;
+    OpId prev_load = gpusim::kNoOp;
+    for (size_t c = 0; c < cycles; ++c) {
+        OpId load = gpusim::kNoOp;
+        if (opt_.stream_io && c < batch)
+            load = dev_.copyH2D(h2d, k * Fr::kNumBytes);
+
+        double active = 0.0;
+        uint64_t traffic = 0;
+        for (size_t i = 0; i < n_stages; ++i) {
+            if (c >= i && c - i < batch) {
+                active += stage_lanes[i];
+                traffic += stages[i].mem_bytes;
+            }
+        }
+        KernelDesc kd;
+        kd.name = "encoder_pipe_cycle";
+        kd.lanes = lanes_total;
+        kd.profile.push_back({cycle_cycles, active});
+        kd.mem_bytes = traffic;
+        OpId op = dev_.launchKernel(compute, kd, prev_load);
+        prev_load = load;
+
+        if (opt_.stream_io && c + 1 >= n_stages)
+            dev_.copyD2H(d2h, 2 * k * Fr::kNumBytes, op);
+        if (c == n_stages - 1)
+            first_end = dev_.opEnd(op);
+    }
+
+    BatchStats stats;
+    stats.batch = batch;
+    stats.total_ms = dev_.now();
+    stats.first_latency_ms = first_end;
+    stats.item_latency_ms = static_cast<double>(n_stages) * cycle_cycles /
+                            dev_.spec().cyclesPerMs();
+    stats.throughput_per_ms = batch / stats.total_ms;
+    stats.peak_device_bytes = dev_.peakMemory();
+    stats.busy_lane_ms = dev_.busyLaneMs();
+    stats.utilization =
+        stats.busy_lane_ms / (stats.total_ms * dev_.spec().cuda_cores);
+
+    dev_.free(buffers);
+    dev_.free(matrices);
+    return stats;
+}
+
+BatchStats
+CpuEncoderBaseline::run(size_t batch, size_t k, Rng &rng,
+                        std::vector<std::vector<Fr>> *codewords)
+{
+    size_t samples = std::max<size_t>(1, std::min(sample_codes_, batch));
+    SpielmanCode<Fr> code(k, 0xbadc0de5 + k);
+    std::vector<std::vector<Fr>> messages(samples);
+    for (auto &m : messages) {
+        m.resize(k);
+        for (auto &x : m)
+            x = Fr::random(rng);
+    }
+
+    Timer timer;
+    for (size_t i = 0; i < samples; ++i) {
+        auto cw = code.encode(messages[i]);
+        if (codewords)
+            codewords->push_back(std::move(cw));
+    }
+    double per_code = timer.milliseconds() / static_cast<double>(samples);
+
+    BatchStats stats;
+    stats.batch = batch;
+    stats.total_ms = per_code * static_cast<double>(batch);
+    stats.first_latency_ms = per_code;
+    stats.item_latency_ms = per_code;
+    stats.throughput_per_ms = 1.0 / per_code;
+    return stats;
+}
+
+} // namespace bzk

@@ -1,0 +1,126 @@
+#ifndef BZK_ENCODER_GPUENCODER_H_
+#define BZK_ENCODER_GPUENCODER_H_
+
+/**
+ * @file
+ * Batch linear-time encoders for the simulated GPU (Section 3.3).
+ *
+ * Table 5's three columns:
+ *  - CpuEncoderBaseline  : Orion-style host encoder, measured.
+ *  - NonPipelinedEncoderGpu ("Ours-np"): one kernel per codeword; the
+ *    2*depth+1 stages serialize inside it with a grid sync each, rows
+ *    are not length-sorted so warps straggle on their longest row.
+ *  - PipelinedEncoderGpu : the two interconnected pipelines of Figure 6
+ *    (forward Ax stages, then reverse Bz stages), one kernel per stage,
+ *    rows bucket-sorted by length so warps stay balanced.
+ *
+ * The warp-imbalance factors are not constants: they are computed from
+ * the actual degree sequences of the sampled expander graphs, grouping
+ * 32 rows per warp in natural order (unsorted) or after bucket sort.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "encoder/Topology.h"
+#include "ff/Fields.h"
+#include "gpusim/BatchStats.h"
+#include "gpusim/Device.h"
+#include "util/Rng.h"
+
+namespace bzk {
+
+/** Per-stage cost summary derived from a topology's degree sequences. */
+struct EncoderStageCost
+{
+    /** Rows (output entries) the stage computes. */
+    size_t rows = 0;
+    /** Lane-cycles with warps grouped in natural row order. */
+    double lane_cycles_unsorted = 0.0;
+    /** Lane-cycles with rows bucket-sorted by length first. */
+    double lane_cycles_sorted = 0.0;
+    /** Global-memory bytes the stage touches. */
+    uint64_t mem_bytes = 0;
+};
+
+/**
+ * Compute the stage sequence (forward A stages, dense base, reverse B
+ * stages) and the warp-schedule cost of each, from degree data alone.
+ */
+std::vector<EncoderStageCost> encoderStageCosts(const EncoderTopology &topo);
+
+/** Options shared by the GPU encoder drivers. */
+struct GpuEncoderOptions
+{
+    /** Lanes this module may use; 0 = whole device. */
+    double lane_budget = 0.0;
+    /** Stream messages in / codewords out through host memory. */
+    bool stream_io = false;
+    /** Number of codewords to encode functionally. */
+    size_t functional = 1;
+    /**
+     * Skip functional encoding above this message length (matrices for
+     * 2^22 would not fit host RAM here); timing still runs.
+     */
+    size_t max_functional_k = size_t{1} << 18;
+    /**
+     * Ablation: disable the bucket sort of row lengths in the
+     * pipelined encoder; warps then straggle on their longest row
+     * (Sec. 3.3).
+     */
+    bool sort_rows = true;
+};
+
+/** "Ours-np": the non-pipelined GPU encoder baseline of Table 5. */
+class NonPipelinedEncoderGpu
+{
+  public:
+    NonPipelinedEncoderGpu(gpusim::Device &dev, GpuEncoderOptions opt = {});
+
+    /**
+     * Encode @p batch messages of @p k field elements each.
+     * @param codewords receives the functionally-encoded codewords.
+     */
+    gpusim::BatchStats run(size_t batch, size_t k, Rng &rng,
+                           std::vector<std::vector<Fr>> *codewords = nullptr);
+
+  private:
+    gpusim::Device &dev_;
+    GpuEncoderOptions opt_;
+};
+
+/** The paper's pipelined two-pass encoder. */
+class PipelinedEncoderGpu
+{
+  public:
+    PipelinedEncoderGpu(gpusim::Device &dev, GpuEncoderOptions opt = {});
+
+    /** @copydoc NonPipelinedEncoderGpu::run */
+    gpusim::BatchStats run(size_t batch, size_t k, Rng &rng,
+                           std::vector<std::vector<Fr>> *codewords = nullptr);
+
+  private:
+    gpusim::Device &dev_;
+    GpuEncoderOptions opt_;
+};
+
+/** Host (Orion-style) baseline, measured in wall-clock time. */
+class CpuEncoderBaseline
+{
+  public:
+    explicit CpuEncoderBaseline(size_t sample_codes = 1)
+        : sample_codes_(sample_codes)
+    {
+    }
+
+    /** @copydoc NonPipelinedEncoderGpu::run */
+    gpusim::BatchStats run(size_t batch, size_t k, Rng &rng,
+                           std::vector<std::vector<Fr>> *codewords = nullptr);
+
+  private:
+    size_t sample_codes_;
+};
+
+} // namespace bzk
+
+#endif // BZK_ENCODER_GPUENCODER_H_

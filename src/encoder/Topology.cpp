@@ -1,0 +1,80 @@
+#include "encoder/Topology.h"
+
+namespace bzk {
+
+std::vector<uint8_t>
+sampleRowDegrees(size_t rows, size_t mean, Rng &rng)
+{
+    size_t lo = mean / 2 + 1;
+    size_t hi = 3 * mean / 2;
+    if (hi > 255)
+        panic("sampleRowDegrees: mean %zu too large for byte lengths",
+              mean);
+    std::vector<uint8_t> degrees(rows);
+    for (auto &d : degrees)
+        d = static_cast<uint8_t>(lo + rng.nextBounded(hi - lo + 1));
+    return degrees;
+}
+
+EncoderTopology::EncoderTopology(size_t k, uint64_t seed)
+    : k_(k), seed_(seed)
+{
+    if (k < kEncoderBaseSize || (k & (k - 1)))
+        fatal("EncoderTopology: message length %zu must be a power of two "
+              ">= %zu",
+              k, kEncoderBaseSize);
+
+    size_t cur = k;
+    size_t lvl = 0;
+    while (cur > kEncoderBaseSize) {
+        uint64_t s = seed_;
+        // Distinct deterministic stream per level for the degrees.
+        for (size_t i = 0; i <= lvl; ++i)
+            splitmix64(s);
+        Rng rng(s ^ 0xde90000u ^ lvl);
+        EncoderLevel level;
+        level.k = cur;
+        level.a_degrees = sampleRowDegrees(cur / 4, kEncoderDegreeA, rng);
+        level.b_degrees = sampleRowDegrees(cur / 2, kEncoderDegreeB, rng);
+        levels_.push_back(std::move(level));
+        cur /= 4;
+        ++lvl;
+    }
+    base_k_ = cur;
+}
+
+uint64_t
+EncoderTopology::seedA(size_t lvl) const
+{
+    uint64_t s = seed_ + 0x1000 + lvl * 2;
+    return splitmix64(s);
+}
+
+uint64_t
+EncoderTopology::seedB(size_t lvl) const
+{
+    uint64_t s = seed_ + 0x2000 + lvl * 2 + 1;
+    return splitmix64(s);
+}
+
+uint64_t
+EncoderTopology::seedBase() const
+{
+    uint64_t s = seed_ + 0x3000;
+    return splitmix64(s);
+}
+
+size_t
+EncoderTopology::totalNnz() const
+{
+    size_t nnz = base_k_ * base_k_;
+    for (const auto &level : levels_) {
+        for (uint8_t d : level.a_degrees)
+            nnz += d;
+        for (uint8_t d : level.b_degrees)
+            nnz += d;
+    }
+    return nnz;
+}
+
+} // namespace bzk

@@ -1,0 +1,103 @@
+#ifndef BZK_ENCODER_TOPOLOGY_H_
+#define BZK_ENCODER_TOPOLOGY_H_
+
+/**
+ * @file
+ * Deterministic structure of a Spielman-style recursive code.
+ *
+ * The recursion of the paper's Figure 3, instantiated concretely:
+ * a message of length k encodes to a codeword of length 2k (rate 1/2) as
+ *
+ *     E(x) = [ x | z | v ],   y = A x,  z = E(y),  v = B z,
+ *
+ * with |y| = k/4, |z| = k/2 and |v| = k/2. Below kBaseSize the code
+ * bottoms out in a dense square matrix: E(x) = [x | M x].
+ *
+ * Row degrees are sampled per row (expander-style bipartite graphs), so
+ * warps see genuinely imbalanced rows — the thing the paper's bucket
+ * sort fixes. The topology (row counts and degree sequences) is derived
+ * deterministically from a seed, independent of the coefficients, so the
+ * GPU cost model can reason about warp schedules without materializing
+ * the matrices.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/Log.h"
+#include "util/Rng.h"
+
+namespace bzk {
+
+/** Smallest message length that still recurses. */
+constexpr size_t kEncoderBaseSize = 32;
+
+/** Mean row degree of the A (shrinking) graphs. */
+constexpr size_t kEncoderDegreeA = 8;
+
+/** Mean row degree of the B (expanding) graphs. */
+constexpr size_t kEncoderDegreeB = 16;
+
+/** Degree sequences for one recursion level. */
+struct EncoderLevel
+{
+    /** Message length entering this level. */
+    size_t k = 0;
+    /** Row degrees of A (k/4 rows over k columns). */
+    std::vector<uint8_t> a_degrees;
+    /** Row degrees of B (k/2 rows over k/2 columns). */
+    std::vector<uint8_t> b_degrees;
+};
+
+/** Full recursion structure for a message length. */
+class EncoderTopology
+{
+  public:
+    /**
+     * Derive the topology for message length @p k (power of two,
+     * >= kBaseSize) from @p seed.
+     */
+    EncoderTopology(size_t k, uint64_t seed);
+
+    /** Message length. */
+    size_t messageLength() const { return k_; }
+
+    /** Codeword length (2k at rate 1/2). */
+    size_t codewordLength() const { return 2 * k_; }
+
+    /** Recursion levels, outermost first. */
+    const std::vector<EncoderLevel> &levels() const { return levels_; }
+
+    /** Message length at the dense base case. */
+    size_t baseSize() const { return base_k_; }
+
+    /** Seed for the coefficients of level @p lvl matrix A. */
+    uint64_t seedA(size_t lvl) const;
+
+    /** Seed for the coefficients of level @p lvl matrix B. */
+    uint64_t seedB(size_t lvl) const;
+
+    /** Seed for the dense base matrix. */
+    uint64_t seedBase() const;
+
+    /** Total non-zeros across all sparse matrices plus the base. */
+    size_t totalNnz() const;
+
+  private:
+    size_t k_ = 0;
+    size_t base_k_ = 0;
+    uint64_t seed_ = 0;
+    std::vector<EncoderLevel> levels_;
+};
+
+/**
+ * Sample @p rows row degrees uniformly in [mean/2 + 1, 3*mean/2] — all
+ * below 256 so a length fits one byte, as the paper's bucket sort
+ * exploits.
+ */
+std::vector<uint8_t> sampleRowDegrees(size_t rows, size_t mean, Rng &rng);
+
+} // namespace bzk
+
+#endif // BZK_ENCODER_TOPOLOGY_H_

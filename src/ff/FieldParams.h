@@ -1,0 +1,49 @@
+#ifndef BZK_FF_FIELDPARAMS_H_
+#define BZK_FF_FIELDPARAMS_H_
+
+/**
+ * @file
+ * Compile-time parameter packs for the Montgomery prime fields used in
+ * this library. All derived constants (R, R^2, -p^{-1} mod 2^64) are
+ * computed constexpr from the modulus, so only the modulus itself is
+ * hand-entered.
+ */
+
+#include "ff/U256.h"
+
+namespace bzk {
+
+/**
+ * BN254 (alt_bn128) scalar field.
+ * r = 21888242871839275222246405745257275088548364400416034343698204186575808495617
+ * This is the field proofs and witnesses live in; its 2-adicity of 28
+ * supports the radix-2 NTT used by the old-protocol baseline.
+ */
+struct Bn254FrParams
+{
+    static constexpr U256 kModulus{
+        0x43e1f593f0000001ULL, 0x2833e84879b97091ULL,
+        0xb85045b68181585dULL, 0x30644e72e131a029ULL};
+    static constexpr uint64_t kGenerator = 5;
+    static constexpr unsigned kTwoAdicity = 28;
+    static constexpr const char *kName = "bn254-fr";
+};
+
+/**
+ * BN254 (alt_bn128) base field.
+ * q = 21888242871839275222246405745257275088696311157297823662689037894645226208583
+ * Coordinates of G1 points for the MSM baseline live here.
+ */
+struct Bn254FqParams
+{
+    static constexpr U256 kModulus{
+        0x3c208c16d87cfd47ULL, 0x97816a916871ca8dULL,
+        0xb85045b68181585dULL, 0x30644e72e131a029ULL};
+    static constexpr uint64_t kGenerator = 3;
+    static constexpr unsigned kTwoAdicity = 1;
+    static constexpr const char *kName = "bn254-fq";
+};
+
+} // namespace bzk
+
+#endif // BZK_FF_FIELDPARAMS_H_

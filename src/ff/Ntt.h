@@ -1,0 +1,95 @@
+#ifndef BZK_FF_NTT_H_
+#define BZK_FF_NTT_H_
+
+/**
+ * @file
+ * In-place radix-2 number-theoretic transform.
+ *
+ * This is a *baseline substrate*: the old-protocol provers (Libsnark /
+ * Bellperson analogues in src/baseline) spend most of their time here and
+ * in MSM; BatchZK's whole point is to avoid it.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "util/Log.h"
+
+namespace bzk {
+
+/** Bit-reverse permutation of @p data (size must be a power of two). */
+template <typename F>
+void
+bitReversePermute(std::vector<F> &data)
+{
+    size_t n = data.size();
+    for (size_t i = 1, j = 0; i < n; ++i) {
+        size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(data[i], data[j]);
+    }
+}
+
+/**
+ * Forward NTT: evaluates the polynomial with coefficients @p data at all
+ * 2^k-th roots of unity, in place. Size must be a power of two and
+ * within the field's 2-adicity.
+ */
+template <typename F>
+void
+ntt(std::vector<F> &data)
+{
+    size_t n = data.size();
+    if (n <= 1)
+        return;
+    if (n & (n - 1))
+        panic("ntt: size %zu is not a power of two", n);
+
+    unsigned log_n = 0;
+    while ((size_t{1} << log_n) < n)
+        ++log_n;
+    if (log_n > F::kTwoAdicity)
+        panic("ntt: size 2^%u exceeds field 2-adicity %u", log_n,
+              F::kTwoAdicity);
+
+    bitReversePermute(data);
+    for (unsigned s = 1; s <= log_n; ++s) {
+        size_t m = size_t{1} << s;
+        F w_m = F::rootOfUnity(s);
+        for (size_t k = 0; k < n; k += m) {
+            F w = F::one();
+            for (size_t j = 0; j < m / 2; ++j) {
+                F t = w * data[k + j + m / 2];
+                F u = data[k + j];
+                data[k + j] = u + t;
+                data[k + j + m / 2] = u - t;
+                w *= w_m;
+            }
+        }
+    }
+}
+
+/** Inverse NTT: interpolates evaluations back to coefficients, in place. */
+template <typename F>
+void
+intt(std::vector<F> &data)
+{
+    size_t n = data.size();
+    if (n <= 1)
+        return;
+    ntt(data);
+    // Reversing all but the first entry turns the forward transform into
+    // the inverse up to the 1/n factor.
+    for (size_t i = 1, j = n - 1; i < j; ++i, --j)
+        std::swap(data[i], data[j]);
+    F n_inv = F::fromUint(n).inverse();
+    for (auto &x : data)
+        x *= n_inv;
+}
+
+} // namespace bzk
+
+#endif // BZK_FF_NTT_H_

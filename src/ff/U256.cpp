@@ -1,0 +1,38 @@
+#include "ff/U256.h"
+
+namespace bzk {
+
+void
+u256ToBytes(const U256 &v, std::span<uint8_t, 32> out)
+{
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 8; ++j)
+            out[i * 8 + j] = static_cast<uint8_t>(v.limb[i] >> (8 * j));
+}
+
+U256
+u256FromBytes(std::span<const uint8_t, 32> in)
+{
+    U256 v;
+    for (int i = 0; i < 4; ++i) {
+        uint64_t word = 0;
+        for (int j = 7; j >= 0; --j)
+            word = (word << 8) | in[i * 8 + j];
+        v.limb[i] = word;
+    }
+    return v;
+}
+
+std::string
+u256ToHex(const U256 &v)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(64);
+    for (int i = 3; i >= 0; --i)
+        for (int nib = 15; nib >= 0; --nib)
+            out.push_back(digits[(v.limb[i] >> (4 * nib)) & 0xf]);
+    return out;
+}
+
+} // namespace bzk

@@ -1,0 +1,219 @@
+#include "gkr/GpuGkr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gpusim/Calibration.h"
+
+namespace bzk {
+
+using gpusim::BatchStats;
+using gpusim::KernelDesc;
+using gpusim::OpId;
+using gpusim::StreamId;
+
+namespace {
+
+/** Build @p count real proofs over random inputs. */
+void
+buildFunctional(const LayeredCircuit<Fr> &circuit, size_t count, Rng &rng,
+                std::vector<GkrProof<Fr>> *proofs)
+{
+    if (count == 0)
+        return;
+    Gkr<Fr> gkr(circuit);
+    for (size_t i = 0; i < count; ++i) {
+        std::vector<Fr> inputs(size_t{1} << circuit.layerVars(0));
+        for (auto &x : inputs)
+            x = Fr::random(rng);
+        Transcript transcript("batchzk.gkr.batch");
+        auto proof = gkr.prove(inputs, transcript);
+        if (proofs)
+            proofs->push_back(std::move(proof));
+    }
+}
+
+} // namespace
+
+std::vector<GkrLayerCost>
+gkrLayerCosts(const LayeredCircuit<Fr> &circuit)
+{
+    std::vector<GkrLayerCost> costs;
+    for (size_t l = 1; l <= circuit.depth(); ++l) {
+        size_t gates = circuit.layerGates(l).size();
+        size_t width = size_t{1} << circuit.layerVars(l - 1);
+        GkrLayerCost cost;
+        // Libra prover: two bookkeeping scatters over the gates
+        // (~2 muls each) plus 2k sum-check rounds whose fold/eval work
+        // telescopes to ~2 * width * (6 mul + adds) per phase.
+        double scatter = 4.0 * static_cast<double>(gates) *
+                         gpusim::kFieldMulCycles;
+        double rounds = 4.0 * static_cast<double>(width) *
+                        (6.0 * gpusim::kFieldMulCycles +
+                         8.0 * gpusim::kFieldAddCycles);
+        cost.cycles = scatter + rounds;
+        cost.mem_bytes =
+            static_cast<uint64_t>(gates) * 12 + width * 3 * 32;
+        costs.push_back(cost);
+    }
+    return costs;
+}
+
+IntuitiveGkrGpu::IntuitiveGkrGpu(gpusim::Device &dev, GpuGkrOptions opt)
+    : dev_(dev), opt_(opt)
+{
+}
+
+BatchStats
+IntuitiveGkrGpu::run(const LayeredCircuit<Fr> &circuit, size_t batch,
+                     Rng &rng, std::vector<GkrProof<Fr>> *proofs)
+{
+    buildFunctional(circuit, std::min(batch, opt_.functional), rng,
+                    proofs);
+
+    dev_.resetTimeline();
+    dev_.resetMemoryPeak();
+    double cores = opt_.lane_budget > 0
+                       ? std::min<double>(opt_.lane_budget,
+                                          dev_.spec().cuda_cores)
+                       : dev_.spec().cuda_cores;
+    auto costs = gkrLayerCosts(circuit);
+    size_t input_bytes =
+        (size_t{1} << circuit.layerVars(0)) * Fr::kNumBytes;
+
+    // The whole batch's witnesses staged up front.
+    int64_t mem = dev_.alloc(batch * input_bytes * 4);
+
+    StreamId stream = dev_.createStream();
+    double sync = gpusim::kHostSyncMs * dev_.spec().cyclesPerMs();
+    double first_end = 0.0;
+    for (size_t p = 0; p < batch; ++p) {
+        if (opt_.stream_io)
+            dev_.copyH2D(stream, input_bytes);
+        KernelDesc k;
+        k.name = "gkr_proof";
+        k.lanes = cores;
+        uint64_t traffic = 0;
+        for (size_t l = costs.size(); l-- > 0;) {
+            // Every sum-check round is a host-synchronized relaunch,
+            // and the layer's work parallelizes over at most its width.
+            double n_rounds =
+                2.0 * circuit.layerVars(l); // layer l+1 reads layer l
+            double lanes_used =
+                std::min(cores, static_cast<double>(
+                                    size_t{1} << circuit.layerVars(l)));
+            k.profile.push_back(
+                {costs[l].cycles / lanes_used + n_rounds * sync,
+                 lanes_used});
+            traffic += costs[l].mem_bytes;
+        }
+        k.mem_bytes = traffic;
+        OpId op = dev_.launchKernel(stream, k);
+        if (opt_.stream_io)
+            dev_.copyD2H(stream, 64 * 1024, op);
+        if (p == 0)
+            first_end = dev_.opEnd(op);
+    }
+
+    BatchStats stats;
+    stats.batch = batch;
+    stats.total_ms = dev_.now();
+    stats.first_latency_ms = first_end;
+    stats.item_latency_ms = first_end;
+    stats.throughput_per_ms = batch / stats.total_ms;
+    stats.peak_device_bytes = dev_.peakMemory();
+    stats.busy_lane_ms = dev_.busyLaneMs();
+    stats.utilization =
+        stats.busy_lane_ms / (stats.total_ms * dev_.spec().cuda_cores);
+    dev_.free(mem);
+    return stats;
+}
+
+PipelinedGkrGpu::PipelinedGkrGpu(gpusim::Device &dev, GpuGkrOptions opt)
+    : dev_(dev), opt_(opt)
+{
+}
+
+BatchStats
+PipelinedGkrGpu::run(const LayeredCircuit<Fr> &circuit, size_t batch,
+                     Rng &rng, std::vector<GkrProof<Fr>> *proofs)
+{
+    buildFunctional(circuit, std::min(batch, opt_.functional), rng,
+                    proofs);
+
+    dev_.resetTimeline();
+    dev_.resetMemoryPeak();
+    double lanes_total = opt_.lane_budget > 0
+                             ? std::min<double>(opt_.lane_budget,
+                                                dev_.spec().cuda_cores)
+                             : dev_.spec().cuda_cores;
+    auto costs = gkrLayerCosts(circuit);
+    size_t n_stages = costs.size();
+    size_t input_bytes =
+        (size_t{1} << circuit.layerVars(0)) * Fr::kNumBytes;
+
+    double total_cost = 0.0;
+    for (const auto &c : costs)
+        total_cost += c.cycles;
+    std::vector<double> stage_lanes(n_stages);
+    for (size_t i = 0; i < n_stages; ++i)
+        stage_lanes[i] =
+            std::max(1.0, lanes_total * costs[i].cycles / total_cost);
+    double cycle_cycles = 0.0;
+    for (size_t i = 0; i < n_stages; ++i)
+        cycle_cycles =
+            std::max(cycle_cycles, costs[i].cycles / stage_lanes[i]);
+
+    // One in-flight proof's tables per stage (dynamic loading).
+    uint64_t resident = 0;
+    for (const auto &c : costs)
+        resident += c.mem_bytes;
+    int64_t mem = dev_.alloc(2 * resident);
+
+    StreamId compute = dev_.createStream();
+    StreamId h2d = dev_.createStream();
+    StreamId d2h = dev_.createStream();
+    size_t cycles = batch + n_stages - 1;
+    double first_end = 0.0;
+    OpId prev_load = gpusim::kNoOp;
+    for (size_t c = 0; c < cycles; ++c) {
+        OpId load = gpusim::kNoOp;
+        if (opt_.stream_io && c < batch)
+            load = dev_.copyH2D(h2d, input_bytes);
+        double active = 0.0;
+        uint64_t traffic = 0;
+        for (size_t i = 0; i < n_stages; ++i) {
+            if (c >= i && c - i < batch) {
+                active += stage_lanes[i];
+                traffic += costs[i].mem_bytes;
+            }
+        }
+        KernelDesc k;
+        k.name = "gkr_pipe_cycle";
+        k.lanes = lanes_total;
+        k.profile.push_back({cycle_cycles, active});
+        k.mem_bytes = traffic;
+        OpId op = dev_.launchKernel(compute, k, prev_load);
+        prev_load = load;
+        if (opt_.stream_io && c + 1 >= n_stages)
+            dev_.copyD2H(d2h, 64 * 1024, op);
+        if (c == n_stages - 1)
+            first_end = dev_.opEnd(op);
+    }
+
+    BatchStats stats;
+    stats.batch = batch;
+    stats.total_ms = dev_.now();
+    stats.first_latency_ms = first_end;
+    stats.item_latency_ms = static_cast<double>(n_stages) * cycle_cycles /
+                            dev_.spec().cyclesPerMs();
+    stats.throughput_per_ms = batch / stats.total_ms;
+    stats.peak_device_bytes = dev_.peakMemory();
+    stats.busy_lane_ms = dev_.busyLaneMs();
+    stats.utilization =
+        stats.busy_lane_ms / (stats.total_ms * dev_.spec().cuda_cores);
+    dev_.free(mem);
+    return stats;
+}
+
+} // namespace bzk

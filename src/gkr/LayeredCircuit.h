@@ -1,0 +1,156 @@
+#ifndef BZK_GKR_LAYEREDCIRCUIT_H_
+#define BZK_GKR_LAYEREDCIRCUIT_H_
+
+/**
+ * @file
+ * Layered arithmetic circuits for the GKR protocol.
+ *
+ * Layer 0 holds the inputs; every gate in layer i reads two wires from
+ * layer i-1. Layer widths are padded to powers of two; padding slots
+ * carry zero and no gate writes them, so each layer's multilinear
+ * extension is well defined.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "util/Log.h"
+#include "util/Rng.h"
+
+namespace bzk {
+
+/** One gate of a layered circuit. */
+struct LayeredGate
+{
+    enum class Kind : uint8_t { Add, Mul };
+
+    Kind kind = Kind::Add;
+    /** Left input index into the previous layer. */
+    uint32_t in0 = 0;
+    /** Right input index into the previous layer. */
+    uint32_t in1 = 0;
+};
+
+/** A layered circuit with power-of-two layer widths. */
+template <typename F>
+class LayeredCircuit
+{
+  public:
+    /** Empty circuit (single-slot input layer); reassign before use. */
+    LayeredCircuit() : layer_vars_{0} {}
+
+    /** @param input_vars log2 of the (padded) input layer width. */
+    explicit LayeredCircuit(unsigned input_vars)
+        : layer_vars_{input_vars}
+    {
+    }
+
+    /**
+     * Append a computation layer; gate i writes slot i of the new
+     * layer. The width pads to the next power of two.
+     */
+    void
+    addLayer(std::vector<LayeredGate> gates)
+    {
+        if (gates.empty())
+            panic("LayeredCircuit::addLayer: empty layer");
+        size_t prev = size_t{1} << layer_vars_.back();
+        for (const auto &g : gates)
+            if (g.in0 >= prev || g.in1 >= prev)
+                panic("LayeredCircuit::addLayer: input index out of "
+                      "range");
+        unsigned vars = 0;
+        while ((size_t{1} << vars) < gates.size())
+            ++vars;
+        layer_vars_.push_back(vars);
+        gates_.push_back(std::move(gates));
+    }
+
+    /** Number of computation layers (depth). */
+    size_t depth() const { return gates_.size(); }
+
+    /** log2 padded width of layer @p i (0 = inputs). */
+    unsigned layerVars(size_t i) const { return layer_vars_[i]; }
+
+    /** Gates of computation layer @p i (1-based: layer i reads i-1). */
+    const std::vector<LayeredGate> &
+    layerGates(size_t i) const
+    {
+        return gates_[i - 1];
+    }
+
+    /** Total gate count across layers. */
+    size_t
+    numGates() const
+    {
+        size_t n = 0;
+        for (const auto &layer : gates_)
+            n += layer.size();
+        return n;
+    }
+
+    /**
+     * Evaluate all layers; element [i] is layer i's padded value
+     * vector (layer 0 = padded inputs).
+     */
+    std::vector<std::vector<F>>
+    evaluate(std::vector<F> inputs) const
+    {
+        size_t in_width = size_t{1} << layer_vars_[0];
+        if (inputs.size() > in_width)
+            panic("LayeredCircuit::evaluate: %zu inputs exceed width "
+                  "2^%u",
+                  inputs.size(), layer_vars_[0]);
+        inputs.resize(in_width, F::zero());
+        std::vector<std::vector<F>> values;
+        values.push_back(std::move(inputs));
+        for (size_t l = 0; l < gates_.size(); ++l) {
+            const auto &below = values.back();
+            std::vector<F> out(size_t{1} << layer_vars_[l + 1],
+                               F::zero());
+            for (size_t g = 0; g < gates_[l].size(); ++g) {
+                const LayeredGate &gate = gates_[l][g];
+                out[g] = gate.kind == LayeredGate::Kind::Mul
+                             ? below[gate.in0] * below[gate.in1]
+                             : below[gate.in0] + below[gate.in1];
+            }
+            values.push_back(std::move(out));
+        }
+        return values;
+    }
+
+  private:
+    /** log2 width per layer (index 0 = inputs). */
+    std::vector<unsigned> layer_vars_;
+    /** Gates per computation layer (index 0 = layer 1's gates). */
+    std::vector<std::vector<LayeredGate>> gates_;
+};
+
+/**
+ * A random layered circuit: @p depth layers of @p width gates each over
+ * 2^input_vars inputs, with mixed add/mul gates.
+ */
+template <typename F>
+LayeredCircuit<F>
+randomLayeredCircuit(unsigned input_vars, size_t depth, size_t width,
+                     Rng &rng)
+{
+    LayeredCircuit<F> c(input_vars);
+    size_t below = size_t{1} << input_vars;
+    for (size_t l = 0; l < depth; ++l) {
+        std::vector<LayeredGate> gates(width);
+        for (auto &g : gates) {
+            g.kind = (rng.next() & 1) ? LayeredGate::Kind::Mul
+                                      : LayeredGate::Kind::Add;
+            g.in0 = static_cast<uint32_t>(rng.nextBounded(below));
+            g.in1 = static_cast<uint32_t>(rng.nextBounded(below));
+        }
+        c.addLayer(std::move(gates));
+        below = size_t{1} << c.layerVars(l + 1);
+    }
+    return c;
+}
+
+} // namespace bzk
+
+#endif // BZK_GKR_LAYEREDCIRCUIT_H_

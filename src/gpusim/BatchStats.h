@@ -1,0 +1,40 @@
+#ifndef BZK_GPUSIM_BATCHSTATS_H_
+#define BZK_GPUSIM_BATCHSTATS_H_
+
+/**
+ * @file
+ * Common result record for batch executions of the ZKP modules, on the
+ * simulated GPU or on the host CPU. Carries exactly the quantities the
+ * paper's evaluation tables report: throughput, per-item latency, device
+ * memory and core utilization.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bzk::gpusim {
+
+/** Timing/resource summary of one batch run. */
+struct BatchStats
+{
+    /** Number of items (trees / proofs / codes) in the batch. */
+    size_t batch = 0;
+    /** Makespan: time until the last item completed, ms. */
+    double total_ms = 0.0;
+    /** Completion time of the first item, ms (Table 6's latency). */
+    double first_latency_ms = 0.0;
+    /** Time one item spends in flight once steady, ms. */
+    double item_latency_ms = 0.0;
+    /** Items completed per millisecond (Tables 3-5). */
+    double throughput_per_ms = 0.0;
+    /** Peak device memory during the run, bytes (Table 10). */
+    uint64_t peak_device_bytes = 0;
+    /** Useful lane-milliseconds spent. */
+    double busy_lane_ms = 0.0;
+    /** Mean fraction of device lanes doing useful work (Figure 9). */
+    double utilization = 0.0;
+};
+
+} // namespace bzk::gpusim
+
+#endif // BZK_GPUSIM_BATCHSTATS_H_

@@ -1,0 +1,378 @@
+#include "gpusim/Device.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "gpusim/Calibration.h"
+#include "util/Log.h"
+
+namespace bzk::gpusim {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+/** Bytes moved per millisecond on a link of @p gbps GB/s. */
+double
+bytesPerMs(double gbps)
+{
+    return gbps * 1e6;
+}
+
+} // namespace
+
+Device::Device(DeviceSpec spec) : spec_(std::move(spec))
+{
+    if (spec_.cuda_cores == 0 || spec_.clock_ghz <= 0)
+        fatal("Device: spec '%s' has no compute", spec_.name.c_str());
+}
+
+StreamId
+Device::createStream()
+{
+    stream_tail_.push_back(0.0);
+    return static_cast<StreamId>(stream_tail_.size() - 1);
+}
+
+double
+Device::kernelDurationMs(const KernelDesc &kernel) const
+{
+    double cores = static_cast<double>(spec_.cuda_cores);
+    double lanes = kernel.lanes <= 0 ? cores : std::min(kernel.lanes, cores);
+
+    double wall_cycles = 0.0;
+    if (!kernel.profile.empty()) {
+        for (const auto &seg : kernel.profile)
+            wall_cycles += seg.cycles;
+    } else {
+        double threads = static_cast<double>(kernel.threads);
+        double lanes_used = std::min(threads, lanes);
+        if (lanes_used < 1.0)
+            lanes_used = 1.0;
+        double waves = std::ceil(threads / lanes_used);
+        wall_cycles = waves * kernel.cycles_per_thread;
+    }
+
+    double compute_ms = wall_cycles / spec_.cyclesPerMs();
+    // A kernel holding a fraction of the lanes gets (roughly) that
+    // fraction of device bandwidth when co-running with others.
+    double bw_share = spec_.mem_bw_gbps * std::min(1.0, lanes / cores);
+    double mem_ms = kernel.mem_bytes == 0
+                        ? 0.0
+                        : static_cast<double>(kernel.mem_bytes) /
+                              bytesPerMs(bw_share);
+    return kKernelLaunchMs + std::max(compute_ms, mem_ms);
+}
+
+double
+Device::copyDurationMs(uint64_t bytes) const
+{
+    double effective = spec_.link_gbps * kPcieEfficiency;
+    return static_cast<double>(bytes) / bytesPerMs(effective);
+}
+
+double
+Device::earliestComputeStart(double t0, double lanes, double dur) const
+{
+    double cap = static_cast<double>(spec_.cuda_cores) + kEps;
+    const auto &ev = lane_events_;
+    size_t n = ev.size();
+
+    // Usage just after t0 and index of the first event strictly later.
+    double usage = 0.0;
+    size_t i = 0;
+    while (i < n && ev[i].first <= t0 + kEps) {
+        usage += ev[i].second;
+        ++i;
+    }
+
+    double cand = t0;
+    for (;;) {
+        if (usage + lanes <= cap) {
+            // Check the whole window [cand, cand + dur).
+            double window_end = cand + dur - kEps;
+            double u = usage;
+            size_t j = i;
+            bool ok = true;
+            while (j < n && ev[j].first < window_end) {
+                u += ev[j].second;
+                if (u + lanes > cap) {
+                    ok = false;
+                    break;
+                }
+                ++j;
+            }
+            if (ok)
+                return cand;
+            // Violation at ev[j]; resume the search just after it.
+            while (i <= j && i < n) {
+                usage += ev[i].second;
+                ++i;
+            }
+            cand = ev[j].first;
+        } else {
+            if (i >= n)
+                panic("earliestComputeStart: lane ledger inconsistent");
+            usage += ev[i].second;
+            cand = ev[i].first;
+            ++i;
+        }
+    }
+}
+
+void
+Device::reserveLanes(double start, double dur, double lanes)
+{
+    auto insert_event = [this](double t, double delta) {
+        auto it = std::upper_bound(
+            lane_events_.begin(), lane_events_.end(), t,
+            [](double v, const std::pair<double, double> &e) {
+                return v < e.first;
+            });
+        lane_events_.insert(it, {t, delta});
+    };
+    insert_event(start, lanes);
+    insert_event(start + dur, -lanes);
+}
+
+OpId
+Device::finishOp(OpRecord record, StreamId stream)
+{
+    record.stream = stream;
+    now_ms_ = std::max(now_ms_, record.end_ms);
+    stream_tail_[stream] = record.end_ms;
+    ops_.push_back(std::move(record));
+    return static_cast<OpId>(ops_.size() - 1);
+}
+
+OpId
+Device::launchKernel(StreamId stream, const KernelDesc &kernel,
+                     OpId depends_on)
+{
+    if (stream >= stream_tail_.size())
+        panic("launchKernel: bad stream %u", stream);
+
+    double cores = static_cast<double>(spec_.cuda_cores);
+    double lanes = kernel.lanes <= 0 ? cores : std::min(kernel.lanes, cores);
+    if (kernel.profile.empty()) {
+        double threads = static_cast<double>(kernel.threads);
+        lanes = std::min(lanes, std::max(1.0, threads));
+        // Warp-granular reservation.
+        lanes = std::ceil(lanes / kWarpSize) * kWarpSize;
+        lanes = std::min(lanes, cores);
+    }
+
+    double dur = kernelDurationMs(kernel);
+    double ready = stream_tail_[stream];
+    if (depends_on != kNoOp)
+        ready = std::max(ready, opEnd(depends_on));
+    double start = earliestComputeStart(ready, lanes, dur);
+    reserveLanes(start, dur, lanes);
+
+    // Convert the cycle-denominated profile into an ms-denominated one
+    // covering the whole (possibly memory-stretched) duration.
+    OpRecord record;
+    record.kind = OpRecord::Kind::Kernel;
+    record.name = kernel.name;
+    record.start_ms = start;
+    record.end_ms = start + dur;
+    record.lanes = lanes;
+    double total_cycles = 0.0;
+    if (!kernel.profile.empty()) {
+        for (const auto &seg : kernel.profile)
+            total_cycles += seg.cycles;
+        for (const auto &seg : kernel.profile) {
+            double frac = total_cycles > 0 ? seg.cycles / total_cycles : 0.0;
+            record.profile_ms.push_back(
+                {frac * dur, std::min(seg.active_lanes, lanes)});
+        }
+    } else {
+        record.profile_ms.push_back({dur, lanes});
+    }
+    for (const auto &seg : record.profile_ms)
+        busy_lane_ms_ += seg.cycles * seg.active_lanes;
+
+    return finishOp(std::move(record), stream);
+}
+
+OpId
+Device::copyH2D(StreamId stream, uint64_t bytes, OpId depends_on)
+{
+    if (stream >= stream_tail_.size())
+        panic("copyH2D: bad stream %u", stream);
+    double ready = std::max(stream_tail_[stream], copy_h2d_ready_);
+    if (depends_on != kNoOp)
+        ready = std::max(ready, opEnd(depends_on));
+    double dur = copyDurationMs(bytes);
+    OpRecord record;
+    record.kind = OpRecord::Kind::CopyH2D;
+    record.name = "h2d";
+    record.start_ms = ready;
+    record.end_ms = ready + dur;
+    record.bytes = bytes;
+    copy_h2d_ready_ = record.end_ms;
+    return finishOp(std::move(record), stream);
+}
+
+OpId
+Device::copyD2H(StreamId stream, uint64_t bytes, OpId depends_on)
+{
+    if (stream >= stream_tail_.size())
+        panic("copyD2H: bad stream %u", stream);
+    double ready = std::max(stream_tail_[stream], copy_d2h_ready_);
+    if (depends_on != kNoOp)
+        ready = std::max(ready, opEnd(depends_on));
+    double dur = copyDurationMs(bytes);
+    OpRecord record;
+    record.kind = OpRecord::Kind::CopyD2H;
+    record.name = "d2h";
+    record.start_ms = ready;
+    record.end_ms = ready + dur;
+    record.bytes = bytes;
+    copy_d2h_ready_ = record.end_ms;
+    return finishOp(std::move(record), stream);
+}
+
+double
+Device::opStart(OpId op) const
+{
+    if (op >= ops_.size())
+        panic("opStart: bad op %u", op);
+    return ops_[op].start_ms;
+}
+
+double
+Device::opEnd(OpId op) const
+{
+    if (op >= ops_.size())
+        panic("opEnd: bad op %u", op);
+    return ops_[op].end_ms;
+}
+
+double
+Device::streamTime(StreamId stream) const
+{
+    if (stream >= stream_tail_.size())
+        panic("streamTime: bad stream %u", stream);
+    return stream_tail_[stream];
+}
+
+int64_t
+Device::alloc(uint64_t bytes)
+{
+    live_bytes_ += bytes;
+    if (live_bytes_ > spec_.device_mem_bytes) {
+        warn("device %s: allocation exceeds %llu-byte capacity (live %llu)",
+             spec_.name.c_str(),
+             static_cast<unsigned long long>(spec_.device_mem_bytes),
+             static_cast<unsigned long long>(live_bytes_));
+    }
+    peak_bytes_ = std::max(peak_bytes_, live_bytes_);
+    allocations_.push_back(bytes);
+    return static_cast<int64_t>(allocations_.size() - 1);
+}
+
+void
+Device::free(int64_t handle)
+{
+    auto idx = static_cast<size_t>(handle);
+    if (idx >= allocations_.size() || allocations_[idx] == 0)
+        panic("free: bad or double-freed handle %lld",
+              static_cast<long long>(handle));
+    live_bytes_ -= allocations_[idx];
+    allocations_[idx] = 0;
+}
+
+std::vector<UtilSample>
+Device::utilizationTrace(double bin_ms, double t_end) const
+{
+    if (t_end < 0)
+        t_end = now_ms_;
+    if (bin_ms <= 0 || t_end <= 0)
+        return {};
+    size_t bins = static_cast<size_t>(std::ceil(t_end / bin_ms));
+    std::vector<double> busy(bins, 0.0);
+
+    for (const auto &op : ops_) {
+        if (op.kind != OpRecord::Kind::Kernel)
+            continue;
+        double t = op.start_ms;
+        for (const auto &seg : op.profile_ms) {
+            double seg_start = t;
+            double seg_end = t + seg.cycles; // cycles field holds ms here
+            t = seg_end;
+            size_t b0 = static_cast<size_t>(seg_start / bin_ms);
+            size_t b1 = static_cast<size_t>(seg_end / bin_ms);
+            for (size_t b = b0; b <= b1 && b < bins; ++b) {
+                double lo = std::max(seg_start, b * bin_ms);
+                double hi = std::min(seg_end, (b + 1) * bin_ms);
+                if (hi > lo)
+                    busy[b] += (hi - lo) * seg.active_lanes;
+            }
+        }
+    }
+
+    std::vector<UtilSample> trace(bins);
+    double cores = static_cast<double>(spec_.cuda_cores);
+    for (size_t b = 0; b < bins; ++b) {
+        trace[b].t_ms = (b + 0.5) * bin_ms;
+        trace[b].utilization = busy[b] / (bin_ms * cores);
+    }
+    return trace;
+}
+
+std::string
+Device::chromeTraceJson() const
+{
+    // Chrome trace-event format: complete events ("ph":"X") with
+    // microsecond timestamps. Kernels go on their stream's track; the
+    // copy engines get dedicated tracks so overlap is visible.
+    std::string out = "[";
+    bool first = true;
+    for (const auto &op : ops_) {
+        long long tid;
+        const char *cat;
+        switch (op.kind) {
+          case OpRecord::Kind::Kernel:
+            tid = static_cast<long long>(op.stream);
+            cat = "kernel";
+            break;
+          case OpRecord::Kind::CopyH2D:
+            tid = 1000;
+            cat = "h2d";
+            break;
+          default:
+            tid = 1001;
+            cat = "d2h";
+        }
+        char buf[384];
+        std::snprintf(
+            buf, sizeof(buf),
+            "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+            "\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%lld,"
+            "\"args\":{\"lanes\":%.0f,\"bytes\":%llu}}",
+            first ? "" : ",", op.name.c_str(), cat, op.start_ms * 1e3,
+            (op.end_ms - op.start_ms) * 1e3, tid, op.lanes,
+            static_cast<unsigned long long>(op.bytes));
+        out += buf;
+        first = false;
+    }
+    out += "]";
+    return out;
+}
+
+void
+Device::resetTimeline()
+{
+    for (auto &tail : stream_tail_)
+        tail = 0.0;
+    ops_.clear();
+    lane_events_.clear();
+    copy_h2d_ready_ = 0.0;
+    copy_d2h_ready_ = 0.0;
+    now_ms_ = 0.0;
+    busy_lane_ms_ = 0.0;
+}
+
+} // namespace bzk::gpusim

@@ -1,0 +1,81 @@
+#include "gpusim/DeviceSpec.h"
+
+namespace bzk::gpusim {
+
+DeviceSpec
+DeviceSpec::v100()
+{
+    return DeviceSpec{
+        .name = "V100",
+        .cuda_cores = 5120,
+        .clock_ghz = 1.53,
+        .mem_bw_gbps = 900.0,
+        .link_gbps = 15.75,
+        .link_name = "PCIe 3.0 x16",
+        .device_mem_bytes = 32ULL << 30,
+    };
+}
+
+DeviceSpec
+DeviceSpec::a100()
+{
+    return DeviceSpec{
+        .name = "A100",
+        .cuda_cores = 6912,
+        .clock_ghz = 1.41,
+        .mem_bw_gbps = 1555.0,
+        .link_gbps = 31.5,
+        .link_name = "PCIe 4.0 x16",
+        .device_mem_bytes = 40ULL << 30,
+    };
+}
+
+DeviceSpec
+DeviceSpec::rtx3090ti()
+{
+    return DeviceSpec{
+        .name = "3090Ti",
+        .cuda_cores = 10752,
+        .clock_ghz = 1.86,
+        .mem_bw_gbps = 1008.0,
+        .link_gbps = 31.5,
+        .link_name = "PCIe 4.0 x16",
+        .device_mem_bytes = 24ULL << 30,
+    };
+}
+
+DeviceSpec
+DeviceSpec::h100()
+{
+    return DeviceSpec{
+        .name = "H100",
+        .cuda_cores = 16896,
+        .clock_ghz = 1.83,
+        .mem_bw_gbps = 3350.0,
+        .link_gbps = 63.0,
+        .link_name = "PCIe 5.0 x16",
+        .device_mem_bytes = 80ULL << 30,
+    };
+}
+
+DeviceSpec
+DeviceSpec::gh200()
+{
+    return DeviceSpec{
+        .name = "GH200",
+        .cuda_cores = 16896,
+        .clock_ghz = 1.98,
+        .mem_bw_gbps = 4000.0,
+        .link_gbps = 220.0,
+        .link_name = "NVLink-C2C",
+        .device_mem_bytes = 96ULL << 30,
+    };
+}
+
+std::vector<DeviceSpec>
+DeviceSpec::allPresets()
+{
+    return {v100(), a100(), rtx3090ti(), h100(), gh200()};
+}
+
+} // namespace bzk::gpusim

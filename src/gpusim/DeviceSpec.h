@@ -1,0 +1,56 @@
+#ifndef BZK_GPUSIM_DEVICESPEC_H_
+#define BZK_GPUSIM_DEVICESPEC_H_
+
+/**
+ * @file
+ * Static hardware description of a simulated GPU.
+ *
+ * Presets carry public spec-sheet numbers for the cards the paper
+ * evaluates (Tables 8 and 9): CUDA core counts, boost clocks, device
+ * memory bandwidth and host-link bandwidth.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bzk::gpusim {
+
+/** Immutable description of one simulated GPU card. */
+struct DeviceSpec
+{
+    std::string name;
+    /** Total FP32/INT CUDA-core lanes. */
+    uint32_t cuda_cores = 0;
+    /** Core boost clock in GHz (cycles per nanosecond per lane). */
+    double clock_ghz = 0.0;
+    /** Device (HBM/GDDR) bandwidth in GB/s. */
+    double mem_bw_gbps = 0.0;
+    /** Host<->device link bandwidth per direction in GB/s (raw). */
+    double link_gbps = 0.0;
+    /** Human-readable link name, e.g. "PCIe 3.0 x16". */
+    std::string link_name;
+    /** Device memory capacity in bytes. */
+    uint64_t device_mem_bytes = 0;
+
+    /** Cycles available per millisecond on one lane. */
+    double cyclesPerMs() const { return clock_ghz * 1e6; }
+
+    /** Nvidia V100 (Volta, 5120 cores) — the paper's Table 8 row 1. */
+    static DeviceSpec v100();
+    /** Nvidia A100 (Ampere, 6912 cores). */
+    static DeviceSpec a100();
+    /** Nvidia RTX 3090 Ti (Ada^H^H Ampere, 10752 cores) — Fig. 9 card. */
+    static DeviceSpec rtx3090ti();
+    /** Nvidia H100 SXM (Hopper, 16896 cores). */
+    static DeviceSpec h100();
+    /** Nvidia GH200 Grace Hopper superchip — the paper's main platform. */
+    static DeviceSpec gh200();
+
+    /** All presets in the paper's Table 8 order plus GH200. */
+    static std::vector<DeviceSpec> allPresets();
+};
+
+} // namespace bzk::gpusim
+
+#endif // BZK_GPUSIM_DEVICESPEC_H_

@@ -1,0 +1,176 @@
+#include "hash/Sha256.h"
+
+#include <cstring>
+
+#include "util/Hex.h"
+
+namespace bzk {
+
+namespace {
+
+constexpr uint32_t kInit[8] = {
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+    0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+};
+
+constexpr uint32_t kRound[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+};
+
+inline uint32_t
+rotr(uint32_t x, int n)
+{
+    return (x >> n) | (x << (32 - n));
+}
+
+} // namespace
+
+std::string
+Digest::toHex() const
+{
+    return bzk::toHex(bytes);
+}
+
+void
+Sha256::reset()
+{
+    std::memcpy(state_, kInit, sizeof(state_));
+    buffered_ = 0;
+    total_bytes_ = 0;
+}
+
+void
+Sha256::update(std::span<const uint8_t> data)
+{
+    total_bytes_ += data.size();
+    size_t offset = 0;
+    if (buffered_ > 0) {
+        size_t take = std::min(data.size(), 64 - buffered_);
+        std::memcpy(buffer_ + buffered_, data.data(), take);
+        buffered_ += take;
+        offset = take;
+        if (buffered_ == 64) {
+            compress(state_, buffer_);
+            buffered_ = 0;
+        }
+    }
+    while (offset + 64 <= data.size()) {
+        compress(state_, data.data() + offset);
+        offset += 64;
+    }
+    if (offset < data.size()) {
+        std::memcpy(buffer_, data.data() + offset, data.size() - offset);
+        buffered_ = data.size() - offset;
+    }
+}
+
+Digest
+Sha256::finalize()
+{
+    uint64_t bit_len = total_bytes_ * 8;
+    uint8_t pad[72] = {0x80};
+    // Pad to 56 mod 64, then append the 64-bit big-endian length.
+    size_t pad_len = (buffered_ < 56) ? (56 - buffered_) : (120 - buffered_);
+    uint8_t len_be[8];
+    for (int i = 0; i < 8; ++i)
+        len_be[i] = static_cast<uint8_t>(bit_len >> (56 - 8 * i));
+    std::memcpy(pad + pad_len, len_be, 8);
+    update(std::span<const uint8_t>(pad, pad_len + 8));
+
+    Digest out;
+    for (int i = 0; i < 8; ++i)
+        for (int j = 0; j < 4; ++j)
+            out.bytes[i * 4 + j] =
+                static_cast<uint8_t>(state_[i] >> (24 - 8 * j));
+    reset();
+    return out;
+}
+
+Digest
+Sha256::digest(std::span<const uint8_t> data)
+{
+    Sha256 h;
+    h.update(data);
+    return h.finalize();
+}
+
+Digest
+Sha256::compressBlock(std::span<const uint8_t, 64> block)
+{
+    uint32_t state[8];
+    std::memcpy(state, kInit, sizeof(state));
+    compress(state, block.data());
+    Digest out;
+    for (int i = 0; i < 8; ++i)
+        for (int j = 0; j < 4; ++j)
+            out.bytes[i * 4 + j] =
+                static_cast<uint8_t>(state[i] >> (24 - 8 * j));
+    return out;
+}
+
+Digest
+Sha256::hashPair(const Digest &left, const Digest &right)
+{
+    uint8_t block[64];
+    std::memcpy(block, left.bytes.data(), 32);
+    std::memcpy(block + 32, right.bytes.data(), 32);
+    return compressBlock(std::span<const uint8_t, 64>(block, 64));
+}
+
+void
+Sha256::compress(uint32_t state[8], const uint8_t block[64])
+{
+    uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+        w[i] = (static_cast<uint32_t>(block[4 * i]) << 24) |
+               (static_cast<uint32_t>(block[4 * i + 1]) << 16) |
+               (static_cast<uint32_t>(block[4 * i + 2]) << 8) |
+               static_cast<uint32_t>(block[4 * i + 3]);
+    }
+    for (int i = 16; i < 64; ++i) {
+        uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^
+                      (w[i - 15] >> 3);
+        uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^
+                      (w[i - 2] >> 10);
+        w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+
+    uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+    for (int i = 0; i < 64; ++i) {
+        uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+        uint32_t ch = (e & f) ^ (~e & g);
+        uint32_t t1 = h + s1 + ch + kRound[i] + w[i];
+        uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+        uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+        uint32_t t2 = s0 + maj;
+        h = g;
+        g = f;
+        f = e;
+        e = d + t1;
+        d = c;
+        c = b;
+        b = a;
+        a = t1 + t2;
+    }
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+}
+
+} // namespace bzk

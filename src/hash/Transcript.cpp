@@ -1,0 +1,90 @@
+#include "hash/Transcript.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/Log.h"
+
+namespace bzk {
+
+Transcript::Transcript(std::string_view domain)
+{
+    state_ = Sha256::digest(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t *>(domain.data()), domain.size()));
+}
+
+void
+Transcript::chain(std::span<const uint8_t> data)
+{
+    Sha256 h;
+    h.update(state_.bytes);
+    h.update(data);
+    state_ = h.finalize();
+}
+
+void
+Transcript::absorb(std::string_view label, std::span<const uint8_t> data)
+{
+    Sha256 h;
+    h.update(state_.bytes);
+    h.update(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t *>(label.data()), label.size()));
+    h.update(data);
+    state_ = h.finalize();
+}
+
+void
+Transcript::absorbDigest(std::string_view label, const Digest &digest)
+{
+    absorb(label, digest.bytes);
+}
+
+Digest
+Transcript::challengeDigest(std::string_view label)
+{
+    Sha256 h;
+    h.update(state_.bytes);
+    h.update(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t *>(label.data()), label.size()));
+    uint8_t ctr[8];
+    for (int i = 0; i < 8; ++i)
+        ctr[i] = static_cast<uint8_t>(counter_ >> (8 * i));
+    ++counter_;
+    h.update(std::span<const uint8_t>(ctr, 8));
+    Digest out = h.finalize();
+    // Ratchet the state so later absorbs depend on issued challenges.
+    chain(out.bytes);
+    return out;
+}
+
+uint64_t
+Transcript::challengeIndex(std::string_view label, uint64_t bound)
+{
+    if (bound == 0)
+        panic("challengeIndex: zero bound");
+    Digest d = challengeDigest(label);
+    uint64_t v;
+    std::memcpy(&v, d.bytes.data(), 8);
+    // Multiply-shift keeps bias negligible for the bounds in use.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(v) * bound) >> 64);
+}
+
+std::vector<uint64_t>
+Transcript::challengeDistinctIndices(std::string_view label, size_t count,
+                                     uint64_t bound)
+{
+    if (count > bound)
+        panic("challengeDistinctIndices: count %zu > bound %llu", count,
+              static_cast<unsigned long long>(bound));
+    std::vector<uint64_t> out;
+    out.reserve(count);
+    while (out.size() < count) {
+        uint64_t idx = challengeIndex(label, bound);
+        if (std::find(out.begin(), out.end(), idx) == out.end())
+            out.push_back(idx);
+    }
+    return out;
+}
+
+} // namespace bzk

@@ -1,0 +1,77 @@
+#ifndef BZK_HASH_TRANSCRIPT_H_
+#define BZK_HASH_TRANSCRIPT_H_
+
+/**
+ * @file
+ * Fiat-Shamir transcript.
+ *
+ * The prover and verifier absorb the same public messages (Merkle roots,
+ * sum-check round polynomials) and squeeze identical pseudo-random
+ * challenges, making the interactive protocols of the paper
+ * non-interactive. Challenges are derived by hash-chaining SHA-256, i.e.
+ * the "pseudorandom generators using the final Merkle root as a seed" of
+ * the paper's Section 4.
+ */
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "hash/Sha256.h"
+
+namespace bzk {
+
+/** Deterministic hash-chained Fiat-Shamir transcript. */
+class Transcript
+{
+  public:
+    /** Domain-separate the transcript with a protocol label. */
+    explicit Transcript(std::string_view domain);
+
+    /** Absorb a labelled byte message. */
+    void absorb(std::string_view label, std::span<const uint8_t> data);
+
+    /** Absorb a digest (e.g. a Merkle root). */
+    void absorbDigest(std::string_view label, const Digest &digest);
+
+    /** Absorb a field element's canonical bytes. */
+    template <typename F>
+    void
+    absorbField(std::string_view label, const F &value)
+    {
+        uint8_t buf[F::kNumBytes];
+        value.toBytes(buf);
+        absorb(label, std::span<const uint8_t>(buf, F::kNumBytes));
+    }
+
+    /** Squeeze 32 challenge bytes. */
+    Digest challengeDigest(std::string_view label);
+
+    /** Squeeze a field challenge. */
+    template <typename F>
+    F
+    challengeField(std::string_view label)
+    {
+        Digest d = challengeDigest(label);
+        return F::fromBytesReduce(d.bytes.data(), d.bytes.size());
+    }
+
+    /** Squeeze an index uniform in [0, bound). */
+    uint64_t challengeIndex(std::string_view label, uint64_t bound);
+
+    /** Squeeze @p count distinct indices in [0, bound). */
+    std::vector<uint64_t> challengeDistinctIndices(std::string_view label,
+                                                   size_t count,
+                                                   uint64_t bound);
+
+  private:
+    void chain(std::span<const uint8_t> data);
+
+    Digest state_;
+    uint64_t counter_ = 0;
+};
+
+} // namespace bzk
+
+#endif // BZK_HASH_TRANSCRIPT_H_

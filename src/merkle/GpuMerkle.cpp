@@ -1,0 +1,295 @@
+#include "merkle/GpuMerkle.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gpusim/Calibration.h"
+#include "util/Log.h"
+#include "util/Timer.h"
+
+namespace bzk {
+
+using gpusim::BatchStats;
+using gpusim::KernelDesc;
+using gpusim::OpId;
+using gpusim::ProfileSegment;
+using gpusim::StreamId;
+
+namespace {
+
+/** Hashes in layer l of a tree over n_blocks leaves (layer 0 = leaves). */
+size_t
+layerWork(size_t n_blocks, size_t l)
+{
+    return std::max<size_t>(1, n_blocks >> l);
+}
+
+/** Number of hashing layers for a tree over n_blocks blocks. */
+size_t
+numLayers(size_t n_blocks)
+{
+    size_t layers = 1; // leaf hashing
+    while (n_blocks > 1) {
+        n_blocks >>= 1;
+        ++layers;
+    }
+    return layers;
+}
+
+void
+checkPow2(size_t n_blocks)
+{
+    if (n_blocks == 0 || (n_blocks & (n_blocks - 1)))
+        fatal("GPU Merkle drivers require a power-of-two block count, "
+              "got %zu",
+              n_blocks);
+}
+
+/** Build @p count real trees for functional validation. */
+void
+buildFunctionalTrees(size_t count, size_t n_blocks, Rng &rng,
+                     std::vector<Digest> *roots)
+{
+    for (size_t i = 0; i < count; ++i) {
+        auto blocks = randomBlocks(n_blocks, rng);
+        MerkleTree tree = MerkleTree::build(blocks);
+        if (roots)
+            roots->push_back(tree.root());
+    }
+}
+
+} // namespace
+
+std::vector<uint8_t>
+randomBlocks(size_t n_blocks, Rng &rng)
+{
+    std::vector<uint8_t> data(n_blocks * 64);
+    for (size_t i = 0; i < data.size(); i += 8) {
+        uint64_t word = rng.next();
+        for (int b = 0; b < 8; ++b)
+            data[i + b] = static_cast<uint8_t>(word >> (8 * b));
+    }
+    return data;
+}
+
+IntuitiveMerkleGpu::IntuitiveMerkleGpu(gpusim::Device &dev,
+                                       GpuMerkleOptions opt)
+    : dev_(dev), opt_(opt)
+{
+}
+
+BatchStats
+IntuitiveMerkleGpu::run(size_t batch, size_t n_blocks, Rng &rng,
+                        std::vector<Digest> *roots)
+{
+    checkPow2(n_blocks);
+    buildFunctionalTrees(std::min(batch, opt_.functional), n_blocks, rng,
+                         roots);
+
+    dev_.resetTimeline();
+    dev_.resetMemoryPeak();
+
+    double cores = opt_.lane_budget > 0
+                       ? std::min<double>(opt_.lane_budget,
+                                          dev_.spec().cuda_cores)
+                       : dev_.spec().cuda_cores;
+    size_t layers = numLayers(n_blocks);
+
+    // Simon's strategy preloads every tree's blocks at once ("mN blocks"
+    // in Sec. 3.1's memory analysis).
+    int64_t blocks_mem = dev_.alloc(batch * n_blocks * 64);
+    int64_t nodes_mem = dev_.alloc(batch * n_blocks * 2 * 32);
+
+    StreamId stream = dev_.createStream();
+    StreamId copy_stream = dev_.createStream();
+    if (opt_.stream_io)
+        dev_.copyH2D(copy_stream, batch * n_blocks * 64);
+
+    double first_end = 0.0;
+    for (size_t t = 0; t < batch; ++t) {
+        // One kernel builds the whole tree: it reserves lanes for its
+        // widest layer and keeps them through every (shrinking) layer,
+        // paying a grid-wide sync per layer — Figure 4a.
+        KernelDesc k;
+        k.name = "merkle_tree";
+        k.lanes = std::min<double>(cores, static_cast<double>(n_blocks));
+        double lanes = std::min(k.lanes, cores);
+        // Host-synchronized per-layer launches, and the message schedule
+        // lives in global memory (no register optimization): both
+        // penalties the paper attributes to the intuitive scheme.
+        double sync_cycles =
+            gpusim::kHostSyncMs * dev_.spec().cyclesPerMs();
+        for (size_t l = 0; l < layers; ++l) {
+            double work = static_cast<double>(layerWork(n_blocks, l));
+            double waves = std::ceil(work / lanes);
+            k.profile.push_back(
+                {waves * gpusim::kSha256CompressCycles *
+                         gpusim::kUnoptimizedHashFactor +
+                     sync_cycles,
+                 std::min(work, lanes)});
+        }
+        k.mem_bytes = n_blocks * 64 + (2 * n_blocks - 1) * 32;
+        OpId op = dev_.launchKernel(stream, k);
+        if (t == 0)
+            first_end = dev_.opEnd(op);
+    }
+    if (opt_.stream_io)
+        dev_.copyD2H(copy_stream, batch * 32); // the roots
+
+    BatchStats stats;
+    stats.batch = batch;
+    stats.total_ms = dev_.now();
+    stats.first_latency_ms = first_end;
+    stats.item_latency_ms = first_end;
+    stats.throughput_per_ms = batch / stats.total_ms;
+    stats.peak_device_bytes = dev_.peakMemory();
+    stats.busy_lane_ms = dev_.busyLaneMs();
+    stats.utilization =
+        stats.busy_lane_ms / (stats.total_ms * dev_.spec().cuda_cores);
+
+    dev_.free(blocks_mem);
+    dev_.free(nodes_mem);
+    return stats;
+}
+
+PipelinedMerkleGpu::PipelinedMerkleGpu(gpusim::Device &dev,
+                                       GpuMerkleOptions opt)
+    : dev_(dev), opt_(opt)
+{
+}
+
+BatchStats
+PipelinedMerkleGpu::run(size_t batch, size_t n_blocks, Rng &rng,
+                        std::vector<Digest> *roots)
+{
+    checkPow2(n_blocks);
+    buildFunctionalTrees(std::min(batch, opt_.functional), n_blocks, rng,
+                         roots);
+
+    dev_.resetTimeline();
+    dev_.resetMemoryPeak();
+
+    double lanes_total = opt_.lane_budget > 0
+                             ? std::min<double>(opt_.lane_budget,
+                                                dev_.spec().cuda_cores)
+                             : dev_.spec().cuda_cores;
+    size_t layers = numLayers(n_blocks);
+    double total_work = static_cast<double>(2 * n_blocks - 1);
+
+    // The paper's allocation: layer l gets lanes halving with its work
+    // (M/2, M/4, ...), so every stage finishes its cycle-quota in the
+    // same (2N/M) waves.
+    std::vector<double> layer_lanes(layers);
+    for (size_t l = 0; l < layers; ++l) {
+        if (opt_.equal_lane_split) {
+            layer_lanes[l] = std::max(
+                1.0, lanes_total / static_cast<double>(layers));
+        } else {
+            layer_lanes[l] = std::max(
+                1.0, lanes_total *
+                         static_cast<double>(layerWork(n_blocks, l)) /
+                         total_work);
+        }
+    }
+
+    double cycle_cycles = 0.0;
+    for (size_t l = 0; l < layers; ++l) {
+        double waves =
+            std::ceil(layerWork(n_blocks, l) / layer_lanes[l]);
+        cycle_cycles =
+            std::max(cycle_cycles, waves * gpusim::kSha256CompressCycles);
+    }
+
+    // Dynamic loading: only ~2N blocks of device memory, ever
+    // (Sec. 3.1's "2N ≈ N + N/2 + ... + 1" analysis).
+    int64_t pipe_mem = dev_.alloc(2 * n_blocks * 64);
+
+    StreamId compute = dev_.createStream();
+    StreamId h2d = dev_.createStream();
+    StreamId d2h = dev_.createStream();
+
+    size_t cycles = batch + layers - 1;
+    double first_end = 0.0;
+    OpId prev_load = gpusim::kNoOp;
+    for (size_t c = 0; c < cycles; ++c) {
+        // Multi-stream dynamic loading: the (c+1)-th tree's blocks load
+        // while cycle c computes; finished layers stream back.
+        OpId load = gpusim::kNoOp;
+        if (opt_.stream_io && c < batch)
+            load = dev_.copyH2D(h2d, n_blocks * 64);
+
+        // Lanes busy this cycle: stages holding a live tree.
+        double active = 0.0;
+        double work_hashes = 0.0;
+        for (size_t l = 0; l < layers; ++l) {
+            if (c >= l && c - l < batch) {
+                active += layer_lanes[l];
+                work_hashes += static_cast<double>(layerWork(n_blocks, l));
+            }
+        }
+        KernelDesc k;
+        k.name = "merkle_pipe_cycle";
+        k.lanes = lanes_total;
+        k.profile.push_back({cycle_cycles, active});
+        k.mem_bytes = static_cast<uint64_t>(work_hashes * 96.0);
+        // Cycle c's leaf stage consumes the blocks loaded in cycle c-1.
+        OpId op = dev_.launchKernel(compute, k, prev_load);
+        prev_load = load;
+
+        if (opt_.stream_io && c + 1 >= layers)
+            dev_.copyD2H(d2h, (2 * n_blocks - 1) * 32, op);
+
+        if (c == layers - 1)
+            first_end = dev_.opEnd(op);
+    }
+
+    BatchStats stats;
+    stats.batch = batch;
+    stats.total_ms = dev_.now();
+    stats.first_latency_ms = first_end;
+    stats.item_latency_ms =
+        static_cast<double>(layers) * cycle_cycles /
+        dev_.spec().cyclesPerMs();
+    stats.throughput_per_ms = batch / stats.total_ms;
+    stats.peak_device_bytes = dev_.peakMemory();
+    stats.busy_lane_ms = dev_.busyLaneMs();
+    stats.utilization =
+        stats.busy_lane_ms / (stats.total_ms * dev_.spec().cuda_cores);
+
+    dev_.free(pipe_mem);
+    return stats;
+}
+
+BatchStats
+CpuMerkleBaseline::run(size_t batch, size_t n_blocks, Rng &rng,
+                       std::vector<Digest> *roots)
+{
+    checkPow2(n_blocks);
+    size_t samples = std::max<size_t>(1, std::min(sample_trees_, batch));
+
+    // Generate inputs outside the timed region, like the GPU drivers.
+    std::vector<std::vector<uint8_t>> inputs;
+    inputs.reserve(samples);
+    for (size_t i = 0; i < samples; ++i)
+        inputs.push_back(randomBlocks(n_blocks, rng));
+
+    Timer timer;
+    for (size_t i = 0; i < samples; ++i) {
+        MerkleTree tree = MerkleTree::build(inputs[i]);
+        if (roots)
+            roots->push_back(tree.root());
+    }
+    double elapsed = timer.milliseconds();
+    double per_tree = elapsed / static_cast<double>(samples);
+
+    BatchStats stats;
+    stats.batch = batch;
+    stats.total_ms = per_tree * static_cast<double>(batch);
+    stats.first_latency_ms = per_tree;
+    stats.item_latency_ms = per_tree;
+    stats.throughput_per_ms = 1.0 / per_tree;
+    stats.peak_device_bytes = 0;
+    return stats;
+}
+
+} // namespace bzk

@@ -1,0 +1,113 @@
+#ifndef BZK_MERKLE_GPUMERKLE_H_
+#define BZK_MERKLE_GPUMERKLE_H_
+
+/**
+ * @file
+ * Batch Merkle-tree builders for the simulated GPU (Section 3.1).
+ *
+ * Three strategies, matching the paper's Table 3 columns:
+ *  - CpuMerkleBaseline  : Orion-style host implementation, measured.
+ *  - IntuitiveMerkleGpu : Simon-style, one kernel per tree; threads idle
+ *                         as layers shrink (Figure 4a).
+ *  - PipelinedMerkleGpu : one persistent kernel per layer; trees stream
+ *                         through so lanes never idle (Figure 4b), with
+ *                         dynamic loading/storing and multi-stream
+ *                         overlap.
+ *
+ * Every driver also performs the real hashing for a configurable number
+ * of trees, so cryptographic correctness is tested on the same code path
+ * that the cost model charges.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "gpusim/BatchStats.h"
+#include "gpusim/Device.h"
+#include "hash/Sha256.h"
+#include "merkle/MerkleTree.h"
+#include "util/Rng.h"
+
+namespace bzk {
+
+/** Options shared by the GPU Merkle drivers. */
+struct GpuMerkleOptions
+{
+    /** Lanes this module may use; 0 = whole device (module benches). */
+    double lane_budget = 0.0;
+    /**
+     * When true, tree inputs stream from host memory each cycle and
+     * finished layers stream back (the full system's dynamic loading).
+     * Module benches keep data device-resident, like the baselines.
+     */
+    bool stream_io = false;
+    /** Number of trees to actually hash (functional validation). */
+    size_t functional = 2;
+    /**
+     * Ablation: split lanes equally across layer kernels instead of
+     * proportionally to layer work (the paper's halving allocation).
+     * The bottleneck stage then dominates the cycle.
+     */
+    bool equal_lane_split = false;
+};
+
+/** Simon-style one-kernel-per-tree batch builder (Table 3 baseline). */
+class IntuitiveMerkleGpu
+{
+  public:
+    IntuitiveMerkleGpu(gpusim::Device &dev, GpuMerkleOptions opt = {});
+
+    /**
+     * Build @p batch trees of @p n_blocks 64-byte blocks each.
+     * @param roots receives the roots of the functionally-built trees.
+     */
+    gpusim::BatchStats run(size_t batch, size_t n_blocks, Rng &rng,
+                           std::vector<Digest> *roots = nullptr);
+
+  private:
+    gpusim::Device &dev_;
+    GpuMerkleOptions opt_;
+};
+
+/** The paper's pipelined layer-per-kernel batch builder. */
+class PipelinedMerkleGpu
+{
+  public:
+    PipelinedMerkleGpu(gpusim::Device &dev, GpuMerkleOptions opt = {});
+
+    /** @copydoc IntuitiveMerkleGpu::run */
+    gpusim::BatchStats run(size_t batch, size_t n_blocks, Rng &rng,
+                           std::vector<Digest> *roots = nullptr);
+
+  private:
+    gpusim::Device &dev_;
+    GpuMerkleOptions opt_;
+};
+
+/** Host (Orion-style) baseline, measured in real wall-clock time. */
+class CpuMerkleBaseline
+{
+  public:
+    /**
+     * @param sample_trees how many trees to actually build and time;
+     *        the batch figure is extrapolated (documented in DESIGN.md).
+     */
+    explicit CpuMerkleBaseline(size_t sample_trees = 1)
+        : sample_trees_(sample_trees)
+    {
+    }
+
+    /** @copydoc IntuitiveMerkleGpu::run */
+    gpusim::BatchStats run(size_t batch, size_t n_blocks, Rng &rng,
+                           std::vector<Digest> *roots = nullptr);
+
+  private:
+    size_t sample_trees_;
+};
+
+/** Generate @p n_blocks pseudo-random 64-byte blocks. */
+std::vector<uint8_t> randomBlocks(size_t n_blocks, Rng &rng);
+
+} // namespace bzk
+
+#endif // BZK_MERKLE_GPUMERKLE_H_

@@ -1,0 +1,107 @@
+#include "merkle/MerkleTree.h"
+
+#include <cstring>
+
+#include "util/Log.h"
+
+namespace bzk {
+
+namespace {
+
+size_t
+nextPow2(size_t n)
+{
+    size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+MerkleTree::MerkleTree(std::vector<Digest> leaves, size_t data_compressions)
+{
+    if (leaves.empty())
+        panic("MerkleTree: no leaves");
+    size_t padded = nextPow2(leaves.size());
+    leaves.resize(padded); // zero digests pad the tail
+    compressions_ = data_compressions;
+
+    layers_.push_back(std::move(leaves));
+    while (layers_.back().size() > 1) {
+        const auto &below = layers_.back();
+        std::vector<Digest> above(below.size() / 2);
+        for (size_t i = 0; i < above.size(); ++i) {
+            above[i] = Sha256::hashPair(below[2 * i], below[2 * i + 1]);
+            ++compressions_;
+        }
+        layers_.push_back(std::move(above));
+    }
+}
+
+MerkleTree
+MerkleTree::build(std::span<const uint8_t> data)
+{
+    size_t blocks = (data.size() + 63) / 64;
+    if (blocks == 0)
+        blocks = 1;
+    std::vector<Digest> leaves(blocks);
+    for (size_t i = 0; i < blocks; ++i) {
+        uint8_t block[64] = {0};
+        size_t offset = i * 64;
+        size_t len = offset < data.size()
+                         ? std::min<size_t>(64, data.size() - offset)
+                         : 0;
+        if (len > 0)
+            std::memcpy(block, data.data() + offset, len);
+        leaves[i] = Sha256::compressBlock(std::span<const uint8_t, 64>(block));
+    }
+    return MerkleTree(std::move(leaves), blocks);
+}
+
+MerkleTree
+MerkleTree::buildFromLeaves(std::vector<Digest> leaves)
+{
+    return MerkleTree(std::move(leaves), 0);
+}
+
+const Digest &
+MerkleTree::leaf(size_t leaf_index) const
+{
+    if (leaf_index >= numLeaves())
+        panic("MerkleTree::leaf: index %zu out of %zu", leaf_index,
+              numLeaves());
+    return layers_.front()[leaf_index];
+}
+
+MerklePath
+MerkleTree::path(size_t leaf_index) const
+{
+    if (leaf_index >= numLeaves())
+        panic("MerkleTree::path: index %zu out of %zu", leaf_index,
+              numLeaves());
+    MerklePath p;
+    p.leaf_index = leaf_index;
+    size_t idx = leaf_index;
+    for (size_t layer = 0; layer + 1 < layers_.size(); ++layer) {
+        p.siblings.push_back(layers_[layer][idx ^ 1]);
+        idx >>= 1;
+    }
+    return p;
+}
+
+bool
+MerkleTree::verifyPath(const Digest &root, const Digest &leaf,
+                       const MerklePath &path)
+{
+    Digest node = leaf;
+    size_t idx = path.leaf_index;
+    for (const Digest &sibling : path.siblings) {
+        node = (idx & 1) ? Sha256::hashPair(sibling, node)
+                         : Sha256::hashPair(node, sibling);
+        idx >>= 1;
+    }
+    return node == root;
+}
+
+} // namespace bzk

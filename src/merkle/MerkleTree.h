@@ -1,0 +1,84 @@
+#ifndef BZK_MERKLE_MERKLETREE_H_
+#define BZK_MERKLE_MERKLETREE_H_
+
+/**
+ * @file
+ * Reference Merkle tree (Figure 2 of the paper).
+ *
+ * Input data is split into 512-bit blocks; each block is compressed to a
+ * 256-bit leaf with one SHA-256 block compression, and parent nodes hash
+ * the concatenation of their two children with another single
+ * compression. A tree over N blocks therefore costs exactly 2N - 1
+ * compressions, the unit the GPU cost model charges.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hash/Sha256.h"
+
+namespace bzk {
+
+/** An authentication path from a leaf to the root. */
+struct MerklePath
+{
+    /** Index of the proven leaf. */
+    size_t leaf_index = 0;
+    /** Sibling digests from the leaf layer up to just below the root. */
+    std::vector<Digest> siblings;
+};
+
+/** In-memory Merkle tree with all layers retained. */
+class MerkleTree
+{
+  public:
+    /**
+     * Build a tree over @p data interpreted as 64-byte blocks. The block
+     * count is padded with zero blocks up to the next power of two.
+     */
+    static MerkleTree build(std::span<const uint8_t> data);
+
+    /**
+     * Build a tree whose leaves are the given digests (e.g. column
+     * hashes from the polynomial commitment). Padded with zero digests
+     * to a power of two.
+     */
+    static MerkleTree buildFromLeaves(std::vector<Digest> leaves);
+
+    /** The Merkle root. */
+    const Digest &root() const { return layers_.back()[0]; }
+
+    /** Number of leaves (after padding). */
+    size_t numLeaves() const { return layers_.front().size(); }
+
+    /** Total SHA-256 compressions spent building this tree. */
+    size_t compressions() const { return compressions_; }
+
+    /** All layers, leaves first. */
+    const std::vector<std::vector<Digest>> &layers() const { return layers_; }
+
+    /** Authentication path for @p leaf_index. */
+    MerklePath path(size_t leaf_index) const;
+
+    /** The digest of leaf @p leaf_index. */
+    const Digest &leaf(size_t leaf_index) const;
+
+    /**
+     * Verify that @p leaf sits at @p path.leaf_index under @p root.
+     * Pure function: needs no tree instance.
+     */
+    static bool verifyPath(const Digest &root, const Digest &leaf,
+                           const MerklePath &path);
+
+  private:
+    explicit MerkleTree(std::vector<Digest> leaves, size_t data_compressions);
+
+    std::vector<std::vector<Digest>> layers_;
+    size_t compressions_ = 0;
+};
+
+} // namespace bzk
+
+#endif // BZK_MERKLE_MERKLETREE_H_

@@ -1,0 +1,176 @@
+#ifndef BZK_POLY_MULTILINEAR_H_
+#define BZK_POLY_MULTILINEAR_H_
+
+/**
+ * @file
+ * Multilinear polynomials over the Boolean hypercube.
+ *
+ * A multilinear polynomial in n variables is represented by its 2^n
+ * evaluations over {0,1}^n — exactly the "table A" of the paper's
+ * Algorithm 1. Index b encodes the point (b_1, ..., b_n) with
+ * b = sum b_i 2^{i-1}, i.e. variable x_1 is the least-significant bit.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/Log.h"
+#include "util/Rng.h"
+
+namespace bzk {
+
+/**
+ * Dense multilinear polynomial given by its hypercube evaluation table.
+ *
+ * @tparam F field type (Fr, Gl64, ...).
+ */
+template <typename F>
+class Multilinear
+{
+  public:
+    Multilinear() = default;
+
+    /** Wrap an evaluation table; size must be a power of two. */
+    explicit Multilinear(std::vector<F> evals) : evals_(std::move(evals))
+    {
+        if (evals_.empty() || (evals_.size() & (evals_.size() - 1)))
+            panic("Multilinear: table size %zu not a power of two",
+                  evals_.size());
+    }
+
+    /** Uniformly random polynomial with 2^n entries. */
+    static Multilinear
+    random(unsigned n, Rng &rng)
+    {
+        std::vector<F> evals(size_t{1} << n);
+        for (auto &e : evals)
+            e = F::random(rng);
+        return Multilinear(std::move(evals));
+    }
+
+    /** Number of variables n. */
+    unsigned
+    numVars() const
+    {
+        unsigned n = 0;
+        while ((size_t{1} << n) < evals_.size())
+            ++n;
+        return n;
+    }
+
+    /** The evaluation table (size 2^n). */
+    const std::vector<F> &evals() const { return evals_; }
+
+    /** Mutable access to the evaluation table. */
+    std::vector<F> &evals() { return evals_; }
+
+    /** Sum of the polynomial over the whole hypercube. */
+    F
+    sumOverHypercube() const
+    {
+        F acc = F::zero();
+        for (const F &e : evals_)
+            acc += e;
+        return acc;
+    }
+
+    /**
+     * Evaluate at an arbitrary point (r_1, ..., r_n) by n rounds of
+     * table folding: A'[b] = (1 - r_i) A[b] + r_i A[b + half].
+     */
+    F
+    evaluate(const std::vector<F> &point) const
+    {
+        if (point.size() != numVars())
+            panic("Multilinear::evaluate: %zu coords for %u vars",
+                  point.size(), numVars());
+        std::vector<F> table = evals_;
+        size_t half = table.size() / 2;
+        for (const F &r : point) {
+            for (size_t b = 0; b < half; ++b)
+                table[b] = table[b] + r * (table[b + half] - table[b]);
+            half /= 2;
+        }
+        return table[0];
+    }
+
+    /**
+     * Fix the first variable x_1 := r, producing an (n-1)-variable
+     * polynomial — one round of Algorithm 1's update.
+     *
+     * Note Algorithm 1 folds on the *most*-significant bit: entry b pairs
+     * with b + 2^{n-i}. We follow that exact order so proofs match the
+     * paper's round structure; evaluate() above mirrors it.
+     */
+    Multilinear
+    fixVariable(const F &r) const
+    {
+        size_t half = evals_.size() / 2;
+        std::vector<F> folded(half);
+        for (size_t b = 0; b < half; ++b)
+            folded[b] = evals_[b] + r * (evals_[b + half] - evals_[b]);
+        return Multilinear(std::move(folded));
+    }
+
+  private:
+    std::vector<F> evals_;
+};
+
+/**
+ * eq(r, x): the multilinear extension of equality. Returns the table of
+ * eq(r, b) for all b in {0,1}^n, with the same bit order as Multilinear
+ * (variable i paired with bit 2^{n-i} to match Algorithm 1 folding).
+ */
+template <typename F>
+std::vector<F>
+eqTable(const std::vector<F> &r)
+{
+    std::vector<F> table{F::one()};
+    table.reserve(size_t{1} << r.size());
+    // Each doubling step makes the newly-processed variable control the
+    // current top bit. Processing r back-to-front therefore leaves r[0]
+    // on the most-significant bit, matching evaluate()'s fold order.
+    for (auto it = r.rbegin(); it != r.rend(); ++it) {
+        const F &ri = *it;
+        size_t half = table.size();
+        table.resize(half * 2);
+        for (size_t b = 0; b < half; ++b) {
+            F lo = table[b] * (F::one() - ri);
+            F hi = table[b] * ri;
+            table[b] = lo;
+            table[b + half] = hi;
+        }
+    }
+    return table;
+}
+
+/**
+ * Lagrange interpolation of the unique degree-(k-1) univariate polynomial
+ * through points (xs[i], ys[i]), evaluated at @p x. Used by the system to
+ * encode host-side intermediate results into polynomials (Sec. 4).
+ */
+template <typename F>
+F
+lagrangeEval(const std::vector<F> &xs, const std::vector<F> &ys, const F &x)
+{
+    if (xs.size() != ys.size())
+        panic("lagrangeEval: mismatched point count");
+    F acc = F::zero();
+    for (size_t i = 0; i < xs.size(); ++i) {
+        F num = F::one();
+        F den = F::one();
+        for (size_t j = 0; j < xs.size(); ++j) {
+            if (j == i)
+                continue;
+            num *= x - xs[j];
+            den *= xs[i] - xs[j];
+        }
+        acc += ys[i] * num * den.inverse();
+    }
+    return acc;
+}
+
+} // namespace bzk
+
+#endif // BZK_POLY_MULTILINEAR_H_

@@ -1,0 +1,248 @@
+#include "sumcheck/GpuSumcheck.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gpusim/Calibration.h"
+#include "util/Timer.h"
+
+namespace bzk {
+
+using gpusim::BatchStats;
+using gpusim::KernelDesc;
+using gpusim::OpId;
+using gpusim::StreamId;
+
+namespace {
+
+/**
+ * Lane-cycles per table pair in one round: the fold
+ * A[b] += r * (A[b+half] - A[b]) costs one field multiplication plus a
+ * few additions, and the two running sums cost two more additions
+ * (Sec. 3.2: "only several basic addition and multiplication").
+ */
+double
+pairCycles()
+{
+    return gpusim::kFieldMulCycles + 6.0 * gpusim::kFieldAddCycles;
+}
+
+/** Pairs processed in round i (0-based) of an n-variable sum-check. */
+size_t
+roundPairs(unsigned n, unsigned i)
+{
+    return size_t{1} << (n - 1 - i);
+}
+
+/** Build @p count real proofs, deriving challenges via Fiat-Shamir. */
+void
+buildFunctionalProofs(size_t count, unsigned n, Rng &rng,
+                      std::vector<SumcheckProof<Fr>> *proofs)
+{
+    for (size_t i = 0; i < count; ++i) {
+        auto poly = Multilinear<Fr>::random(n, rng);
+        Transcript transcript("batchzk.sumcheck.module");
+        transcript.absorbField("sum", poly.sumOverHypercube());
+        auto fs = proveSumcheckFs(poly, transcript);
+        if (proofs)
+            proofs->push_back(std::move(fs.proof));
+    }
+}
+
+} // namespace
+
+IntuitiveSumcheckGpu::IntuitiveSumcheckGpu(gpusim::Device &dev,
+                                           GpuSumcheckOptions opt)
+    : dev_(dev), opt_(opt)
+{
+}
+
+BatchStats
+IntuitiveSumcheckGpu::run(size_t batch, unsigned n, Rng &rng,
+                          std::vector<SumcheckProof<Fr>> *proofs)
+{
+    buildFunctionalProofs(std::min<size_t>(batch, opt_.functional), n, rng,
+                          proofs);
+
+    dev_.resetTimeline();
+    dev_.resetMemoryPeak();
+
+    double cores = opt_.lane_budget > 0
+                       ? std::min<double>(opt_.lane_budget,
+                                          dev_.spec().cuda_cores)
+                       : dev_.spec().cuda_cores;
+    size_t table_bytes = (size_t{1} << n) * Fr::kNumBytes;
+
+    // The intuitive scheme stages every proof's table up front.
+    int64_t tables_mem = dev_.alloc(batch * table_bytes);
+
+    StreamId stream = dev_.createStream();
+
+    // Icicle-style penalties: generic big-int field ops that round-trip
+    // global memory, and a host-synchronized relaunch per round.
+    double sync_cycles = gpusim::kHostSyncMs * dev_.spec().cyclesPerMs();
+    double first_end = 0.0;
+    for (size_t p = 0; p < batch; ++p) {
+        // Input transfer on the same stream: the intuitive
+        // implementation does not overlap copies with compute.
+        if (opt_.stream_io)
+            dev_.copyH2D(stream, table_bytes);
+        KernelDesc k;
+        k.name = "sumcheck_proof";
+        double lanes = std::min<double>(
+            cores, static_cast<double>(roundPairs(n, 0)));
+        k.lanes = lanes;
+        uint64_t traffic = 0;
+        for (unsigned i = 0; i < n; ++i) {
+            double pairs = static_cast<double>(roundPairs(n, i));
+            double waves = std::ceil(pairs / lanes);
+            k.profile.push_back(
+                {waves * pairCycles() * gpusim::kIcicleFieldFactor +
+                     sync_cycles,
+                 std::min(pairs, lanes)});
+            traffic += static_cast<uint64_t>(pairs) * 96;
+        }
+        k.mem_bytes = traffic;
+        OpId op = dev_.launchKernel(stream, k);
+        if (opt_.stream_io)
+            dev_.copyD2H(stream, n * 2 * Fr::kNumBytes, op);
+        if (p == 0)
+            first_end = dev_.opEnd(op);
+    }
+
+    BatchStats stats;
+    stats.batch = batch;
+    stats.total_ms = dev_.now();
+    stats.first_latency_ms = first_end;
+    stats.item_latency_ms = first_end;
+    stats.throughput_per_ms = batch / stats.total_ms;
+    stats.peak_device_bytes = dev_.peakMemory();
+    stats.busy_lane_ms = dev_.busyLaneMs();
+    stats.utilization =
+        stats.busy_lane_ms / (stats.total_ms * dev_.spec().cuda_cores);
+
+    dev_.free(tables_mem);
+    return stats;
+}
+
+PipelinedSumcheckGpu::PipelinedSumcheckGpu(gpusim::Device &dev,
+                                           GpuSumcheckOptions opt)
+    : dev_(dev), opt_(opt)
+{
+}
+
+BatchStats
+PipelinedSumcheckGpu::run(size_t batch, unsigned n, Rng &rng,
+                          std::vector<SumcheckProof<Fr>> *proofs)
+{
+    buildFunctionalProofs(std::min<size_t>(batch, opt_.functional), n, rng,
+                          proofs);
+
+    dev_.resetTimeline();
+    dev_.resetMemoryPeak();
+
+    double lanes_total = opt_.lane_budget > 0
+                             ? std::min<double>(opt_.lane_budget,
+                                                dev_.spec().cuda_cores)
+                             : dev_.spec().cuda_cores;
+    size_t table_bytes = (size_t{1} << n) * Fr::kNumBytes;
+
+    // Round i's stage gets lanes proportional to its pair count, so all
+    // stages complete a cycle's quota in the same number of waves.
+    double total_pairs = static_cast<double>((size_t{1} << n) - 1);
+    std::vector<double> stage_lanes(n);
+    for (unsigned i = 0; i < n; ++i) {
+        stage_lanes[i] = std::max(
+            1.0, lanes_total * static_cast<double>(roundPairs(n, i)) /
+                     total_pairs);
+    }
+    double cycle_cycles = 0.0;
+    for (unsigned i = 0; i < n; ++i) {
+        double waves = std::ceil(roundPairs(n, i) / stage_lanes[i]);
+        cycle_cycles = std::max(cycle_cycles, waves * pairCycles());
+    }
+
+    // Figure 5: two recyclable buffers, alternating read/write roles
+    // every cycle; each holds every stage's live table.
+    int64_t pingpong_mem = dev_.alloc(2 * 2 * table_bytes);
+
+    StreamId compute = dev_.createStream();
+    StreamId h2d = dev_.createStream();
+    StreamId d2h = dev_.createStream();
+
+    size_t cycles = batch + n - 1;
+    double first_end = 0.0;
+    OpId prev_load = gpusim::kNoOp;
+    for (size_t c = 0; c < cycles; ++c) {
+        OpId load = gpusim::kNoOp;
+        if (opt_.stream_io && c < batch)
+            load = dev_.copyH2D(h2d, table_bytes);
+
+        double active = 0.0;
+        double pairs_this_cycle = 0.0;
+        for (unsigned i = 0; i < n; ++i) {
+            if (c >= i && c - i < batch) {
+                active += stage_lanes[i];
+                pairs_this_cycle += static_cast<double>(roundPairs(n, i));
+            }
+        }
+        KernelDesc k;
+        k.name = "sumcheck_pipe_cycle";
+        k.lanes = lanes_total;
+        k.profile.push_back({cycle_cycles, active});
+        k.mem_bytes = static_cast<uint64_t>(pairs_this_cycle * 96.0);
+        OpId op = dev_.launchKernel(compute, k, prev_load);
+        prev_load = load;
+
+        if (opt_.stream_io && c + 1 >= static_cast<size_t>(n))
+            dev_.copyD2H(d2h, n * 2 * Fr::kNumBytes, op);
+        if (c == static_cast<size_t>(n) - 1)
+            first_end = dev_.opEnd(op);
+    }
+
+    BatchStats stats;
+    stats.batch = batch;
+    stats.total_ms = dev_.now();
+    stats.first_latency_ms = first_end;
+    stats.item_latency_ms =
+        static_cast<double>(n) * cycle_cycles / dev_.spec().cyclesPerMs();
+    stats.throughput_per_ms = batch / stats.total_ms;
+    stats.peak_device_bytes = dev_.peakMemory();
+    stats.busy_lane_ms = dev_.busyLaneMs();
+    stats.utilization =
+        stats.busy_lane_ms / (stats.total_ms * dev_.spec().cuda_cores);
+
+    dev_.free(pingpong_mem);
+    return stats;
+}
+
+BatchStats
+CpuSumcheckBaseline::run(size_t batch, unsigned n, Rng &rng,
+                         std::vector<SumcheckProof<Fr>> *proofs)
+{
+    size_t samples = std::max<size_t>(1, std::min(sample_proofs_, batch));
+    std::vector<Multilinear<Fr>> polys;
+    polys.reserve(samples);
+    for (size_t i = 0; i < samples; ++i)
+        polys.push_back(Multilinear<Fr>::random(n, rng));
+
+    Timer timer;
+    for (size_t i = 0; i < samples; ++i) {
+        Transcript transcript("batchzk.sumcheck.module");
+        transcript.absorbField("sum", polys[i].sumOverHypercube());
+        auto fs = proveSumcheckFs(polys[i], transcript);
+        if (proofs)
+            proofs->push_back(std::move(fs.proof));
+    }
+    double per_proof = timer.milliseconds() / static_cast<double>(samples);
+
+    BatchStats stats;
+    stats.batch = batch;
+    stats.total_ms = per_proof * static_cast<double>(batch);
+    stats.first_latency_ms = per_proof;
+    stats.item_latency_ms = per_proof;
+    stats.throughput_per_ms = 1.0 / per_proof;
+    return stats;
+}
+
+} // namespace bzk

@@ -1,0 +1,97 @@
+#ifndef BZK_SUMCHECK_GPUSUMCHECK_H_
+#define BZK_SUMCHECK_GPUSUMCHECK_H_
+
+/**
+ * @file
+ * Batch sum-check provers for the simulated GPU (Section 3.2).
+ *
+ * Table 4's three columns:
+ *  - CpuSumcheckBaseline   : Arkworks-style host prover, measured.
+ *  - IntuitiveSumcheckGpu  : Icicle-style, one kernel per proof; rounds
+ *                            serialize inside the kernel and lanes idle
+ *                            as the table halves.
+ *  - PipelinedSumcheckGpu  : one kernel per round; proofs stream through
+ *                            rounds, with the two recyclable ping-pong
+ *                            buffers of Figure 5 and tree-reduction sums.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "ff/Fields.h"
+#include "gpusim/BatchStats.h"
+#include "gpusim/Device.h"
+#include "sumcheck/Sumcheck.h"
+#include "util/Rng.h"
+
+namespace bzk {
+
+/** Options shared by the GPU sum-check drivers. */
+struct GpuSumcheckOptions
+{
+    /** Lanes this module may use; 0 = whole device. */
+    double lane_budget = 0.0;
+    /**
+     * Stream each proof's table from host memory per cycle. Defaults to
+     * true: the paper's sum-check module always loads its input tables
+     * from the host (Sec. 4), so the module benches include it.
+     */
+    bool stream_io = true;
+    /** Number of proofs to generate functionally. */
+    size_t functional = 1;
+};
+
+/** Icicle-style one-kernel-per-proof driver (Table 4 baseline). */
+class IntuitiveSumcheckGpu
+{
+  public:
+    IntuitiveSumcheckGpu(gpusim::Device &dev, GpuSumcheckOptions opt = {});
+
+    /**
+     * Generate @p batch sum-check proofs for n-variable multilinear
+     * polynomials (table size 2^n).
+     * @param proofs receives the functionally-generated proofs.
+     */
+    gpusim::BatchStats run(size_t batch, unsigned n, Rng &rng,
+                           std::vector<SumcheckProof<Fr>> *proofs = nullptr);
+
+  private:
+    gpusim::Device &dev_;
+    GpuSumcheckOptions opt_;
+};
+
+/** The paper's pipelined round-per-kernel driver. */
+class PipelinedSumcheckGpu
+{
+  public:
+    PipelinedSumcheckGpu(gpusim::Device &dev, GpuSumcheckOptions opt = {});
+
+    /** @copydoc IntuitiveSumcheckGpu::run */
+    gpusim::BatchStats run(size_t batch, unsigned n, Rng &rng,
+                           std::vector<SumcheckProof<Fr>> *proofs = nullptr);
+
+  private:
+    gpusim::Device &dev_;
+    GpuSumcheckOptions opt_;
+};
+
+/** Host (Arkworks-style) baseline, measured in wall-clock time. */
+class CpuSumcheckBaseline
+{
+  public:
+    explicit CpuSumcheckBaseline(size_t sample_proofs = 1)
+        : sample_proofs_(sample_proofs)
+    {
+    }
+
+    /** @copydoc IntuitiveSumcheckGpu::run */
+    gpusim::BatchStats run(size_t batch, unsigned n, Rng &rng,
+                           std::vector<SumcheckProof<Fr>> *proofs = nullptr);
+
+  private:
+    size_t sample_proofs_;
+};
+
+} // namespace bzk
+
+#endif // BZK_SUMCHECK_GPUSUMCHECK_H_

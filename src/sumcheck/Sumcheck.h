@@ -1,0 +1,271 @@
+#ifndef BZK_SUMCHECK_SUMCHECK_H_
+#define BZK_SUMCHECK_SUMCHECK_H_
+
+/**
+ * @file
+ * The sum-check protocol (paper Sec. 2.3, Algorithm 1).
+ *
+ * proveSumcheck() is a line-for-line implementation of Algorithm 1 for a
+ * multilinear polynomial: round i emits the two half-table sums
+ * (pi_i1, pi_i2) and folds the table with the round challenge.
+ *
+ * ProductSumcheck generalizes to sums of products of up to a few
+ * multilinear factors (degree-d round polynomials), which the SNARK core
+ * needs for its constraint check (eq * Az * Bz style terms).
+ *
+ * Fiat-Shamir wrappers derive challenges from a Transcript so prover and
+ * verifier stay non-interactive and in sync.
+ */
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "hash/Transcript.h"
+#include "poly/Multilinear.h"
+#include "util/Log.h"
+
+namespace bzk {
+
+/** Proof of Algorithm 1: one (pi_i1, pi_i2) pair per round. */
+template <typename F>
+struct SumcheckProof
+{
+    std::vector<std::array<F, 2>> rounds;
+};
+
+/** Verifier outcome of a sum-check run. */
+template <typename F>
+struct SumcheckVerdict
+{
+    bool ok = false;
+    /** The claim remaining after all rounds: must equal p(point). */
+    F final_claim{};
+    /** The random point accumulated over the rounds. */
+    std::vector<F> point;
+};
+
+/**
+ * Algorithm 1: generate a sum-check proof for multilinear @p poly under
+ * the given @p challenges (r_1 ... r_n).
+ */
+template <typename F>
+SumcheckProof<F>
+proveSumcheck(const Multilinear<F> &poly, const std::vector<F> &challenges)
+{
+    unsigned n = poly.numVars();
+    if (challenges.size() != n)
+        panic("proveSumcheck: %zu challenges for %u vars",
+              challenges.size(), n);
+
+    SumcheckProof<F> proof;
+    proof.rounds.reserve(n);
+    std::vector<F> table = poly.evals();
+    for (unsigned i = 0; i < n; ++i) {
+        size_t half = table.size() / 2;
+        F pi1 = F::zero();
+        F pi2 = F::zero();
+        for (size_t b = 0; b < half; ++b) {
+            pi1 += table[b];
+            pi2 += table[b + half];
+            table[b] = table[b] +
+                       challenges[i] * (table[b + half] - table[b]);
+        }
+        table.resize(half);
+        proof.rounds.push_back({pi1, pi2});
+    }
+    return proof;
+}
+
+/**
+ * Verify a sum-check proof against claimed sum @p claimed_sum.
+ * The caller must still check verdict.final_claim == p(verdict.point)
+ * using an oracle for p (direct evaluation in tests, the polynomial
+ * commitment in the SNARK).
+ */
+template <typename F>
+SumcheckVerdict<F>
+verifySumcheck(const F &claimed_sum, const SumcheckProof<F> &proof,
+               const std::vector<F> &challenges)
+{
+    SumcheckVerdict<F> verdict;
+    if (challenges.size() != proof.rounds.size())
+        return verdict;
+    F claim = claimed_sum;
+    for (size_t i = 0; i < proof.rounds.size(); ++i) {
+        const F &pi1 = proof.rounds[i][0];
+        const F &pi2 = proof.rounds[i][1];
+        if (pi1 + pi2 != claim)
+            return verdict;
+        const F &r = challenges[i];
+        claim = pi1 + r * (pi2 - pi1);
+        verdict.point.push_back(r);
+    }
+    verdict.ok = true;
+    verdict.final_claim = claim;
+    return verdict;
+}
+
+/** Fiat-Shamir sum-check output: the proof plus derived challenges. */
+template <typename F>
+struct FsSumcheck
+{
+    SumcheckProof<F> proof;
+    std::vector<F> challenges;
+};
+
+/**
+ * Non-interactive Algorithm 1: challenges come from @p transcript, which
+ * must already have absorbed the statement (commitment, claimed sum).
+ */
+template <typename F>
+FsSumcheck<F>
+proveSumcheckFs(const Multilinear<F> &poly, Transcript &transcript)
+{
+    unsigned n = poly.numVars();
+    FsSumcheck<F> out;
+    out.proof.rounds.reserve(n);
+    std::vector<F> table = poly.evals();
+    for (unsigned i = 0; i < n; ++i) {
+        size_t half = table.size() / 2;
+        F pi1 = F::zero();
+        F pi2 = F::zero();
+        for (size_t b = 0; b < half; ++b) {
+            pi1 += table[b];
+            pi2 += table[b + half];
+        }
+        transcript.absorbField("sc.pi1", pi1);
+        transcript.absorbField("sc.pi2", pi2);
+        F r = transcript.template challengeField<F>("sc.r");
+        for (size_t b = 0; b < half; ++b)
+            table[b] = table[b] + r * (table[b + half] - table[b]);
+        table.resize(half);
+        out.proof.rounds.push_back({pi1, pi2});
+        out.challenges.push_back(r);
+    }
+    return out;
+}
+
+/**
+ * Verifier side of proveSumcheckFs: replays the transcript to derive the
+ * same challenges, then runs the algebraic checks.
+ */
+template <typename F>
+SumcheckVerdict<F>
+verifySumcheckFs(const F &claimed_sum, const SumcheckProof<F> &proof,
+                 Transcript &transcript)
+{
+    std::vector<F> challenges;
+    challenges.reserve(proof.rounds.size());
+    for (const auto &round : proof.rounds) {
+        transcript.absorbField("sc.pi1", round[0]);
+        transcript.absorbField("sc.pi2", round[1]);
+        challenges.push_back(transcript.template challengeField<F>("sc.r"));
+    }
+    return verifySumcheck(claimed_sum, proof, challenges);
+}
+
+/**
+ * Proof for a sum of products of multilinear factors. Round i carries
+ * the round polynomial g_i evaluated at 0, 1, ..., d where d is the
+ * number of factors.
+ */
+template <typename F>
+struct ProductSumcheckProof
+{
+    std::vector<std::vector<F>> rounds;
+};
+
+/**
+ * Prove sum_{x in {0,1}^n} prod_j factors[j](x) == (implicit claim).
+ * Challenges come from @p transcript. On return @p factors have been
+ * fully folded; factors[j].evals()[0] is factor j's value at the final
+ * point, which the caller typically needs for the outer protocol.
+ */
+template <typename F>
+ProductSumcheckProof<F>
+proveProductSumcheckFs(std::vector<Multilinear<F>> &factors,
+                       Transcript &transcript,
+                       std::vector<F> *point_out = nullptr)
+{
+    if (factors.empty())
+        panic("proveProductSumcheckFs: no factors");
+    unsigned n = factors[0].numVars();
+    for (const auto &f : factors)
+        if (f.numVars() != n)
+            panic("proveProductSumcheckFs: mismatched factor sizes");
+    size_t degree = factors.size();
+
+    ProductSumcheckProof<F> proof;
+    proof.rounds.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        size_t half = factors[0].evals().size() / 2;
+        // g(t) for t = 0 .. degree: evaluate each factor at
+        // (1-t)*lo + t*hi and accumulate the product.
+        std::vector<F> g(degree + 1, F::zero());
+        for (size_t b = 0; b < half; ++b) {
+            for (size_t t = 0; t <= degree; ++t) {
+                F t_f = F::fromUint(t);
+                F term = F::one();
+                for (const auto &f : factors) {
+                    const F &lo = f.evals()[b];
+                    const F &hi = f.evals()[b + half];
+                    term *= lo + t_f * (hi - lo);
+                }
+                g[t] += term;
+            }
+        }
+        for (size_t t = 0; t <= degree; ++t)
+            transcript.absorbField("psc.g", g[t]);
+        F r = transcript.template challengeField<F>("psc.r");
+        for (auto &f : factors) {
+            auto &tab = f.evals();
+            for (size_t b = 0; b < half; ++b)
+                tab[b] = tab[b] + r * (tab[b + half] - tab[b]);
+            tab.resize(half);
+            // Rewrap keeps the invariant table-size == power of two.
+            f = Multilinear<F>(std::move(tab));
+        }
+        if (point_out)
+            point_out->push_back(r);
+        proof.rounds.push_back(std::move(g));
+    }
+    return proof;
+}
+
+/**
+ * Verify a product sum-check. Returns the verdict whose final_claim must
+ * equal prod_j factors[j](point) — checked by the caller with whatever
+ * oracle it has for the factors.
+ */
+template <typename F>
+SumcheckVerdict<F>
+verifyProductSumcheckFs(const F &claimed_sum,
+                        const ProductSumcheckProof<F> &proof,
+                        Transcript &transcript)
+{
+    SumcheckVerdict<F> verdict;
+    F claim = claimed_sum;
+    for (const auto &g : proof.rounds) {
+        if (g.size() < 2)
+            return verdict;
+        if (g[0] + g[1] != claim)
+            return verdict;
+        for (const F &gi : g)
+            transcript.absorbField("psc.g", gi);
+        F r = transcript.template challengeField<F>("psc.r");
+        // Interpolate the degree-d round polynomial through 0..d at r.
+        std::vector<F> xs(g.size());
+        for (size_t t = 0; t < g.size(); ++t)
+            xs[t] = F::fromUint(t);
+        claim = lagrangeEval(xs, g, r);
+        verdict.point.push_back(r);
+    }
+    verdict.ok = true;
+    verdict.final_claim = claim;
+    return verdict;
+}
+
+} // namespace bzk
+
+#endif // BZK_SUMCHECK_SUMCHECK_H_

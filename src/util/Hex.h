@@ -1,0 +1,28 @@
+#ifndef BZK_UTIL_HEX_H_
+#define BZK_UTIL_HEX_H_
+
+/**
+ * @file
+ * Hex encoding helpers for digests and field elements.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bzk {
+
+/** Encode @p bytes as a lowercase hex string. */
+std::string toHex(std::span<const uint8_t> bytes);
+
+/**
+ * Decode a lowercase/uppercase hex string into bytes.
+ * @return decoded bytes; empty when @p hex has odd length or bad digits.
+ */
+std::vector<uint8_t> fromHex(const std::string &hex);
+
+} // namespace bzk
+
+#endif // BZK_UTIL_HEX_H_

@@ -1,0 +1,57 @@
+#ifndef BZK_UTIL_LOG_H_
+#define BZK_UTIL_LOG_H_
+
+/**
+ * @file
+ * Leveled logging and error-reporting helpers.
+ *
+ * Follows the gem5 convention: inform() for status, warn() for suspicious
+ * but survivable conditions, fatal() for user errors (clean exit), and
+ * panic() for internal invariant violations (abort).
+ */
+
+#include <cstdarg>
+#include <string>
+
+namespace bzk {
+
+/** Verbosity levels for the global logger. */
+enum class LogLevel {
+    Quiet = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+};
+
+/** Set the global log verbosity. Thread-safe. */
+void setLogLevel(LogLevel level);
+
+/** Get the current global log verbosity. */
+LogLevel logLevel();
+
+/** Status message users should see but not worry about. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Something looks off but the run can continue. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Developer-facing chatter, hidden unless LogLevel::Debug. */
+void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * The run cannot continue because of a user-facing condition (bad
+ * configuration, invalid argument). Exits with status 1.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * An internal invariant was violated — a bug in this library. Aborts so a
+ * debugger or core dump can capture the state.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace bzk
+
+#endif // BZK_UTIL_LOG_H_

@@ -1,0 +1,89 @@
+#ifndef BZK_UTIL_RNG_H_
+#define BZK_UTIL_RNG_H_
+
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All randomized structures in the library (expander graphs, synthetic
+ * witnesses, workload generators) draw from this splitmix64/xoshiro256**
+ * generator so runs are reproducible from a single seed.
+ */
+
+#include <cstdint>
+
+namespace bzk {
+
+/** splitmix64 step — also used standalone to derive seeds. */
+inline uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** PRNG. Not cryptographically secure; used only for workload
+ * and graph generation, never for protocol challenges (those come from the
+ * Fiat-Shamir transcript).
+ */
+class Rng
+{
+  public:
+    /** Seed the generator; every distinct seed gives a distinct stream. */
+    explicit Rng(uint64_t seed = 0x243f6a8885a308d3ULL)
+    {
+        uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitmix64(sm);
+    }
+
+    /** Next uniformly distributed 64-bit value. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound) using Lemire's multiply-shift. */
+    uint64_t
+    nextBounded(uint64_t bound)
+    {
+        if (bound == 0)
+            return 0;
+        // Rejection-free 128-bit multiply; bias is negligible for the
+        // bounds used here (all far below 2^64).
+        return static_cast<uint64_t>(
+            (static_cast<__uint128_t>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4];
+};
+
+} // namespace bzk
+
+#endif // BZK_UTIL_RNG_H_

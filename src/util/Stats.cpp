@@ -1,0 +1,92 @@
+#include "util/Stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace bzk {
+
+void
+RunningStats::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row,
+                        std::ostringstream &os) {
+        os << "|";
+        for (size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell = c < row.size() ? row[c] : "";
+            os << " " << cell << std::string(widths[c] - cell.size(), ' ')
+               << " |";
+        }
+        os << "\n";
+    };
+
+    std::ostringstream os;
+    emit_row(headers_, os);
+    os << "|";
+    for (size_t c = 0; c < widths.size(); ++c)
+        os << std::string(widths[c] + 2, '-') << "|";
+    os << "\n";
+    for (const auto &row : rows_)
+        emit_row(row, os);
+    return os.str();
+}
+
+std::string
+formatSig(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*g", digits, value);
+    return buf;
+}
+
+} // namespace bzk

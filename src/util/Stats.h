@@ -1,0 +1,79 @@
+#ifndef BZK_UTIL_STATS_H_
+#define BZK_UTIL_STATS_H_
+
+/**
+ * @file
+ * Running statistics and fixed-width table printing used by the
+ * benchmark harnesses to regenerate the paper's tables.
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bzk {
+
+/** Online mean/min/max/variance accumulator (Welford). */
+class RunningStats
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double x);
+
+    /** Number of samples folded in so far. */
+    size_t count() const { return count_; }
+
+    /** Mean of the samples; 0 when empty. */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Smallest sample; 0 when empty. */
+    double min() const { return count_ ? min_ : 0.0; }
+
+    /** Largest sample; 0 when empty. */
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Sample variance; 0 with fewer than two samples. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+  private:
+    size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Fixed-width ASCII table builder. Benchmarks use it so every reproduced
+ * table prints with the same rows/columns the paper reports.
+ */
+class TablePrinter
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append one row; cells beyond the header count are dropped. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table (headers, rule, rows) as a string. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format @p value with @p digits significant decimal digits. */
+std::string formatSig(double value, int digits = 4);
+
+} // namespace bzk
+
+#endif // BZK_UTIL_STATS_H_

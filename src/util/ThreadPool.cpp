@@ -1,0 +1,86 @@
+#include "util/ThreadPool.h"
+
+#include <algorithm>
+
+namespace bzk {
+
+ThreadPool::ThreadPool(size_t num_threads)
+{
+    if (num_threads == 0) {
+        num_threads = std::max(1u, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        jobs_.push(std::move(job));
+        ++in_flight_;
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void
+ThreadPool::parallelFor(size_t n,
+                        const std::function<void(size_t, size_t)> &body)
+{
+    if (n == 0)
+        return;
+    size_t chunks = std::min(n, workers_.size() * 4);
+    size_t chunk = (n + chunks - 1) / chunks;
+    for (size_t begin = 0; begin < n; begin += chunk) {
+        size_t end = std::min(n, begin + chunk);
+        submit([&body, begin, end] { body(begin, end); });
+    }
+    wait();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+            if (jobs_.empty()) {
+                if (stopping_)
+                    return;
+                continue;
+            }
+            job = std::move(jobs_.front());
+            jobs_.pop();
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--in_flight_ == 0)
+                idle_cv_.notify_all();
+        }
+    }
+}
+
+} // namespace bzk

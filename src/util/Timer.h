@@ -1,0 +1,39 @@
+#ifndef BZK_UTIL_TIMER_H_
+#define BZK_UTIL_TIMER_H_
+
+/**
+ * @file
+ * Simple wall-clock stopwatch used by the CPU-baseline measurements.
+ */
+
+#include <chrono>
+
+namespace bzk {
+
+/** Monotonic stopwatch measuring elapsed wall time. */
+class Timer
+{
+  public:
+    Timer() { reset(); }
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** Milliseconds elapsed since construction or the last reset(). */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace bzk
+
+#endif // BZK_UTIL_TIMER_H_

@@ -1,0 +1,200 @@
+#ifndef BZK_ZKML_CIRCUITCOMPILER_H_
+#define BZK_ZKML_CIRCUITCOMPILER_H_
+
+/**
+ * @file
+ * Compile a CnnModel inference into an arithmetic circuit (the paper's
+ * Sec. 5 preprocessing step: "we compile the function for the model
+ * inference into a circuit").
+ *
+ * The customer's image pixels are public inputs; the model weights are
+ * private witness wires (the service provider's secret). The circuit's
+ * final wires compute the logits, so a proof shows the committed model
+ * produced the returned prediction.
+ */
+
+#include <vector>
+
+#include "circuit/Circuit.h"
+#include "zkml/Cnn.h"
+
+namespace bzk {
+
+/** A compiled inference circuit plus its wire bookkeeping. */
+template <typename F>
+struct CompiledCnn
+{
+    Circuit<F> circuit;
+    /** Output (logit) wires in order. */
+    std::vector<WireId> outputs;
+};
+
+/** Encode a signed integer as a field element. */
+template <typename F>
+F
+fieldFromInt(int64_t v)
+{
+    return v >= 0 ? F::fromUint(static_cast<uint64_t>(v))
+                  : -F::fromUint(static_cast<uint64_t>(-v));
+}
+
+/** Encode a whole integer vector. */
+template <typename F>
+std::vector<F>
+fieldsFromInts(const std::vector<int64_t> &values)
+{
+    std::vector<F> out;
+    out.reserve(values.size());
+    for (int64_t v : values)
+        out.push_back(fieldFromInt<F>(v));
+    return out;
+}
+
+/**
+ * Build the inference circuit for @p model. Wire layout: first all
+ * input pixels (public), then all weights (witness), then the gates of
+ * each layer in order.
+ */
+template <typename F>
+CompiledCnn<F>
+compileCnn(const CnnModel &model)
+{
+    const CnnConfig &cfg = model.config();
+    CompiledCnn<F> out;
+    Circuit<F> &c = out.circuit;
+
+    struct WireTensor
+    {
+        int channels, height, width;
+        std::vector<WireId> wires;
+
+        WireId &
+        at(int ch, int y, int x)
+        {
+            return wires[(static_cast<size_t>(ch) * height + y) * width +
+                         x];
+        }
+    };
+
+    WireTensor cur{cfg.in_channels, cfg.in_height, cfg.in_width, {}};
+    cur.wires.resize(static_cast<size_t>(cfg.in_channels) *
+                     cfg.in_height * cfg.in_width);
+    for (auto &w : cur.wires)
+        w = c.addInput();
+
+    // Witness wires for every weight, layer by layer.
+    std::vector<std::vector<WireId>> weight_wires;
+    for (const auto &layer_weights : model.weights()) {
+        std::vector<WireId> ws(layer_weights.size());
+        for (auto &w : ws)
+            w = c.addWitness();
+        weight_wires.push_back(std::move(ws));
+    }
+    WireId zero = c.addConst(F::zero());
+
+    for (size_t li = 0; li < cfg.layers.size(); ++li) {
+        const auto &layer = cfg.layers[li];
+        const auto &ws = weight_wires[li];
+        switch (layer.kind) {
+          case CnnLayer::Kind::Conv3x3: {
+            WireTensor next{layer.out, cur.height, cur.width, {}};
+            next.wires.resize(static_cast<size_t>(layer.out) *
+                              cur.height * cur.width);
+            for (int oc = 0; oc < layer.out; ++oc)
+                for (int y = 0; y < cur.height; ++y)
+                    for (int x = 0; x < cur.width; ++x) {
+                        WireId acc = zero;
+                        for (int ic = 0; ic < cur.channels; ++ic)
+                            for (int ky = 0; ky < 3; ++ky)
+                                for (int kx = 0; kx < 3; ++kx) {
+                                    int yy = y + ky - 1;
+                                    int xx = x + kx - 1;
+                                    if (yy < 0 || yy >= cur.height ||
+                                        xx < 0 || xx >= cur.width)
+                                        continue; // zero padding
+                                    size_t wi =
+                                        ((static_cast<size_t>(oc) *
+                                              cur.channels +
+                                          ic) *
+                                             3 +
+                                         ky) *
+                                            3 +
+                                        kx;
+                                    WireId prod = c.mul(
+                                        ws[wi], cur.at(ic, yy, xx));
+                                    acc = c.add(acc, prod);
+                                }
+                        next.at(oc, y, x) = acc;
+                    }
+            cur = std::move(next);
+            break;
+          }
+          case CnnLayer::Kind::Square: {
+            for (auto &w : cur.wires)
+                w = c.mul(w, w);
+            break;
+          }
+          case CnnLayer::Kind::SumPool2x2: {
+            WireTensor next{cur.channels, cur.height / 2, cur.width / 2,
+                            {}};
+            next.wires.resize(static_cast<size_t>(cur.channels) *
+                              (cur.height / 2) * (cur.width / 2));
+            for (int ch = 0; ch < cur.channels; ++ch)
+                for (int y = 0; y < next.height; ++y)
+                    for (int x = 0; x < next.width; ++x) {
+                        WireId s = c.add(cur.at(ch, 2 * y, 2 * x),
+                                         cur.at(ch, 2 * y, 2 * x + 1));
+                        s = c.add(s, cur.at(ch, 2 * y + 1, 2 * x));
+                        s = c.add(s, cur.at(ch, 2 * y + 1, 2 * x + 1));
+                        next.at(ch, y, x) = s;
+                    }
+            cur = std::move(next);
+            break;
+          }
+          case CnnLayer::Kind::Dense: {
+            size_t in_size = cur.wires.size();
+            WireTensor next{layer.out, 1, 1, {}};
+            next.wires.resize(layer.out);
+            for (int u = 0; u < layer.out; ++u) {
+                WireId acc = zero;
+                for (size_t i = 0; i < in_size; ++i) {
+                    WireId prod = c.mul(
+                        ws[static_cast<size_t>(u) * in_size + i],
+                        cur.wires[i]);
+                    acc = c.add(acc, prod);
+                }
+                next.wires[u] = acc;
+            }
+            cur = std::move(next);
+            break;
+          }
+        }
+    }
+    out.outputs = cur.wires;
+    return out;
+}
+
+/** Flatten a model's weights into the circuit's witness order. */
+template <typename F>
+std::vector<F>
+witnessFromModel(const CnnModel &model)
+{
+    std::vector<F> witness;
+    witness.reserve(model.numWeights());
+    for (const auto &layer_weights : model.weights())
+        for (int64_t w : layer_weights)
+            witness.push_back(fieldFromInt<F>(w));
+    return witness;
+}
+
+/** Flatten an input tensor into the circuit's public-input order. */
+template <typename F>
+std::vector<F>
+inputsFromTensor(const Tensor &t)
+{
+    return fieldsFromInts<F>(t.data);
+}
+
+} // namespace bzk
+
+#endif // BZK_ZKML_CIRCUITCOMPILER_H_

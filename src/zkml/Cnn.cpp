@@ -1,0 +1,206 @@
+#include "zkml/Cnn.h"
+
+#include "util/Log.h"
+
+namespace bzk {
+
+CnnConfig
+CnnConfig::tiny()
+{
+    CnnConfig cfg;
+    cfg.in_channels = 1;
+    cfg.in_height = 8;
+    cfg.in_width = 8;
+    cfg.layers = {
+        {CnnLayer::Kind::Conv3x3, 4},
+        {CnnLayer::Kind::Square, 0},
+        {CnnLayer::Kind::SumPool2x2, 0},
+        {CnnLayer::Kind::Conv3x3, 8},
+        {CnnLayer::Kind::Square, 0},
+        {CnnLayer::Kind::SumPool2x2, 0},
+        {CnnLayer::Kind::Dense, 10},
+    };
+    return cfg;
+}
+
+std::vector<CnnModel::Shape>
+CnnModel::shapes() const
+{
+    std::vector<Shape> out;
+    Shape cur{config_.in_channels, config_.in_height, config_.in_width};
+    for (const auto &layer : config_.layers) {
+        switch (layer.kind) {
+          case CnnLayer::Kind::Conv3x3:
+            cur = {layer.out, cur.h, cur.w}; // same padding
+            break;
+          case CnnLayer::Kind::Square:
+            break;
+          case CnnLayer::Kind::SumPool2x2:
+            cur = {cur.c, cur.h / 2, cur.w / 2};
+            break;
+          case CnnLayer::Kind::Dense:
+            cur = {layer.out, 1, 1};
+            break;
+        }
+        out.push_back(cur);
+    }
+    return out;
+}
+
+CnnModel::CnnModel(CnnConfig config, Rng &rng) : config_(std::move(config))
+{
+    Shape cur{config_.in_channels, config_.in_height, config_.in_width};
+    for (const auto &layer : config_.layers) {
+        std::vector<int64_t> w;
+        switch (layer.kind) {
+          case CnnLayer::Kind::Conv3x3:
+            w.resize(static_cast<size_t>(layer.out) * cur.c * 9);
+            cur = {layer.out, cur.h, cur.w};
+            break;
+          case CnnLayer::Kind::Dense:
+            w.resize(static_cast<size_t>(layer.out) * cur.c * cur.h *
+                     cur.w);
+            cur = {layer.out, 1, 1};
+            break;
+          case CnnLayer::Kind::Square:
+            break;
+          case CnnLayer::Kind::SumPool2x2:
+            cur = {cur.c, cur.h / 2, cur.w / 2};
+            break;
+        }
+        // Small signed weights keep exact integer growth modest.
+        for (auto &v : w)
+            v = static_cast<int64_t>(rng.nextBounded(7)) - 3;
+        weights_.push_back(std::move(w));
+    }
+}
+
+size_t
+CnnModel::numWeights() const
+{
+    size_t n = 0;
+    for (const auto &w : weights_)
+        n += w.size();
+    return n;
+}
+
+Tensor
+CnnModel::forward(const Tensor &input) const
+{
+    Tensor cur = input;
+    for (size_t li = 0; li < config_.layers.size(); ++li) {
+        const auto &layer = config_.layers[li];
+        const auto &w = weights_[li];
+        switch (layer.kind) {
+          case CnnLayer::Kind::Conv3x3: {
+            Tensor out(layer.out, cur.height, cur.width);
+            for (int oc = 0; oc < layer.out; ++oc)
+                for (int y = 0; y < cur.height; ++y)
+                    for (int x = 0; x < cur.width; ++x) {
+                        int64_t acc = 0;
+                        for (int ic = 0; ic < cur.channels; ++ic)
+                            for (int ky = 0; ky < 3; ++ky)
+                                for (int kx = 0; kx < 3; ++kx) {
+                                    size_t wi =
+                                        ((static_cast<size_t>(oc) *
+                                              cur.channels +
+                                          ic) *
+                                             3 +
+                                         ky) *
+                                            3 +
+                                        kx;
+                                    acc += w[wi] *
+                                           cur.atPadded(ic, y + ky - 1,
+                                                        x + kx - 1);
+                                }
+                        out.at(oc, y, x) = acc;
+                    }
+            cur = std::move(out);
+            break;
+          }
+          case CnnLayer::Kind::Square: {
+            for (auto &v : cur.data)
+                v = v * v;
+            break;
+          }
+          case CnnLayer::Kind::SumPool2x2: {
+            Tensor out(cur.channels, cur.height / 2, cur.width / 2);
+            for (int c = 0; c < cur.channels; ++c)
+                for (int y = 0; y < out.height; ++y)
+                    for (int x = 0; x < out.width; ++x)
+                        out.at(c, y, x) = cur.at(c, 2 * y, 2 * x) +
+                                          cur.at(c, 2 * y, 2 * x + 1) +
+                                          cur.at(c, 2 * y + 1, 2 * x) +
+                                          cur.at(c, 2 * y + 1, 2 * x + 1);
+            cur = std::move(out);
+            break;
+          }
+          case CnnLayer::Kind::Dense: {
+            size_t in_size = cur.size();
+            Tensor out(layer.out, 1, 1);
+            for (int u = 0; u < layer.out; ++u) {
+                int64_t acc = 0;
+                for (size_t i = 0; i < in_size; ++i)
+                    acc += w[static_cast<size_t>(u) * in_size + i] *
+                           cur.data[i];
+                out.data[u] = acc;
+            }
+            cur = std::move(out);
+            break;
+          }
+        }
+    }
+    return cur;
+}
+
+size_t
+CnnModel::macCount() const
+{
+    size_t macs = 0;
+    Shape cur{config_.in_channels, config_.in_height, config_.in_width};
+    for (const auto &layer : config_.layers) {
+        switch (layer.kind) {
+          case CnnLayer::Kind::Conv3x3:
+            macs += static_cast<size_t>(layer.out) * cur.c * 9 * cur.h *
+                    cur.w;
+            cur = {layer.out, cur.h, cur.w};
+            break;
+          case CnnLayer::Kind::Square:
+            macs += static_cast<size_t>(cur.c) * cur.h * cur.w;
+            break;
+          case CnnLayer::Kind::SumPool2x2:
+            cur = {cur.c, cur.h / 2, cur.w / 2};
+            break;
+          case CnnLayer::Kind::Dense:
+            macs += static_cast<size_t>(layer.out) * cur.c * cur.h * cur.w;
+            cur = {layer.out, 1, 1};
+            break;
+        }
+    }
+    return macs;
+}
+
+size_t
+CnnModel::gateCount() const
+{
+    // The compiler emits one mul per MAC plus one add per accumulation
+    // step; sum-pools add pure adds. ~2 gates per MAC is a faithful
+    // upper bound for this direct (non-FFT) arithmetization.
+    return 2 * macCount();
+}
+
+std::vector<uint8_t>
+CnnModel::weightBytes() const
+{
+    std::vector<uint8_t> bytes;
+    bytes.reserve(numWeights() * 8);
+    for (const auto &w : weights_)
+        for (int64_t v : w) {
+            uint64_t u = static_cast<uint64_t>(v);
+            for (int i = 0; i < 8; ++i)
+                bytes.push_back(static_cast<uint8_t>(u >> (8 * i)));
+        }
+    return bytes;
+}
+
+} // namespace bzk

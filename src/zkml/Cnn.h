@@ -1,0 +1,91 @@
+#ifndef BZK_ZKML_CNN_H_
+#define BZK_ZKML_CNN_H_
+
+/**
+ * @file
+ * A small circuit-friendly CNN: configuration, quantized inference
+ * engine, and gate accounting.
+ *
+ * Layer kinds are restricted to operations with exact arithmetic-circuit
+ * analogues: convolutions, square activations (the standard
+ * circuit-friendly substitute for ReLU in e.g. zkCNN-style systems),
+ * sum pooling, and dense layers. The engine computes in plain int64 with
+ * no rescaling, so CircuitCompiler can reproduce every wire value
+ * exactly over the field.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "util/Rng.h"
+#include "zkml/Tensor.h"
+
+namespace bzk {
+
+/** One layer of a CnnConfig. */
+struct CnnLayer
+{
+    enum class Kind { Conv3x3, Square, SumPool2x2, Dense };
+
+    Kind kind = Kind::Conv3x3;
+    /** Output channels (Conv) or output units (Dense). */
+    int out = 0;
+};
+
+/** Network shape description. */
+struct CnnConfig
+{
+    int in_channels = 1;
+    int in_height = 8;
+    int in_width = 8;
+    std::vector<CnnLayer> layers;
+
+    /** A tiny conv-square-pool-dense network for tests/examples. */
+    static CnnConfig tiny();
+};
+
+/** A concrete network: config plus quantized weights. */
+class CnnModel
+{
+  public:
+    /** Initialize with small pseudo-random weights from @p rng. */
+    CnnModel(CnnConfig config, Rng &rng);
+
+    const CnnConfig &config() const { return config_; }
+
+    /** Flat weight vector per layer (conv: [out][in][3][3]). */
+    const std::vector<std::vector<int64_t>> &weights() const
+    {
+        return weights_;
+    }
+
+    /** Total weight count. */
+    size_t numWeights() const;
+
+    /** Exact integer inference (no rescaling). */
+    Tensor forward(const Tensor &input) const;
+
+    /** Multiply-accumulate count of one inference. */
+    size_t macCount() const;
+
+    /** Gates the circuit compiler will emit for one inference. */
+    size_t gateCount() const;
+
+    /** Serialize all weights to bytes (for the Merkle commitment). */
+    std::vector<uint8_t> weightBytes() const;
+
+  private:
+    /** Shape of each layer's output given the config. */
+    struct Shape
+    {
+        int c, h, w;
+    };
+    std::vector<Shape> shapes() const;
+
+    CnnConfig config_;
+    std::vector<std::vector<int64_t>> weights_;
+};
+
+} // namespace bzk
+
+#endif // BZK_ZKML_CNN_H_

@@ -1,0 +1,264 @@
+#ifndef BZK_ZKML_LAYEREDCNNCOMPILER_H_
+#define BZK_ZKML_LAYEREDCNNCOMPILER_H_
+
+/**
+ * @file
+ * Compile a CnnModel into a *layered* circuit and prove its inference
+ * with the GKR protocol — the zkCNN architecture the paper builds on
+ * for its verifiable-ML application.
+ *
+ * Layer 0 holds [image | all weights | (implicit zero padding)];
+ * convolutions and dense layers become one multiplication layer plus a
+ * binary add-reduction tree; squares and sum-pools map directly. Values
+ * needed later (weights of deeper CNN layers, the running zero) are
+ * relayed through intermediate layers with identity gates
+ * (add(x, zero)), since GKR gates may only read the previous layer.
+ *
+ * In this verifiable-outsourcing demo both image and weights are public
+ * GKR inputs; the SNARK paths (Snark/FullSnark with the compiled gate
+ * circuit) cover the hidden-model MLaaS setting.
+ */
+
+#include <functional>
+#include <vector>
+
+#include "gkr/LayeredCircuit.h"
+#include "zkml/CircuitCompiler.h"
+#include "zkml/Cnn.h"
+
+namespace bzk {
+
+/** A CNN compiled to a layered circuit. */
+template <typename F>
+struct LayeredCnn
+{
+    LayeredCircuit<F> circuit;
+    /** Number of image slots at the head of layer 0. */
+    size_t image_inputs = 0;
+    /** Total layer-0 inputs (image + weights). */
+    size_t total_inputs = 0;
+    /** Output slots holding the logits (prefix of the output layer). */
+    size_t num_outputs = 0;
+};
+
+namespace detail {
+
+/** Gate-emission helper for one layer under construction. */
+class LayerSink
+{
+  public:
+    explicit LayerSink(uint32_t zero_below) : zero_below_(zero_below) {}
+
+    /** Emit a gate; returns its slot in the new layer. */
+    uint32_t
+    emit(LayeredGate::Kind kind, uint32_t a, uint32_t b)
+    {
+        gates.push_back({kind, a, b});
+        return static_cast<uint32_t>(gates.size() - 1);
+    }
+
+    /** Relay a previous-layer value unchanged. */
+    uint32_t
+    relay(uint32_t below)
+    {
+        return emit(LayeredGate::Kind::Add, below, zero_below_);
+    }
+
+    std::vector<LayeredGate> gates;
+
+  private:
+    uint32_t zero_below_;
+};
+
+} // namespace detail
+
+/** Compile @p model into a layered circuit for GKR proving. */
+template <typename F>
+LayeredCnn<F>
+compileCnnLayered(const CnnModel &model)
+{
+    const CnnConfig &cfg = model.config();
+    LayeredCnn<F> out;
+
+    // ---- layer 0 layout: image, then each CNN layer's weights -------
+    size_t image_size = static_cast<size_t>(cfg.in_channels) *
+                        cfg.in_height * cfg.in_width;
+    out.image_inputs = image_size;
+    std::vector<std::vector<uint32_t>> weight_idx;
+    uint32_t cursor = static_cast<uint32_t>(image_size);
+    for (const auto &w : model.weights()) {
+        std::vector<uint32_t> idx(w.size());
+        for (auto &i : idx)
+            i = cursor++;
+        weight_idx.push_back(std::move(idx));
+    }
+    out.total_inputs = cursor;
+    unsigned input_vars = 0;
+    while ((size_t{1} << input_vars) < out.total_inputs + 1)
+        ++input_vars;
+    out.circuit = LayeredCircuit<F>(input_vars);
+    uint32_t zero = cursor; // a padded (hence zero) layer-0 slot
+
+    // Activation indices in the current topmost layer, in CHW order.
+    struct Shape
+    {
+        int c, h, w;
+    };
+    Shape shape{cfg.in_channels, cfg.in_height, cfg.in_width};
+    std::vector<uint32_t> act(image_size);
+    for (size_t i = 0; i < image_size; ++i)
+        act[i] = static_cast<uint32_t>(i);
+
+    // Push one layer: body emits the new activations; weights of CNN
+    // layers >= first_needed relay through, as does the zero.
+    auto push_layer = [&](size_t first_needed,
+                          const std::function<void(detail::LayerSink &)>
+                              &body) {
+        detail::LayerSink sink(zero);
+        body(sink);
+        for (size_t l = first_needed; l < weight_idx.size(); ++l)
+            for (auto &i : weight_idx[l])
+                i = sink.relay(i);
+        zero = sink.relay(zero);
+        out.circuit.addLayer(std::move(sink.gates));
+    };
+
+    // Binary add-reduction of per-output product groups.
+    auto reduce_groups =
+        [&](std::vector<std::vector<uint32_t>> groups,
+            size_t first_needed) {
+            bool more = true;
+            while (more) {
+                more = false;
+                push_layer(first_needed, [&](detail::LayerSink &sink) {
+                    for (auto &group : groups) {
+                        std::vector<uint32_t> next;
+                        for (size_t i = 0; i + 1 < group.size(); i += 2)
+                            next.push_back(
+                                sink.emit(LayeredGate::Kind::Add,
+                                          group[i], group[i + 1]));
+                        if (group.size() % 2)
+                            next.push_back(sink.relay(group.back()));
+                        if (next.size() > 1)
+                            more = true;
+                        group = std::move(next);
+                    }
+                });
+            }
+            std::vector<uint32_t> heads(groups.size());
+            for (size_t i = 0; i < groups.size(); ++i)
+                heads[i] = groups[i][0];
+            return heads;
+        };
+
+    auto at = [&](const Shape &s, int c, int y, int x) {
+        return act[(static_cast<size_t>(c) * s.h + y) * s.w + x];
+    };
+
+    for (size_t li = 0; li < cfg.layers.size(); ++li) {
+        const CnnLayer &layer = cfg.layers[li];
+        switch (layer.kind) {
+          case CnnLayer::Kind::Conv3x3: {
+            // One product layer, then an add-reduction tree.
+            std::vector<std::vector<uint32_t>> groups;
+            push_layer(li + 1, [&](detail::LayerSink &sink) {
+                for (int oc = 0; oc < layer.out; ++oc)
+                    for (int y = 0; y < shape.h; ++y)
+                        for (int x = 0; x < shape.w; ++x) {
+                            std::vector<uint32_t> group;
+                            for (int ic = 0; ic < shape.c; ++ic)
+                                for (int ky = 0; ky < 3; ++ky)
+                                    for (int kx = 0; kx < 3; ++kx) {
+                                        int yy = y + ky - 1;
+                                        int xx = x + kx - 1;
+                                        if (yy < 0 || yy >= shape.h ||
+                                            xx < 0 || xx >= shape.w)
+                                            continue;
+                                        size_t wi =
+                                            ((static_cast<size_t>(oc) *
+                                                  shape.c +
+                                              ic) *
+                                                 3 +
+                                             ky) *
+                                                3 +
+                                            kx;
+                                        group.push_back(sink.emit(
+                                            LayeredGate::Kind::Mul,
+                                            weight_idx[li][wi],
+                                            at(shape, ic, yy, xx)));
+                                    }
+                            groups.push_back(std::move(group));
+                        }
+            });
+            act = reduce_groups(std::move(groups), li + 1);
+            shape = {layer.out, shape.h, shape.w};
+            break;
+          }
+          case CnnLayer::Kind::Square: {
+            push_layer(li + 1, [&](detail::LayerSink &sink) {
+                for (auto &a : act)
+                    a = sink.emit(LayeredGate::Kind::Mul, a, a);
+            });
+            break;
+          }
+          case CnnLayer::Kind::SumPool2x2: {
+            std::vector<std::vector<uint32_t>> groups;
+            Shape next{shape.c, shape.h / 2, shape.w / 2};
+            for (int c = 0; c < shape.c; ++c)
+                for (int y = 0; y < next.h; ++y)
+                    for (int x = 0; x < next.w; ++x)
+                        groups.push_back(
+                            {at(shape, c, 2 * y, 2 * x),
+                             at(shape, c, 2 * y, 2 * x + 1),
+                             at(shape, c, 2 * y + 1, 2 * x),
+                             at(shape, c, 2 * y + 1, 2 * x + 1)});
+            act = reduce_groups(std::move(groups), li + 1);
+            shape = next;
+            break;
+          }
+          case CnnLayer::Kind::Dense: {
+            size_t in_size = act.size();
+            std::vector<std::vector<uint32_t>> groups;
+            auto acts_in = act;
+            push_layer(li + 1, [&](detail::LayerSink &sink) {
+                for (int u = 0; u < layer.out; ++u) {
+                    std::vector<uint32_t> group;
+                    for (size_t i = 0; i < in_size; ++i)
+                        group.push_back(sink.emit(
+                            LayeredGate::Kind::Mul,
+                            weight_idx[li][static_cast<size_t>(u) *
+                                               in_size +
+                                           i],
+                            acts_in[i]));
+                    groups.push_back(std::move(group));
+                }
+            });
+            act = reduce_groups(std::move(groups), li + 1);
+            shape = {layer.out, 1, 1};
+            break;
+          }
+        }
+    }
+
+    // Final relay layer so the logits sit at slots 0..n-1 unmixed with
+    // relayed junk (the loop above leaves them first already, but a
+    // defensive pass keeps the contract explicit).
+    out.num_outputs = act.size();
+    return out;
+}
+
+/** Layer-0 input vector for an image under @p model. */
+template <typename F>
+std::vector<F>
+layeredCnnInputs(const CnnModel &model, const Tensor &image)
+{
+    std::vector<F> inputs = fieldsFromInts<F>(image.data);
+    for (const auto &w : model.weights())
+        for (int64_t v : w)
+            inputs.push_back(fieldFromInt<F>(v));
+    return inputs;
+}
+
+} // namespace bzk
+
+#endif // BZK_ZKML_LAYEREDCNNCOMPILER_H_

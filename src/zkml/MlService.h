@@ -1,0 +1,78 @@
+#ifndef BZK_ZKML_MLSERVICE_H_
+#define BZK_ZKML_MLSERVICE_H_
+
+/**
+ * @file
+ * The verifiable machine-learning service of the paper's Figure 8:
+ * a Merkle commitment to the model, a prediction engine, and the
+ * pipelined ZKP system generating one proof per prediction.
+ */
+
+#include <cstddef>
+
+#include "core/PipelinedSystem.h"
+#include "gpusim/Device.h"
+#include "hash/Sha256.h"
+#include "merkle/MerkleTree.h"
+#include "util/Rng.h"
+#include "zkml/Vgg16.h"
+
+namespace bzk {
+
+/** One served prediction plus its proving statistics. */
+struct MlServiceBatchResult
+{
+    /** Predictions for the batch, in request order. */
+    std::vector<int> predictions;
+    /** Batch proving run (throughput/latency for Table 11). */
+    SystemRunResult proving;
+    /**
+     * Real proofs of tiny-CNN inferences produced alongside the
+     * VGG-scale timing run (when functional_proofs > 0), all verified.
+     */
+    size_t functional_proofs = 0;
+    bool functional_verified = true;
+};
+
+/** MLaaS provider with verifiable predictions (Figure 8). */
+class VerifiableMlService
+{
+  public:
+    /**
+     * Preprocessing stage: trains-in a synthetic VGG-16, commits to its
+     * weights (the Merkle root customers pin), and compiles the
+     * inference circuit scale.
+     */
+    VerifiableMlService(gpusim::Device &dev, Rng &rng,
+                        SystemOptions opt = {});
+
+    /** The model commitment sent to customers once. */
+    const Digest &modelCommitment() const { return model_root_; }
+
+    /** The underlying model (the provider's secret). */
+    const Vgg16 &model() const { return model_; }
+
+    /** log2 of the compiled circuit's padded constraint-table size. */
+    unsigned circuitVars() const { return n_vars_; }
+
+    /**
+     * Prediction + proving phase: serve @p batch customer images and
+     * batch-generate their proofs through the pipelined system.
+     * @param functional_proofs additionally generate (and verify) this
+     *        many *real* inference proofs on a reduced CNN, exercising
+     *        the full Figure 8 loop cryptographically.
+     */
+    MlServiceBatchResult serveBatch(size_t batch, Rng &rng,
+                                    size_t functional_proofs = 0);
+
+  private:
+    gpusim::Device &dev_;
+    SystemOptions opt_;
+    Vgg16 model_;
+    Digest model_root_;
+    unsigned n_vars_;
+};
+
+} // namespace bzk
+
+#endif // BZK_ZKML_MLSERVICE_H_

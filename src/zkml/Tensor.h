@@ -1,0 +1,65 @@
+#ifndef BZK_ZKML_TENSOR_H_
+#define BZK_ZKML_TENSOR_H_
+
+/**
+ * @file
+ * Minimal CHW integer tensor for the fixed-point ML engine.
+ *
+ * The verifiable-ML pipeline works over quantized integers so that the
+ * inference the service performs and the arithmetic circuit the prover
+ * commits to agree exactly (field elements encode the same integers).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "util/Log.h"
+
+namespace bzk {
+
+/** Channel-major 3-D integer tensor. */
+struct Tensor
+{
+    int channels = 0;
+    int height = 0;
+    int width = 0;
+    std::vector<int64_t> data;
+
+    Tensor() = default;
+
+    Tensor(int c, int h, int w)
+        : channels(c), height(h), width(w),
+          data(static_cast<size_t>(c) * h * w, 0)
+    {
+    }
+
+    /** Element count. */
+    size_t size() const { return data.size(); }
+
+    /** Mutable element accessor. */
+    int64_t &
+    at(int c, int y, int x)
+    {
+        return data[(static_cast<size_t>(c) * height + y) * width + x];
+    }
+
+    /** Const element accessor. */
+    int64_t
+    at(int c, int y, int x) const
+    {
+        return data[(static_cast<size_t>(c) * height + y) * width + x];
+    }
+
+    /** Bounds-checked accessor returning 0 outside (zero padding). */
+    int64_t
+    atPadded(int c, int y, int x) const
+    {
+        if (y < 0 || y >= height || x < 0 || x >= width)
+            return 0;
+        return at(c, y, x);
+    }
+};
+
+} // namespace bzk
+
+#endif // BZK_ZKML_TENSOR_H_

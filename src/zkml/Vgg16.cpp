@@ -1,0 +1,216 @@
+#include "zkml/Vgg16.h"
+
+#include <algorithm>
+
+#include "util/Log.h"
+
+namespace bzk {
+
+namespace {
+
+/** VGG-16 conv plan: channels per conv layer, 'P' = 2x2 max pool. */
+struct PlanEntry
+{
+    char kind; // 'C' or 'P' or 'F'
+    int out;
+};
+
+const PlanEntry kPlan[] = {
+    {'C', 64},  {'C', 64},  {'P', 0},
+    {'C', 128}, {'C', 128}, {'P', 0},
+    {'C', 256}, {'C', 256}, {'C', 256}, {'P', 0},
+    {'C', 512}, {'C', 512}, {'C', 512}, {'P', 0},
+    {'C', 512}, {'C', 512}, {'C', 512}, {'P', 0},
+    {'F', 512}, {'F', 512}, {'F', 10},
+};
+
+} // namespace
+
+Vgg16::Vgg16(Rng &rng, int scale_bits) : scale_bits_(scale_bits)
+{
+    int ch = 3;
+    int hw = 32;
+    int conv_idx = 0;
+    int fc_idx = 0;
+    for (const auto &entry : kPlan) {
+        Layer layer;
+        VggLayerInfo li;
+        if (entry.kind == 'C') {
+            layer.kind = Layer::Kind::Conv;
+            layer.in_ch = ch;
+            layer.out_ch = entry.out;
+            layer.in_hw = hw;
+            layer.weights.resize(static_cast<size_t>(entry.out) * ch * 9);
+            li.name = "conv" + std::to_string(++conv_idx);
+            li.macs = static_cast<size_t>(entry.out) * ch * 9 * hw * hw;
+            li.activations = static_cast<size_t>(entry.out) * hw * hw;
+            li.weights = layer.weights.size();
+            ch = entry.out;
+        } else if (entry.kind == 'P') {
+            layer.kind = Layer::Kind::Pool;
+            layer.in_ch = ch;
+            layer.out_ch = ch;
+            layer.in_hw = hw;
+            hw /= 2;
+            li.name = "pool";
+            li.activations = static_cast<size_t>(ch) * hw * hw;
+        } else {
+            layer.kind = Layer::Kind::Fc;
+            layer.in_ch = ch * hw * hw;
+            layer.out_ch = entry.out;
+            layer.in_hw = 1;
+            layer.weights.resize(
+                static_cast<size_t>(layer.in_ch) * entry.out);
+            li.name = "fc" + std::to_string(++fc_idx);
+            li.macs = layer.weights.size();
+            li.activations = entry.out;
+            li.weights = layer.weights.size();
+            ch = entry.out;
+            hw = 1;
+        }
+        for (auto &w : layer.weights)
+            w = static_cast<int8_t>(
+                static_cast<int64_t>(rng.nextBounded(255)) - 127);
+        layers_.push_back(std::move(layer));
+        info_.push_back(std::move(li));
+    }
+}
+
+size_t
+Vgg16::macCount() const
+{
+    size_t macs = 0;
+    for (const auto &li : info_)
+        macs += li.macs;
+    return macs;
+}
+
+size_t
+Vgg16::weightCount() const
+{
+    size_t n = 0;
+    for (const auto &li : info_)
+        n += li.weights;
+    return n;
+}
+
+size_t
+Vgg16::proofGateCount() const
+{
+    size_t macs = macCount();
+    size_t activations = 0;
+    for (const auto &li : info_)
+        activations += li.activations;
+    return macs / 16 + activations * 8;
+}
+
+std::vector<int64_t>
+Vgg16::forward(const Tensor &image) const
+{
+    Tensor cur = image;
+    std::vector<int64_t> flat;
+    for (const auto &layer : layers_) {
+        switch (layer.kind) {
+          case Layer::Kind::Conv: {
+            Tensor out(layer.out_ch, cur.height, cur.width);
+            for (int oc = 0; oc < layer.out_ch; ++oc)
+                for (int y = 0; y < cur.height; ++y)
+                    for (int x = 0; x < cur.width; ++x) {
+                        int64_t acc = 0;
+                        for (int ic = 0; ic < layer.in_ch; ++ic)
+                            for (int ky = 0; ky < 3; ++ky)
+                                for (int kx = 0; kx < 3; ++kx) {
+                                    size_t wi =
+                                        ((static_cast<size_t>(oc) *
+                                              layer.in_ch +
+                                          ic) *
+                                             3 +
+                                         ky) *
+                                            3 +
+                                        kx;
+                                    acc += layer.weights[wi] *
+                                           cur.atPadded(ic, y + ky - 1,
+                                                        x + kx - 1);
+                                }
+                        // Fixed-point rescale + ReLU.
+                        acc >>= scale_bits_;
+                        out.at(oc, y, x) = std::max<int64_t>(0, acc);
+                    }
+            cur = std::move(out);
+            break;
+          }
+          case Layer::Kind::Pool: {
+            Tensor out(cur.channels, cur.height / 2, cur.width / 2);
+            for (int c = 0; c < cur.channels; ++c)
+                for (int y = 0; y < out.height; ++y)
+                    for (int x = 0; x < out.width; ++x)
+                        out.at(c, y, x) = std::max(
+                            std::max(cur.at(c, 2 * y, 2 * x),
+                                     cur.at(c, 2 * y, 2 * x + 1)),
+                            std::max(cur.at(c, 2 * y + 1, 2 * x),
+                                     cur.at(c, 2 * y + 1, 2 * x + 1)));
+            cur = std::move(out);
+            break;
+          }
+          case Layer::Kind::Fc: {
+            std::vector<int64_t> out(layer.out_ch);
+            for (int u = 0; u < layer.out_ch; ++u) {
+                int64_t acc = 0;
+                for (int i = 0; i < layer.in_ch; ++i)
+                    acc += layer.weights[static_cast<size_t>(u) *
+                                             layer.in_ch +
+                                         i] *
+                           cur.data[i];
+                out[u] = std::max<int64_t>(0, acc >> scale_bits_);
+            }
+            // Last layer keeps raw logits (no ReLU).
+            if (&layer == &layers_.back()) {
+                for (int u = 0; u < layer.out_ch; ++u) {
+                    int64_t acc = 0;
+                    for (int i = 0; i < layer.in_ch; ++i)
+                        acc += layer.weights[static_cast<size_t>(u) *
+                                                 layer.in_ch +
+                                             i] *
+                               cur.data[i];
+                    out[u] = acc >> scale_bits_;
+                }
+            }
+            cur = Tensor(layer.out_ch, 1, 1);
+            cur.data = out;
+            break;
+          }
+        }
+    }
+    return cur.data;
+}
+
+int
+Vgg16::predict(const Tensor &image) const
+{
+    auto logits = forward(image);
+    return static_cast<int>(std::max_element(logits.begin(),
+                                             logits.end()) -
+                            logits.begin());
+}
+
+std::vector<uint8_t>
+Vgg16::weightBytes() const
+{
+    std::vector<uint8_t> bytes;
+    bytes.reserve(weightCount());
+    for (const auto &layer : layers_)
+        for (int8_t w : layer.weights)
+            bytes.push_back(static_cast<uint8_t>(w));
+    return bytes;
+}
+
+Tensor
+Vgg16::randomImage(Rng &rng)
+{
+    Tensor img(3, 32, 32);
+    for (auto &p : img.data)
+        p = static_cast<int64_t>(rng.nextBounded(256));
+    return img;
+}
+
+} // namespace bzk

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for BN254 G1 group arithmetic and Pippenger MSM.
+ */
+
+#include <gtest/gtest.h>
+
+#include "curve/Bn254.h"
+#include "curve/Msm.h"
+
+namespace bzk {
+namespace {
+
+TEST(G1, GeneratorOnCurve)
+{
+    EXPECT_TRUE(G1Point::generator().isOnCurve());
+    EXPECT_FALSE(G1Point::generator().isInfinity());
+}
+
+TEST(G1, InfinityIdentity)
+{
+    G1Point inf;
+    G1Point g = G1Point::generator();
+    EXPECT_TRUE(inf.isInfinity());
+    EXPECT_EQ(inf.add(g), g);
+    EXPECT_EQ(g.add(inf), g);
+    EXPECT_TRUE(inf.dbl().isInfinity());
+}
+
+TEST(G1, AddInverseGivesInfinity)
+{
+    G1Point g = G1Point::generator();
+    EXPECT_TRUE(g.add(g.neg()).isInfinity());
+}
+
+TEST(G1, DoubleMatchesAdd)
+{
+    Rng rng(1);
+    for (int i = 0; i < 10; ++i) {
+        G1Point p = G1Point::random(rng);
+        EXPECT_EQ(p.dbl(), p.add(p));
+        EXPECT_TRUE(p.dbl().isOnCurve());
+    }
+}
+
+TEST(G1, AddCommutativeAssociative)
+{
+    Rng rng(2);
+    G1Point p = G1Point::random(rng);
+    G1Point q = G1Point::random(rng);
+    G1Point r = G1Point::random(rng);
+    EXPECT_EQ(p.add(q), q.add(p));
+    EXPECT_EQ(p.add(q).add(r), p.add(q.add(r)));
+}
+
+TEST(G1, MixedAddMatchesFullAdd)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10; ++i) {
+        G1Point p = G1Point::random(rng);
+        G1Point q = G1Point::random(rng);
+        EXPECT_EQ(p.addMixed(q.toAffine()), p.add(q));
+    }
+    // Degenerate cases.
+    G1Point p = G1Point::random(rng);
+    EXPECT_EQ(p.addMixed(p.toAffine()), p.dbl());
+    EXPECT_TRUE(p.addMixed(p.neg().toAffine()).isInfinity());
+}
+
+TEST(G1, ScalarMulSmall)
+{
+    G1Point g = G1Point::generator();
+    EXPECT_TRUE(g.mul(Fr::zero()).isInfinity());
+    EXPECT_EQ(g.mul(Fr::one()), g);
+    EXPECT_EQ(g.mul(Fr::fromUint(2)), g.dbl());
+    EXPECT_EQ(g.mul(Fr::fromUint(5)),
+              g.dbl().dbl().add(g));
+}
+
+TEST(G1, ScalarMulDistributes)
+{
+    Rng rng(4);
+    Fr a = Fr::random(rng);
+    Fr b = Fr::random(rng);
+    G1Point g = G1Point::generator();
+    EXPECT_EQ(g.mul(a + b), g.mul(a).add(g.mul(b)));
+    EXPECT_EQ(g.mul(a * b), g.mul(a).mul(b));
+}
+
+TEST(G1, GroupOrderAnnihilates)
+{
+    // (p - 1) * G + G = infinity, i.e. r*G = 0 for the group order r.
+    G1Point g = G1Point::generator();
+    G1Point pm1 = g.mul(Fr::zero() - Fr::one());
+    EXPECT_TRUE(pm1.add(g).isInfinity());
+}
+
+TEST(G1, AffineRoundTrip)
+{
+    Rng rng(5);
+    G1Point p = G1Point::random(rng);
+    EXPECT_EQ(G1Point::fromAffine(p.toAffine()), p);
+}
+
+TEST(G1, KnownMultiplesOfGenerator)
+{
+    // Expected affine coordinates computed with an independent
+    // CPython implementation of the curve law.
+    struct Kat
+    {
+        uint64_t k;
+        const char *x;
+        const char *y;
+    };
+    const Kat kats[] = {
+        {2,
+         "030644e72e131a029b85045b68181585d97816a916871ca8d3c208c16d87cfd3",
+         "15ed738c0e0a7c92e7845f96b2ae9c0a68a6a449e3538fc7ff3ebf7a5a18a2c4"},
+        {3,
+         "0769bf9ac56bea3ff40232bcb1b6bd159315d84715b8e679f2d355961915abf0",
+         "2ab799bee0489429554fdb7c8d086475319e63b40b9c5b57cdf1ff3dd9fe2261"},
+        {5,
+         "17c139df0efee0f766bc0204762b774362e4ded88953a39ce849a8a7fa163fa9",
+         "01e0559bacb160664764a357af8a9fe70baa9258e0b959273ffc5718c6d4cc7c"},
+    };
+    for (const auto &kat : kats) {
+        G1Affine p =
+            G1Point::generator().mul(Fr::fromUint(kat.k)).toAffine();
+        EXPECT_EQ(p.x.toHexString(), kat.x) << kat.k << "G x";
+        EXPECT_EQ(p.y.toHexString(), kat.y) << kat.k << "G y";
+    }
+}
+
+TEST(Msm, MatchesNaive)
+{
+    Rng rng(6);
+    for (size_t n : {1u, 7u, 33u, 100u}) {
+        auto points = randomPoints(n, rng);
+        std::vector<Fr> scalars(n);
+        for (auto &s : scalars)
+            s = Fr::random(rng);
+        EXPECT_EQ(msmPippenger(points, scalars), msmNaive(points, scalars))
+            << "n=" << n;
+    }
+}
+
+TEST(Msm, WindowSizeDoesNotChangeResult)
+{
+    Rng rng(7);
+    auto points = randomPoints(50, rng);
+    std::vector<Fr> scalars(50);
+    for (auto &s : scalars)
+        s = Fr::random(rng);
+    G1Point expect = msmNaive(points, scalars);
+    for (unsigned c : {2u, 4u, 8u, 13u})
+        EXPECT_EQ(msmPippenger(points, scalars, c), expect) << "c=" << c;
+}
+
+TEST(Msm, ZeroScalarsGiveInfinity)
+{
+    Rng rng(8);
+    auto points = randomPoints(10, rng);
+    std::vector<Fr> scalars(10, Fr::zero());
+    EXPECT_TRUE(msmPippenger(points, scalars).isInfinity());
+}
+
+TEST(Msm, EmptyInput)
+{
+    EXPECT_TRUE(
+        msmPippenger(std::span<const G1Affine>{}, std::span<const Fr>{})
+            .isInfinity());
+}
+
+TEST(Msm, RandomPointsAreOnCurve)
+{
+    Rng rng(9);
+    for (const auto &p : randomPoints(20, rng))
+        EXPECT_TRUE(G1Point::fromAffine(p).isOnCurve());
+}
+
+} // namespace
+} // namespace bzk

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Death tests for the library's panic paths: misuse of the public API
+ * must fail loudly (abort with a message), never silently corrupt.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/Circuit.h"
+#include "encoder/SpielmanCode.h"
+#include "ff/Fields.h"
+#include "gpusim/Device.h"
+#include "merkle/MerkleTree.h"
+#include "poly/Multilinear.h"
+#include "sumcheck/Sumcheck.h"
+
+namespace bzk {
+namespace {
+
+using DeathTest = ::testing::Test;
+
+TEST(DeathTest, MultilinearRejectsNonPow2)
+{
+    EXPECT_DEATH(
+        { Multilinear<Gl64> m(std::vector<Gl64>(3)); },
+        "power of two");
+}
+
+TEST(DeathTest, MultilinearRejectsEmpty)
+{
+    EXPECT_DEATH({ Multilinear<Gl64> m((std::vector<Gl64>())); },
+                 "power of two");
+}
+
+TEST(DeathTest, EvaluateRejectsWrongArity)
+{
+    Rng rng(1);
+    auto p = Multilinear<Gl64>::random(3, rng);
+    std::vector<Gl64> point(2);
+    EXPECT_DEATH({ (void)p.evaluate(point); }, "coords");
+}
+
+TEST(DeathTest, SumcheckRejectsWrongChallengeCount)
+{
+    Rng rng(2);
+    auto p = Multilinear<Gl64>::random(3, rng);
+    std::vector<Gl64> challenges(2);
+    EXPECT_DEATH({ (void)proveSumcheck(p, challenges); }, "challenges");
+}
+
+TEST(DeathTest, MerklePathOutOfRange)
+{
+    auto t = MerkleTree::build(std::vector<uint8_t>(64 * 4, 1));
+    EXPECT_DEATH({ (void)t.path(4); }, "out of");
+}
+
+TEST(DeathTest, CircuitRejectsDanglingWire)
+{
+    Circuit<Gl64> c;
+    WireId a = c.addWitness();
+    EXPECT_DEATH({ (void)c.mul(a, 7); }, "does not exist");
+}
+
+TEST(DeathTest, CircuitRejectsWrongWitnessCount)
+{
+    Circuit<Gl64> c;
+    c.addWitness();
+    std::vector<Gl64> none;
+    EXPECT_DEATH({ (void)c.evaluate({}, none); }, "witness");
+}
+
+TEST(DeathTest, DeviceRejectsBadStream)
+{
+    gpusim::DeviceSpec spec = gpusim::DeviceSpec::v100();
+    gpusim::Device dev(spec);
+    gpusim::KernelDesc k;
+    k.name = "bad";
+    k.threads = 1;
+    k.cycles_per_thread = 1;
+    EXPECT_DEATH({ dev.launchKernel(7, k); }, "bad stream");
+}
+
+TEST(DeathTest, DeviceRejectsDoubleFree)
+{
+    gpusim::Device dev(gpusim::DeviceSpec::v100());
+    int64_t h = dev.alloc(100);
+    dev.free(h);
+    EXPECT_DEATH({ dev.free(h); }, "double-freed");
+}
+
+TEST(DeathTest, DeviceRejectsBadOpQuery)
+{
+    gpusim::Device dev(gpusim::DeviceSpec::v100());
+    EXPECT_DEATH({ (void)dev.opEnd(3); }, "bad op");
+}
+
+TEST(DeathTest, EncoderRejectsTinyMessage)
+{
+    // Message length below the base size is a configuration error.
+    EXPECT_EXIT({ SpielmanCode<Gl64> code(16, 1); },
+                ::testing::ExitedWithCode(1), "power of two");
+}
+
+TEST(DeathTest, EncoderRejectsWrongMessageLength)
+{
+    SpielmanCode<Gl64> code(64, 1);
+    std::vector<Gl64> msg(63);
+    EXPECT_DEATH({ (void)code.encode(msg); }, "message length");
+}
+
+} // namespace
+} // namespace bzk

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Tests for the linear-time encoder: topology determinism, sparse
+ * matrices, encoding linearity/systematicity, and the GPU drivers
+ * (including the bucket-sort warp-balancing effect).
+ */
+
+#include <gtest/gtest.h>
+
+#include "encoder/GpuEncoder.h"
+#include "encoder/SparseMatrix.h"
+#include "encoder/SpielmanCode.h"
+#include "encoder/Topology.h"
+#include "ff/Fields.h"
+#include "gpusim/Device.h"
+
+namespace bzk {
+namespace {
+
+TEST(Topology, Deterministic)
+{
+    EncoderTopology a(1 << 10, 42), b(1 << 10, 42);
+    ASSERT_EQ(a.levels().size(), b.levels().size());
+    for (size_t l = 0; l < a.levels().size(); ++l) {
+        EXPECT_EQ(a.levels()[l].a_degrees, b.levels()[l].a_degrees);
+        EXPECT_EQ(a.levels()[l].b_degrees, b.levels()[l].b_degrees);
+    }
+    EXPECT_EQ(a.seedA(0), b.seedA(0));
+    EXPECT_EQ(a.seedBase(), b.seedBase());
+}
+
+TEST(Topology, SeedsDiffer)
+{
+    EncoderTopology a(1 << 10, 1), b(1 << 10, 2);
+    EXPECT_NE(a.seedA(0), b.seedA(0));
+    EXPECT_NE(a.levels()[0].a_degrees, b.levels()[0].a_degrees);
+}
+
+TEST(Topology, LevelShapes)
+{
+    size_t k = 1 << 12;
+    EncoderTopology topo(k, 7);
+    size_t cur = k;
+    for (const auto &level : topo.levels()) {
+        EXPECT_EQ(level.k, cur);
+        EXPECT_EQ(level.a_degrees.size(), cur / 4);
+        EXPECT_EQ(level.b_degrees.size(), cur / 2);
+        cur /= 4;
+    }
+    EXPECT_LE(topo.baseSize(), kEncoderBaseSize);
+    EXPECT_EQ(topo.codewordLength(), 2 * k);
+}
+
+TEST(Topology, DegreesWithinBuckets)
+{
+    EncoderTopology topo(1 << 10, 9);
+    for (const auto &level : topo.levels()) {
+        for (uint8_t d : level.a_degrees) {
+            EXPECT_GE(d, kEncoderDegreeA / 2 + 1);
+            EXPECT_LE(d, 3 * kEncoderDegreeA / 2);
+        }
+        for (uint8_t d : level.b_degrees) {
+            EXPECT_GE(d, kEncoderDegreeB / 2 + 1);
+            EXPECT_LE(d, 3 * kEncoderDegreeB / 2);
+        }
+    }
+}
+
+TEST(SparseMatrix, ShapeAndNnz)
+{
+    Rng rng(3);
+    std::vector<uint8_t> degrees{2, 3, 1};
+    SparseMatrix<Fr> m(degrees, 10, rng);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 10u);
+    EXPECT_EQ(m.nnz(), 6u);
+}
+
+TEST(SparseMatrix, MulVecLinear)
+{
+    Rng rng(4);
+    std::vector<uint8_t> degrees(16, 5);
+    SparseMatrix<Fr> m(degrees, 32, rng);
+    std::vector<Fr> x(32), y(32);
+    for (auto &v : x)
+        v = Fr::random(rng);
+    for (auto &v : y)
+        v = Fr::random(rng);
+    Fr a = Fr::random(rng), b = Fr::random(rng);
+
+    std::vector<Fr> combo(32);
+    for (size_t i = 0; i < 32; ++i)
+        combo[i] = a * x[i] + b * y[i];
+
+    std::vector<Fr> mx(16), my(16), mc(16);
+    m.mulVec(x, mx);
+    m.mulVec(y, my);
+    m.mulVec(combo, mc);
+    for (size_t i = 0; i < 16; ++i)
+        EXPECT_EQ(mc[i], a * mx[i] + b * my[i]);
+}
+
+TEST(SparseMatrix, ZeroInZeroOut)
+{
+    Rng rng(5);
+    std::vector<uint8_t> degrees(8, 4);
+    SparseMatrix<Gl64> m(degrees, 16, rng);
+    std::vector<Gl64> x(16, Gl64::zero()), out(8);
+    m.mulVec(x, out);
+    for (const auto &v : out)
+        EXPECT_TRUE(v.isZero());
+}
+
+template <typename F>
+class SpielmanT : public ::testing::Test
+{
+};
+
+using Fields = ::testing::Types<Fr, Gl64>;
+TYPED_TEST_SUITE(SpielmanT, Fields);
+
+TYPED_TEST(SpielmanT, CodewordLengthIsRateHalf)
+{
+    using F = TypeParam;
+    for (size_t k : {32u, 128u, 1024u}) {
+        SpielmanCode<F> code(k, 11);
+        Rng rng(6);
+        std::vector<F> msg(k);
+        for (auto &m : msg)
+            m = F::random(rng);
+        EXPECT_EQ(code.encode(msg).size(), 2 * k) << "k=" << k;
+    }
+}
+
+TYPED_TEST(SpielmanT, Systematic)
+{
+    // The message appears verbatim as the codeword prefix.
+    using F = TypeParam;
+    size_t k = 256;
+    SpielmanCode<F> code(k, 12);
+    Rng rng(7);
+    std::vector<F> msg(k);
+    for (auto &m : msg)
+        m = F::random(rng);
+    auto cw = code.encode(msg);
+    for (size_t i = 0; i < k; ++i)
+        EXPECT_EQ(cw[i], msg[i]);
+}
+
+TYPED_TEST(SpielmanT, Linear)
+{
+    // E(a*x + b*y) == a*E(x) + b*E(y): the property the SNARK's
+    // proximity test relies on.
+    using F = TypeParam;
+    size_t k = 512;
+    SpielmanCode<F> code(k, 13);
+    Rng rng(8);
+    std::vector<F> x(k), y(k), combo(k);
+    F a = F::random(rng), b = F::random(rng);
+    for (size_t i = 0; i < k; ++i) {
+        x[i] = F::random(rng);
+        y[i] = F::random(rng);
+        combo[i] = a * x[i] + b * y[i];
+    }
+    auto ex = code.encode(x);
+    auto ey = code.encode(y);
+    auto ec = code.encode(combo);
+    for (size_t i = 0; i < 2 * k; ++i)
+        EXPECT_EQ(ec[i], a * ex[i] + b * ey[i]);
+}
+
+TYPED_TEST(SpielmanT, Deterministic)
+{
+    using F = TypeParam;
+    size_t k = 128;
+    SpielmanCode<F> c1(k, 14), c2(k, 14);
+    Rng rng(9);
+    std::vector<F> msg(k);
+    for (auto &m : msg)
+        m = F::random(rng);
+    EXPECT_EQ(c1.encode(msg), c2.encode(msg));
+}
+
+TYPED_TEST(SpielmanT, DistinctMessagesDistinctCodewords)
+{
+    using F = TypeParam;
+    size_t k = 128;
+    SpielmanCode<F> code(k, 15);
+    Rng rng(10);
+    std::vector<F> msg(k);
+    for (auto &m : msg)
+        m = F::random(rng);
+    auto cw1 = code.encode(msg);
+    msg[5] += F::one();
+    auto cw2 = code.encode(msg);
+    EXPECT_NE(cw1, cw2);
+}
+
+TEST(EncoderStageCosts, SortedNeverWorse)
+{
+    EncoderTopology topo(1 << 12, 16);
+    for (const auto &s : encoderStageCosts(topo))
+        EXPECT_LE(s.lane_cycles_sorted, s.lane_cycles_unsorted + 1e-9);
+}
+
+TEST(EncoderStageCosts, SortingHelpsOnSparseStages)
+{
+    // With degrees spread over [mean/2+1, 3mean/2], natural warp groups
+    // pay close to the max degree; sorted groups pay close to the mean.
+    EncoderTopology topo(1 << 14, 17);
+    auto stages = encoderStageCosts(topo);
+    double sorted = 0, unsorted = 0;
+    for (const auto &s : stages) {
+        sorted += s.lane_cycles_sorted;
+        unsorted += s.lane_cycles_unsorted;
+    }
+    EXPECT_LT(sorted, unsorted * 0.92);
+}
+
+TEST(EncoderStageCosts, StageCountIsTwoDepthPlusOne)
+{
+    EncoderTopology topo(1 << 12, 18);
+    auto stages = encoderStageCosts(topo);
+    EXPECT_EQ(stages.size(), 2 * topo.levels().size() + 1);
+}
+
+class GpuEncoderTest : public ::testing::Test
+{
+  protected:
+    gpusim::Device dev_{gpusim::DeviceSpec::v100()};
+};
+
+TEST_F(GpuEncoderTest, FunctionalCodewordsMatchReference)
+{
+    GpuEncoderOptions opt;
+    opt.functional = 2;
+    Rng rng1(20), rng2(20);
+    std::vector<std::vector<Fr>> gpu_codes;
+    PipelinedEncoderGpu(dev_, opt).run(4, 1 << 8, rng1, &gpu_codes);
+    ASSERT_EQ(gpu_codes.size(), 2u);
+
+    SpielmanCode<Fr> code(1 << 8, 0xbadc0de5 + (1 << 8));
+    for (size_t i = 0; i < 2; ++i) {
+        std::vector<Fr> msg(1 << 8);
+        for (auto &m : msg)
+            m = Fr::random(rng2);
+        EXPECT_EQ(gpu_codes[i], code.encode(msg));
+    }
+}
+
+TEST_F(GpuEncoderTest, PipelinedBeatsNonPipelined)
+{
+    GpuEncoderOptions opt;
+    opt.functional = 0;
+    Rng rng(1);
+    auto pipe = PipelinedEncoderGpu(dev_, opt).run(128, 1 << 12, rng);
+    auto np = NonPipelinedEncoderGpu(dev_, opt).run(128, 1 << 12, rng);
+    EXPECT_GT(pipe.throughput_per_ms, np.throughput_per_ms);
+}
+
+TEST_F(GpuEncoderTest, AdvantageGrowsForSmallMessages)
+{
+    GpuEncoderOptions opt;
+    opt.functional = 0;
+    Rng rng(1);
+    auto speedup = [&](size_t k) {
+        auto pipe = PipelinedEncoderGpu(dev_, opt).run(128, k, rng);
+        auto np = NonPipelinedEncoderGpu(dev_, opt).run(128, k, rng);
+        return pipe.throughput_per_ms / np.throughput_per_ms;
+    };
+    EXPECT_GT(speedup(1 << 10), speedup(1 << 16));
+}
+
+TEST_F(GpuEncoderTest, PipelinedLatencyWorse)
+{
+    GpuEncoderOptions opt;
+    opt.functional = 0;
+    Rng rng(1);
+    auto pipe = PipelinedEncoderGpu(dev_, opt).run(128, 1 << 16, rng);
+    auto np = NonPipelinedEncoderGpu(dev_, opt).run(128, 1 << 16, rng);
+    EXPECT_GT(pipe.first_latency_ms, np.first_latency_ms);
+}
+
+TEST_F(GpuEncoderTest, UtilizationHigherWhenPipelined)
+{
+    GpuEncoderOptions opt;
+    opt.functional = 0;
+    Rng rng(1);
+    auto pipe = PipelinedEncoderGpu(dev_, opt).run(256, 1 << 12, rng);
+    auto np = NonPipelinedEncoderGpu(dev_, opt).run(256, 1 << 12, rng);
+    EXPECT_GT(pipe.utilization, np.utilization);
+}
+
+TEST_F(GpuEncoderTest, CpuBaselineProducesSameCodewords)
+{
+    Rng rng1(21), rng2(21);
+    std::vector<std::vector<Fr>> cpu_codes, gpu_codes;
+    CpuEncoderBaseline(1).run(2, 1 << 8, rng1, &cpu_codes);
+    GpuEncoderOptions opt;
+    opt.functional = 1;
+    PipelinedEncoderGpu(dev_, opt).run(2, 1 << 8, rng2, &gpu_codes);
+    ASSERT_EQ(cpu_codes.size(), 1u);
+    ASSERT_EQ(gpu_codes.size(), 1u);
+    EXPECT_EQ(cpu_codes[0], gpu_codes[0]);
+}
+
+} // namespace
+} // namespace bzk

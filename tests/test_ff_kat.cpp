@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Known-answer tests for the field arithmetic, with expected values
+ * computed by an independent big-integer implementation (CPython);
+ * guards the Montgomery code against consistent-but-wrong arithmetic
+ * that the algebraic property tests cannot see.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ff/Fields.h"
+#include "util/Hex.h"
+
+namespace bzk {
+namespace {
+
+U256
+u256FromHexStr(const std::string &hex)
+{
+    // Hex is most-significant first, 64 digits.
+    auto bytes = fromHex(hex);
+    EXPECT_EQ(bytes.size(), 32u);
+    std::reverse(bytes.begin(), bytes.end()); // to little-endian
+    return u256FromBytes(std::span<const uint8_t, 32>(bytes.data(), 32));
+}
+
+const char *kA =
+    "123456789abcdef0fedcba9876543210123456789abcdef0fedcba9876543210";
+const char *kB =
+    "0f0e0d0c0b0a09080706050403020100ffeeddccbbaa99887766554433221100";
+
+TEST(FrKat, Mul)
+{
+    Fr a = Fr::fromU256(u256FromHexStr(kA));
+    Fr b = Fr::fromU256(u256FromHexStr(kB));
+    EXPECT_EQ((a * b).toHexString(),
+              "1350b4f42ed6ca0a68542755c442c814"
+              "212d28a6856ee62ce107b3fb917c331b");
+}
+
+TEST(FrKat, Add)
+{
+    Fr a = Fr::fromU256(u256FromHexStr(kA));
+    Fr b = Fr::fromU256(u256FromHexStr(kB));
+    EXPECT_EQ((a + b).toHexString(),
+              "21426384a5c6e7f905e2bf9c79563311"
+              "122334455667787976430fdca9764310");
+}
+
+TEST(FrKat, Inverse)
+{
+    Fr a = Fr::fromU256(u256FromHexStr(kA));
+    EXPECT_EQ(a.inverse().toHexString(),
+              "0fd586d9834f8a524551a7b05798fd40"
+              "65c83ceed28fd46fc4083015afbb6868");
+}
+
+TEST(FrKat, Pow)
+{
+    EXPECT_EQ(Fr::fromUint(5).pow(uint64_t{1000}).toHexString(),
+              "250897e0356b83a11904963508fd8ee3"
+              "db125e037b8b00a1d66727c21a8466bb");
+}
+
+TEST(FrKat, RootOfUnityOrder28)
+{
+    Fr w = Fr::rootOfUnity(28);
+    EXPECT_EQ(w.toHexString(),
+              "2a3c09f0a58a7e8500e0a7eb8ef62abc"
+              "402d111e41112ed49bd61b6e725b19f0");
+    // w^(2^27) = -1 = r - 1.
+    Fr half = w;
+    for (int i = 0; i < 27; ++i)
+        half = half.square();
+    EXPECT_EQ(half.toHexString(),
+              "30644e72e131a029b85045b68181585d"
+              "2833e84879b9709143e1f593f0000000");
+    EXPECT_EQ(half, -Fr::one());
+}
+
+TEST(FqKat, Mul)
+{
+    Fq a = Fq::fromU256(u256FromHexStr(kA));
+    Fq b = Fq::fromU256(u256FromHexStr(kB));
+    EXPECT_EQ((a * b).toHexString(),
+              "0c760fa44bc48d9e84498818d971edb1"
+              "667dc4403d458fdf5a49f36fd44a66cf");
+}
+
+TEST(GoldilocksKat, MulAndInverse)
+{
+    Gl64 a = Gl64::fromUint(0x123456789abcdef0ULL);
+    Gl64 b = Gl64::fromUint(0xfedcba9876543210ULL);
+    EXPECT_EQ((a * b).toHexString(), "faeafd1f6c7bbad4");
+    EXPECT_EQ(a.inverse().toHexString(), "cc82422076a04151");
+}
+
+TEST(FrKat, MontgomeryFormInvisible)
+{
+    // toU256 of small values must be the values themselves (round-trip
+    // through Montgomery form is the identity on canonical integers).
+    for (uint64_t v : {0ULL, 1ULL, 2ULL, 123456789ULL}) {
+        U256 u = Fr::fromUint(v).toU256();
+        EXPECT_EQ(u, U256{v});
+    }
+}
+
+TEST(FrKat, ModulusMinusOneSquares)
+{
+    // (-1)^2 == 1 catches sign/reduction slips at the modulus boundary.
+    Fr m1 = -Fr::one();
+    EXPECT_EQ(m1 * m1, Fr::one());
+    EXPECT_EQ(m1.square(), Fr::one());
+}
+
+} // namespace
+} // namespace bzk

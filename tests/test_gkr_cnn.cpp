@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the zkCNN-style path: a CnnModel compiled into a layered
+ * circuit and proven with GKR. The layered evaluation must agree with
+ * the integer engine exactly, and the GKR proof must verify (and fail
+ * on forged logits).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ff/Fields.h"
+#include "gkr/Gkr.h"
+#include "zkml/LayeredCnnCompiler.h"
+
+namespace bzk {
+namespace {
+
+Tensor
+sampleImage(Rng &rng, const CnnConfig &cfg, int bound = 4)
+{
+    Tensor img(cfg.in_channels, cfg.in_height, cfg.in_width);
+    for (auto &p : img.data)
+        p = static_cast<int64_t>(rng.nextBounded(bound));
+    return img;
+}
+
+CnnConfig
+smallConfig()
+{
+    CnnConfig cfg;
+    cfg.in_channels = 1;
+    cfg.in_height = 4;
+    cfg.in_width = 4;
+    cfg.layers = {
+        {CnnLayer::Kind::Conv3x3, 2},
+        {CnnLayer::Kind::Square, 0},
+        {CnnLayer::Kind::SumPool2x2, 0},
+        {CnnLayer::Kind::Dense, 3},
+    };
+    return cfg;
+}
+
+TEST(LayeredCnn, MatchesEngineOnSmallConfig)
+{
+    Rng rng(1);
+    CnnModel model(smallConfig(), rng);
+    auto compiled = compileCnnLayered<Fr>(model);
+
+    Tensor image = sampleImage(rng, model.config());
+    Tensor expect = model.forward(image);
+
+    auto inputs = layeredCnnInputs<Fr>(model, image);
+    auto values = compiled.circuit.evaluate(inputs);
+    ASSERT_GE(values.back().size(), compiled.num_outputs);
+    ASSERT_EQ(compiled.num_outputs, expect.data.size());
+    for (size_t i = 0; i < compiled.num_outputs; ++i)
+        EXPECT_EQ(values.back()[i], fieldFromInt<Fr>(expect.data[i]))
+            << "logit " << i;
+}
+
+TEST(LayeredCnn, MatchesEngineOnTinyConfig)
+{
+    Rng rng(2);
+    CnnModel model(CnnConfig::tiny(), rng);
+    auto compiled = compileCnnLayered<Fr>(model);
+    Tensor image = sampleImage(rng, model.config());
+    Tensor expect = model.forward(image);
+    auto inputs = layeredCnnInputs<Fr>(model, image);
+    auto values = compiled.circuit.evaluate(inputs);
+    for (size_t i = 0; i < compiled.num_outputs; ++i)
+        EXPECT_EQ(values.back()[i], fieldFromInt<Fr>(expect.data[i]))
+            << "logit " << i;
+}
+
+TEST(LayeredCnn, GkrProofOfInferenceVerifies)
+{
+    Rng rng(3);
+    CnnModel model(smallConfig(), rng);
+    auto compiled = compileCnnLayered<Fr>(model);
+    Tensor image = sampleImage(rng, model.config());
+    auto inputs = layeredCnnInputs<Fr>(model, image);
+
+    Gkr<Fr> gkr(compiled.circuit);
+    Transcript pt("zkcnn");
+    auto proof = gkr.prove(inputs, pt);
+
+    // The proven logits equal the engine's.
+    Tensor expect = model.forward(image);
+    for (size_t i = 0; i < compiled.num_outputs; ++i)
+        EXPECT_EQ(proof.outputs[i], fieldFromInt<Fr>(expect.data[i]));
+
+    Transcript vt("zkcnn");
+    EXPECT_TRUE(gkr.verify(proof, inputs, vt));
+}
+
+TEST(LayeredCnn, GkrRejectsForgedLogit)
+{
+    Rng rng(4);
+    CnnModel model(smallConfig(), rng);
+    auto compiled = compileCnnLayered<Fr>(model);
+    Tensor image = sampleImage(rng, model.config());
+    auto inputs = layeredCnnInputs<Fr>(model, image);
+
+    Gkr<Fr> gkr(compiled.circuit);
+    Transcript pt("zkcnn");
+    auto proof = gkr.prove(inputs, pt);
+    proof.outputs[1] += Fr::one(); // claim a different logit
+    Transcript vt("zkcnn");
+    EXPECT_FALSE(gkr.verify(proof, inputs, vt));
+}
+
+TEST(LayeredCnn, GkrRejectsDifferentImage)
+{
+    Rng rng(5);
+    CnnModel model(smallConfig(), rng);
+    auto compiled = compileCnnLayered<Fr>(model);
+    Tensor image = sampleImage(rng, model.config());
+    auto inputs = layeredCnnInputs<Fr>(model, image);
+
+    Gkr<Fr> gkr(compiled.circuit);
+    Transcript pt("zkcnn");
+    auto proof = gkr.prove(inputs, pt);
+    auto other = inputs;
+    other[2] += Fr::one();
+    Transcript vt("zkcnn");
+    EXPECT_FALSE(gkr.verify(proof, other, vt));
+}
+
+TEST(LayeredCnn, ProofFarSmallerThanWork)
+{
+    // GKR's succinctness on the CNN: proof bytes << total gate count *
+    // field size.
+    Rng rng(6);
+    CnnModel model(CnnConfig::tiny(), rng);
+    auto compiled = compileCnnLayered<Fr>(model);
+    Tensor image = sampleImage(rng, model.config());
+    auto inputs = layeredCnnInputs<Fr>(model, image);
+    Gkr<Fr> gkr(compiled.circuit);
+    Transcript pt("zkcnn");
+    auto proof = gkr.prove(inputs, pt);
+    size_t work_bytes = compiled.circuit.numGates() * Fr::kNumBytes;
+    EXPECT_LT(proof.sizeBytes(), work_bytes / 4);
+}
+
+} // namespace
+} // namespace bzk

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Tests for the GPU discrete-event simulator: stream ordering, lane
+ * capacity scheduling, copy-engine overlap, memory accounting and
+ * utilization traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpusim/Calibration.h"
+#include "gpusim/Device.h"
+
+namespace bzk::gpusim {
+namespace {
+
+DeviceSpec
+tinySpec()
+{
+    DeviceSpec s;
+    s.name = "tiny";
+    s.cuda_cores = 64;
+    s.clock_ghz = 1.0; // 1e6 cycles per ms
+    s.mem_bw_gbps = 100.0;
+    s.link_gbps = 10.0;
+    s.link_name = "test-link";
+    s.device_mem_bytes = 1 << 20;
+    return s;
+}
+
+KernelDesc
+simpleKernel(double lanes, uint64_t threads, double cycles)
+{
+    KernelDesc k;
+    k.name = "k";
+    k.lanes = lanes;
+    k.threads = threads;
+    k.cycles_per_thread = cycles;
+    return k;
+}
+
+TEST(DeviceSpec, PresetsPopulated)
+{
+    for (const auto &spec : DeviceSpec::allPresets()) {
+        EXPECT_FALSE(spec.name.empty());
+        EXPECT_GT(spec.cuda_cores, 0u);
+        EXPECT_GT(spec.clock_ghz, 0.0);
+        EXPECT_GT(spec.mem_bw_gbps, 0.0);
+        EXPECT_GT(spec.link_gbps, 0.0);
+        EXPECT_GT(spec.device_mem_bytes, 0u);
+    }
+}
+
+TEST(DeviceSpec, PaperCoreCounts)
+{
+    // The paper's resource-allocation example relies on V100 = 5120
+    // cores, and Figure 9 on 3090Ti = 10752.
+    EXPECT_EQ(DeviceSpec::v100().cuda_cores, 5120u);
+    EXPECT_EQ(DeviceSpec::rtx3090ti().cuda_cores, 10752u);
+}
+
+TEST(Device, KernelDurationComputeBound)
+{
+    Device dev(tinySpec());
+    // 64 threads, 1e6 cycles each on 64 lanes at 1e6 cycles/ms -> 1 ms.
+    double d = dev.kernelDurationMs(simpleKernel(64, 64, 1e6));
+    EXPECT_NEAR(d, 1.0 + kKernelLaunchMs, 1e-9);
+}
+
+TEST(Device, KernelWaves)
+{
+    Device dev(tinySpec());
+    // 128 threads on 64 lanes -> 2 waves.
+    double d = dev.kernelDurationMs(simpleKernel(64, 128, 1e6));
+    EXPECT_NEAR(d, 2.0 + kKernelLaunchMs, 1e-9);
+}
+
+TEST(Device, KernelMemoryBound)
+{
+    Device dev(tinySpec());
+    KernelDesc k = simpleKernel(64, 64, 1.0);
+    k.mem_bytes = 100'000'000; // at 100 GB/s (=1e8 B/ms) -> 1 ms
+    double d = dev.kernelDurationMs(k);
+    EXPECT_NEAR(d, 1.0 + kKernelLaunchMs, 1e-9);
+}
+
+TEST(Device, StreamSerializesOps)
+{
+    Device dev(tinySpec());
+    StreamId s = dev.createStream();
+    OpId a = dev.launchKernel(s, simpleKernel(16, 16, 1e6));
+    OpId b = dev.launchKernel(s, simpleKernel(16, 16, 1e6));
+    EXPECT_GE(dev.opStart(b), dev.opEnd(a));
+}
+
+TEST(Device, IndependentStreamsOverlap)
+{
+    Device dev(tinySpec());
+    StreamId s1 = dev.createStream();
+    StreamId s2 = dev.createStream();
+    OpId a = dev.launchKernel(s1, simpleKernel(16, 16, 1e6));
+    OpId b = dev.launchKernel(s2, simpleKernel(16, 16, 1e6));
+    // 16 + 16 lanes fit in 64: both start at 0.
+    EXPECT_DOUBLE_EQ(dev.opStart(a), 0.0);
+    EXPECT_DOUBLE_EQ(dev.opStart(b), 0.0);
+}
+
+TEST(Device, LaneCapacityQueues)
+{
+    Device dev(tinySpec());
+    StreamId s1 = dev.createStream();
+    StreamId s2 = dev.createStream();
+    OpId a = dev.launchKernel(s1, simpleKernel(64, 64, 1e6));
+    OpId b = dev.launchKernel(s2, simpleKernel(64, 64, 1e6));
+    // Both want all 64 lanes: the second must wait.
+    EXPECT_GE(dev.opStart(b), dev.opEnd(a) - 1e-9);
+}
+
+TEST(Device, PartialOverlapWhenLanesFree)
+{
+    Device dev(tinySpec());
+    StreamId s1 = dev.createStream();
+    StreamId s2 = dev.createStream();
+    // Reservations are warp-granular (32 lanes), so 32 + 32 fills the
+    // 64-lane device exactly and both kernels co-run from time zero.
+    dev.launchKernel(s1, simpleKernel(32, 32, 1e6));
+    OpId b = dev.launchKernel(s2, simpleKernel(32, 32, 1e6));
+    EXPECT_DOUBLE_EQ(dev.opStart(b), 0.0);
+}
+
+TEST(Device, ExplicitDependencyHonored)
+{
+    Device dev(tinySpec());
+    StreamId s1 = dev.createStream();
+    StreamId s2 = dev.createStream();
+    OpId a = dev.launchKernel(s1, simpleKernel(16, 16, 1e6));
+    OpId b = dev.launchKernel(s2, simpleKernel(16, 16, 1e6), a);
+    EXPECT_GE(dev.opStart(b), dev.opEnd(a));
+}
+
+TEST(Device, CopyEngineSerializesSameDirection)
+{
+    Device dev(tinySpec());
+    StreamId s1 = dev.createStream();
+    StreamId s2 = dev.createStream();
+    OpId a = dev.copyH2D(s1, 10'000'000); // 1 ms at 10 GB/s * 0.88
+    OpId b = dev.copyH2D(s2, 10'000'000);
+    EXPECT_GE(dev.opStart(b), dev.opEnd(a) - 1e-9);
+}
+
+TEST(Device, OppositeCopyDirectionsOverlap)
+{
+    Device dev(tinySpec());
+    StreamId s1 = dev.createStream();
+    StreamId s2 = dev.createStream();
+    OpId a = dev.copyH2D(s1, 10'000'000);
+    OpId b = dev.copyD2H(s2, 10'000'000);
+    EXPECT_DOUBLE_EQ(dev.opStart(a), 0.0);
+    EXPECT_DOUBLE_EQ(dev.opStart(b), 0.0);
+}
+
+TEST(Device, CopyOverlapsCompute)
+{
+    // The multi-stream claim of the paper: copies and kernels overlap.
+    Device dev(tinySpec());
+    StreamId sk = dev.createStream();
+    StreamId sc = dev.createStream();
+    OpId k = dev.launchKernel(sk, simpleKernel(64, 64, 1e6));
+    OpId c = dev.copyH2D(sc, 8'800'000); // ~1 ms
+    EXPECT_DOUBLE_EQ(dev.opStart(k), 0.0);
+    EXPECT_DOUBLE_EQ(dev.opStart(c), 0.0);
+    EXPECT_LT(dev.now(), 2.0); // overlapped, not serialized
+}
+
+TEST(Device, MemoryAccounting)
+{
+    Device dev(tinySpec());
+    int64_t h1 = dev.alloc(1000);
+    int64_t h2 = dev.alloc(500);
+    EXPECT_EQ(dev.liveMemory(), 1500u);
+    EXPECT_EQ(dev.peakMemory(), 1500u);
+    dev.free(h1);
+    EXPECT_EQ(dev.liveMemory(), 500u);
+    EXPECT_EQ(dev.peakMemory(), 1500u);
+    dev.resetMemoryPeak();
+    EXPECT_EQ(dev.peakMemory(), 500u);
+    dev.free(h2);
+    EXPECT_EQ(dev.liveMemory(), 0u);
+}
+
+TEST(Device, UtilizationFullKernel)
+{
+    Device dev(tinySpec());
+    StreamId s = dev.createStream();
+    dev.launchKernel(s, simpleKernel(64, 64, 1e6));
+    auto trace = dev.utilizationTrace(0.1, 1.0);
+    ASSERT_FALSE(trace.empty());
+    // Nearly all bins should be ~100% busy.
+    for (size_t i = 0; i + 1 < trace.size(); ++i)
+        EXPECT_GT(trace[i].utilization, 0.9) << "bin " << i;
+}
+
+TEST(Device, UtilizationRespectsProfile)
+{
+    Device dev(tinySpec());
+    StreamId s = dev.createStream();
+    KernelDesc k;
+    k.name = "decay";
+    k.lanes = 64;
+    // Half the time 64 active lanes, half the time 8.
+    k.profile = {{5e5, 64.0}, {5e5, 8.0}};
+    dev.launchKernel(s, k);
+    auto trace = dev.utilizationTrace(0.25, 1.0);
+    ASSERT_EQ(trace.size(), 4u);
+    EXPECT_GT(trace[0].utilization, 0.9);
+    EXPECT_LT(trace[3].utilization, 0.2);
+}
+
+TEST(Device, BusyLaneMsAccumulates)
+{
+    Device dev(tinySpec());
+    StreamId s = dev.createStream();
+    dev.launchKernel(s, simpleKernel(64, 64, 1e6));
+    // 64 lanes busy for ~1 ms.
+    EXPECT_NEAR(dev.busyLaneMs(), 64.0 * (1.0 + kKernelLaunchMs), 0.5);
+}
+
+TEST(Device, ResetTimelineClearsClock)
+{
+    Device dev(tinySpec());
+    StreamId s = dev.createStream();
+    dev.launchKernel(s, simpleKernel(64, 64, 1e6));
+    EXPECT_GT(dev.now(), 0.0);
+    dev.resetTimeline();
+    EXPECT_DOUBLE_EQ(dev.now(), 0.0);
+    EXPECT_DOUBLE_EQ(dev.streamTime(s), 0.0);
+    EXPECT_TRUE(dev.ops().empty());
+}
+
+TEST(Device, ManyKernelsBackToBackKeepLedgerConsistent)
+{
+    Device dev(tinySpec());
+    StreamId s1 = dev.createStream();
+    StreamId s2 = dev.createStream();
+    for (int i = 0; i < 200; ++i) {
+        dev.launchKernel(i % 2 ? s1 : s2,
+                         simpleKernel(40, 40, 1e4));
+    }
+    // 40+40 > 64, so ops alternate; end time ~ 200 * 0.01 ms serial-ish.
+    EXPECT_GT(dev.now(), 200 * 0.01 * 0.9);
+}
+
+TEST(Device, ChromeTraceContainsAllOps)
+{
+    Device dev(tinySpec());
+    StreamId s1 = dev.createStream();
+    StreamId s2 = dev.createStream();
+    dev.launchKernel(s1, simpleKernel(16, 16, 1e5));
+    dev.copyH2D(s2, 1000);
+    dev.copyD2H(s2, 1000);
+    std::string json = dev.chromeTraceJson();
+    EXPECT_NE(json.find("\"cat\":\"kernel\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"h2d\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"d2h\""), std::string::npos);
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_EQ(json.back(), ']');
+}
+
+TEST(Device, OpRecordsCarryStream)
+{
+    Device dev(tinySpec());
+    StreamId s1 = dev.createStream();
+    StreamId s2 = dev.createStream();
+    dev.launchKernel(s1, simpleKernel(16, 16, 1e5));
+    dev.launchKernel(s2, simpleKernel(16, 16, 1e5));
+    ASSERT_EQ(dev.ops().size(), 2u);
+    EXPECT_EQ(dev.ops()[0].stream, s1);
+    EXPECT_EQ(dev.ops()[1].stream, s2);
+}
+
+TEST(Device, ZeroByteCopyIsInstant)
+{
+    Device dev(tinySpec());
+    StreamId s = dev.createStream();
+    OpId op = dev.copyH2D(s, 0);
+    EXPECT_DOUBLE_EQ(dev.opStart(op), dev.opEnd(op));
+}
+
+TEST(Device, EmptyTimelineTraceIsEmpty)
+{
+    Device dev(tinySpec());
+    EXPECT_TRUE(dev.utilizationTrace(1.0).empty());
+    EXPECT_DOUBLE_EQ(dev.now(), 0.0);
+    EXPECT_DOUBLE_EQ(dev.busyLaneMs(), 0.0);
+}
+
+TEST(Device, ProfileDurationIgnoresThreadFields)
+{
+    // When a profile is given, threads/cycles_per_thread are ignored.
+    Device dev(tinySpec());
+    KernelDesc k;
+    k.name = "p";
+    k.lanes = 64;
+    k.threads = 999999;
+    k.cycles_per_thread = 1e9;
+    k.profile = {{1e6, 64.0}};
+    EXPECT_NEAR(dev.kernelDurationMs(k), 1.0 + kKernelLaunchMs, 1e-9);
+}
+
+TEST(Device, SingleThreadKernelRoundsToWarp)
+{
+    Device dev(tinySpec());
+    StreamId s = dev.createStream();
+    dev.launchKernel(s, simpleKernel(64, 1, 1e5));
+    EXPECT_DOUBLE_EQ(dev.ops()[0].lanes, 32.0); // one warp reserved
+}
+
+TEST(Device, CopyDurationMatchesLinkBandwidth)
+{
+    Device dev(tinySpec());
+    double ms = dev.copyDurationMs(10'000'000);
+    // 10 MB at 8.8 GB/s effective = ~1.136 ms.
+    EXPECT_NEAR(ms, 10.0 / 8.8, 1e-6);
+}
+
+} // namespace
+} // namespace bzk::gpusim

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for SHA-256 (against FIPS 180-4 vectors) and the Fiat-Shamir
+ * transcript.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "ff/Fields.h"
+#include "hash/Sha256.h"
+#include "hash/Transcript.h"
+
+namespace bzk {
+namespace {
+
+Digest
+digestOfString(const std::string &s)
+{
+    return Sha256::digest(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t *>(s.data()), s.size()));
+}
+
+TEST(Sha256, EmptyVector)
+{
+    EXPECT_EQ(digestOfString("").toHex(),
+              "e3b0c44298fc1c149afbf4c8996fb924"
+              "27ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc)
+{
+    EXPECT_EQ(digestOfString("abc").toHex(),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage)
+{
+    EXPECT_EQ(
+        digestOfString(
+            "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+            .toHex(),
+        "248d6a61d20638b8e5c026930c3e6039"
+        "a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs)
+{
+    Sha256 h;
+    std::vector<uint8_t> chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i)
+        h.update(chunk);
+    EXPECT_EQ(h.finalize().toHex(),
+              "cdc76e5c9914fb9281a1c7e284d73e67"
+              "f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot)
+{
+    std::string msg = "the quick brown fox jumps over the lazy dog";
+    for (size_t split = 0; split <= msg.size(); ++split) {
+        Sha256 h;
+        h.update(std::span<const uint8_t>(
+            reinterpret_cast<const uint8_t *>(msg.data()), split));
+        h.update(std::span<const uint8_t>(
+            reinterpret_cast<const uint8_t *>(msg.data()) + split,
+            msg.size() - split));
+        EXPECT_EQ(h.finalize(), digestOfString(msg)) << "split " << split;
+    }
+}
+
+TEST(Sha256, ExactBlockBoundary)
+{
+    std::string msg(64, 'x');
+    std::string msg2(128, 'x');
+    EXPECT_NE(digestOfString(msg), digestOfString(msg2));
+    // Incremental across the boundary matches one-shot.
+    Sha256 h;
+    h.update(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t *>(msg2.data()), 64));
+    h.update(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t *>(msg2.data()) + 64, 64));
+    EXPECT_EQ(h.finalize(), digestOfString(msg2));
+}
+
+TEST(Sha256, CompressBlockDiffersFromPaddedDigest)
+{
+    uint8_t block[64] = {0};
+    Digest raw = Sha256::compressBlock(std::span<const uint8_t, 64>(block));
+    Digest padded = Sha256::digest(std::span<const uint8_t>(block, 64));
+    EXPECT_NE(raw, padded);
+}
+
+TEST(Sha256, HashPairDeterministicAndOrderSensitive)
+{
+    Digest a = digestOfString("left");
+    Digest b = digestOfString("right");
+    EXPECT_EQ(Sha256::hashPair(a, b), Sha256::hashPair(a, b));
+    EXPECT_NE(Sha256::hashPair(a, b), Sha256::hashPair(b, a));
+}
+
+TEST(Transcript, DeterministicReplay)
+{
+    Transcript t1("test"), t2("test");
+    uint8_t msg[3] = {1, 2, 3};
+    t1.absorb("m", msg);
+    t2.absorb("m", msg);
+    EXPECT_EQ(t1.challengeDigest("c"), t2.challengeDigest("c"));
+    EXPECT_EQ(t1.challengeField<Fr>("f"), t2.challengeField<Fr>("f"));
+}
+
+TEST(Transcript, DomainSeparation)
+{
+    Transcript t1("a"), t2("b");
+    EXPECT_NE(t1.challengeDigest("c"), t2.challengeDigest("c"));
+}
+
+TEST(Transcript, AbsorbChangesChallenges)
+{
+    Transcript t1("test"), t2("test");
+    uint8_t msg[1] = {7};
+    t1.absorb("m", msg);
+    EXPECT_NE(t1.challengeDigest("c"), t2.challengeDigest("c"));
+}
+
+TEST(Transcript, SuccessiveChallengesDiffer)
+{
+    Transcript t("test");
+    EXPECT_NE(t.challengeDigest("c"), t.challengeDigest("c"));
+}
+
+TEST(Transcript, ChallengeIndexInBound)
+{
+    Transcript t("test");
+    for (int i = 0; i < 100; ++i)
+        EXPECT_LT(t.challengeIndex("i", 37), 37u);
+}
+
+TEST(Transcript, DistinctIndicesAreDistinct)
+{
+    Transcript t("test");
+    auto idx = t.challengeDistinctIndices("i", 20, 32);
+    EXPECT_EQ(idx.size(), 20u);
+    std::sort(idx.begin(), idx.end());
+    EXPECT_EQ(std::unique(idx.begin(), idx.end()), idx.end());
+    for (uint64_t v : idx)
+        EXPECT_LT(v, 32u);
+}
+
+TEST(Transcript, FieldChallengeCanonical)
+{
+    Transcript t("test");
+    Fr c = t.challengeField<Fr>("f");
+    uint8_t buf[32];
+    c.toBytes(buf);
+    EXPECT_EQ(Fr::fromBytes(buf), c);
+}
+
+TEST(Transcript, LabelsSeparateDomains)
+{
+    // Same data under different labels must diverge.
+    Transcript t1("test"), t2("test");
+    uint8_t msg[2] = {9, 9};
+    t1.absorb("a", msg);
+    t2.absorb("b", msg);
+    EXPECT_NE(t1.challengeDigest("c"), t2.challengeDigest("c"));
+}
+
+TEST(Transcript, ChallengeLabelMatters)
+{
+    Transcript t1("test"), t2("test");
+    EXPECT_NE(t1.challengeDigest("x"), t2.challengeDigest("y"));
+}
+
+TEST(Transcript, ChallengeDependsOnEarlierChallenges)
+{
+    // The transcript ratchets: absorbing the same message after different
+    // numbers of challenges produces different states.
+    Transcript t1("test"), t2("test");
+    (void)t1.challengeDigest("c");
+    uint8_t msg[1] = {1};
+    t1.absorb("m", msg);
+    t2.absorb("m", msg);
+    EXPECT_NE(t1.challengeDigest("x"), t2.challengeDigest("x"));
+}
+
+} // namespace
+} // namespace bzk

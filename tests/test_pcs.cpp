@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests for the tensor-code polynomial commitment: completeness, binding
+ * behaviour under tampering, and transcript consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/TensorPcs.h"
+#include "ff/Fields.h"
+
+namespace bzk {
+namespace {
+
+template <typename F>
+class PcsT : public ::testing::Test
+{
+};
+
+using Fields = ::testing::Types<Fr, Gl64>;
+TYPED_TEST_SUITE(PcsT, Fields);
+
+template <typename F>
+std::vector<F>
+randomPoly(unsigned n, Rng &rng)
+{
+    std::vector<F> poly(size_t{1} << n);
+    for (auto &p : poly)
+        p = F::random(rng);
+    return poly;
+}
+
+template <typename F>
+std::vector<F>
+randomPoint(unsigned n, Rng &rng)
+{
+    std::vector<F> point(n);
+    for (auto &p : point)
+        p = F::random(rng);
+    return point;
+}
+
+TYPED_TEST(PcsT, OpenVerifyRoundTrip)
+{
+    using F = TypeParam;
+    Rng rng(1);
+    for (unsigned n : {6u, 8u, 11u}) {
+        TensorPcs<F> pcs(n, 42);
+        auto state = pcs.commit(randomPoly<F>(n, rng));
+        auto point = randomPoint<F>(n, rng);
+        F value = pcs.evaluate(state, point);
+
+        Transcript pt("pcs-test");
+        pt.absorbDigest("root", state.commitment.root);
+        auto proof = pcs.open(state, point, pt);
+
+        Transcript vt("pcs-test");
+        vt.absorbDigest("root", state.commitment.root);
+        EXPECT_TRUE(
+            pcs.verify(state.commitment, point, value, proof, vt))
+            << "n=" << n;
+    }
+}
+
+TYPED_TEST(PcsT, ValueMatchesMultilinearEvaluate)
+{
+    using F = TypeParam;
+    Rng rng(2);
+    unsigned n = 8;
+    TensorPcs<F> pcs(n, 7);
+    auto poly = randomPoly<F>(n, rng);
+    auto state = pcs.commit(poly);
+    auto point = randomPoint<F>(n, rng);
+    EXPECT_EQ(pcs.evaluate(state, point),
+              Multilinear<F>(poly).evaluate(point));
+}
+
+TYPED_TEST(PcsT, RejectsWrongValue)
+{
+    using F = TypeParam;
+    Rng rng(3);
+    unsigned n = 8;
+    TensorPcs<F> pcs(n, 7);
+    auto state = pcs.commit(randomPoly<F>(n, rng));
+    auto point = randomPoint<F>(n, rng);
+    F value = pcs.evaluate(state, point);
+
+    Transcript pt("pcs-test");
+    pt.absorbDigest("root", state.commitment.root);
+    auto proof = pcs.open(state, point, pt);
+
+    Transcript vt("pcs-test");
+    vt.absorbDigest("root", state.commitment.root);
+    EXPECT_FALSE(pcs.verify(state.commitment, point, value + F::one(),
+                            proof, vt));
+}
+
+TYPED_TEST(PcsT, RejectsTamperedEvalRow)
+{
+    using F = TypeParam;
+    Rng rng(4);
+    unsigned n = 8;
+    TensorPcs<F> pcs(n, 7, /*column_openings=*/12);
+    auto state = pcs.commit(randomPoly<F>(n, rng));
+    auto point = randomPoint<F>(n, rng);
+    F value = pcs.evaluate(state, point);
+
+    Transcript pt("pcs-test");
+    pt.absorbDigest("root", state.commitment.root);
+    auto proof = pcs.open(state, point, pt);
+    proof.eval_row[3] += F::one();
+
+    Transcript vt("pcs-test");
+    vt.absorbDigest("root", state.commitment.root);
+    EXPECT_FALSE(pcs.verify(state.commitment, point, value, proof, vt));
+}
+
+TYPED_TEST(PcsT, RejectsTamperedColumn)
+{
+    using F = TypeParam;
+    Rng rng(5);
+    unsigned n = 8;
+    TensorPcs<F> pcs(n, 7);
+    auto state = pcs.commit(randomPoly<F>(n, rng));
+    auto point = randomPoint<F>(n, rng);
+    F value = pcs.evaluate(state, point);
+
+    Transcript pt("pcs-test");
+    pt.absorbDigest("root", state.commitment.root);
+    auto proof = pcs.open(state, point, pt);
+    proof.columns[0][0] += F::one();
+
+    Transcript vt("pcs-test");
+    vt.absorbDigest("root", state.commitment.root);
+    EXPECT_FALSE(pcs.verify(state.commitment, point, value, proof, vt));
+}
+
+TYPED_TEST(PcsT, RejectsWrongRoot)
+{
+    using F = TypeParam;
+    Rng rng(6);
+    unsigned n = 8;
+    TensorPcs<F> pcs(n, 7);
+    auto state = pcs.commit(randomPoly<F>(n, rng));
+    auto point = randomPoint<F>(n, rng);
+    F value = pcs.evaluate(state, point);
+
+    Transcript pt("pcs-test");
+    pt.absorbDigest("root", state.commitment.root);
+    auto proof = pcs.open(state, point, pt);
+
+    PcsCommitment bad = state.commitment;
+    bad.root.bytes[0] ^= 1;
+    Transcript vt("pcs-test");
+    vt.absorbDigest("root", state.commitment.root);
+    EXPECT_FALSE(pcs.verify(bad, point, value, proof, vt));
+}
+
+TYPED_TEST(PcsT, RejectsProofForDifferentPolynomial)
+{
+    using F = TypeParam;
+    Rng rng(7);
+    unsigned n = 8;
+    TensorPcs<F> pcs(n, 7, /*column_openings=*/12);
+    auto state1 = pcs.commit(randomPoly<F>(n, rng));
+    auto state2 = pcs.commit(randomPoly<F>(n, rng));
+    auto point = randomPoint<F>(n, rng);
+    F value1 = pcs.evaluate(state1, point);
+
+    Transcript pt("pcs-test");
+    pt.absorbDigest("root", state1.commitment.root);
+    auto proof = pcs.open(state1, point, pt);
+
+    // Same proof against the other commitment must fail.
+    Transcript vt("pcs-test");
+    vt.absorbDigest("root", state1.commitment.root);
+    EXPECT_FALSE(
+        pcs.verify(state2.commitment, point, value1, proof, vt));
+}
+
+TYPED_TEST(PcsT, CommitmentDeterministic)
+{
+    using F = TypeParam;
+    Rng rng(8);
+    unsigned n = 7;
+    TensorPcs<F> pcs(n, 9);
+    auto poly = randomPoly<F>(n, rng);
+    auto s1 = pcs.commit(poly);
+    auto s2 = pcs.commit(poly);
+    EXPECT_EQ(s1.commitment.root, s2.commitment.root);
+}
+
+TYPED_TEST(PcsT, DistinctPolynomialsDistinctRoots)
+{
+    using F = TypeParam;
+    Rng rng(9);
+    unsigned n = 7;
+    TensorPcs<F> pcs(n, 9);
+    auto poly = randomPoly<F>(n, rng);
+    auto s1 = pcs.commit(poly);
+    poly[0] += F::one();
+    auto s2 = pcs.commit(poly);
+    EXPECT_NE(s1.commitment.root, s2.commitment.root);
+}
+
+TYPED_TEST(PcsT, ShapeSplitsVariables)
+{
+    using F = TypeParam;
+    TensorPcs<F> pcs(10, 1);
+    EXPECT_EQ(pcs.rowVars() + pcs.colVars(), 10u);
+    EXPECT_GE(pcs.colVars(), 5u);
+}
+
+} // namespace
+} // namespace bzk

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Wire-format tests: byte round trips for both proof types, and
+ * parameterized corruption/truncation sweeps — a corrupted proof must
+ * never deserialize-and-verify.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/Circuit.h"
+#include "core/FullSnark.h"
+#include "core/Serialize.h"
+#include "core/Snark.h"
+#include "ff/Fields.h"
+#include "gkr/LayeredCircuit.h"
+
+namespace bzk {
+namespace {
+
+struct Fixture
+{
+    Snark<Fr> snark{8, 99};
+    SnarkProof<Fr> proof;
+    FullSnark<Fr> *full = nullptr;
+    FullSnarkProof<Fr> full_proof;
+    std::vector<Fr> inputs;
+
+    Fixture()
+    {
+        Rng rng(1);
+        // Table-commitment proof.
+        auto c = randomCircuit<Fr>(200, 8, rng);
+        std::vector<Fr> witness(c.numWitnesses());
+        for (auto &w : witness)
+            w = Fr::random(rng);
+        auto asg = c.evaluate({}, witness);
+        proof = snark.prove(c.buildTables(asg), {});
+
+        // Wiring-sound proof.
+        Circuit<Fr> fc;
+        std::vector<WireId> pool{fc.addInput(), fc.addWitness(),
+                                 fc.addWitness()};
+        while (fc.numGates() < 150) {
+            WireId l = pool[rng.nextBounded(pool.size())];
+            WireId r = pool[rng.nextBounded(pool.size())];
+            pool.push_back((rng.next() & 1) ? fc.mul(l, r)
+                                            : fc.add(l, r));
+        }
+        inputs = {Fr::fromUint(5)};
+        std::vector<Fr> fw(fc.numWitnesses());
+        for (auto &w : fw)
+            w = Fr::random(rng);
+        auto fasg = fc.evaluate(inputs, fw);
+        full = new FullSnark<Fr>(buildR1cs(fc), 77);
+        full_proof = full->prove(inputs, fasg);
+    }
+
+    ~Fixture() { delete full; }
+};
+
+Fixture &
+fixture()
+{
+    static Fixture f;
+    return f;
+}
+
+TEST(Serialize, SnarkProofRoundTrip)
+{
+    auto &f = fixture();
+    auto bytes = serializeProof(f.proof);
+    EXPECT_GT(bytes.size(), 1000u);
+    auto back = deserializeProof<Fr>(bytes);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(f.snark.verify(*back, {}));
+    // Re-serialization is byte-identical (canonical encoding).
+    EXPECT_EQ(serializeProof(*back), bytes);
+}
+
+TEST(Serialize, FullProofRoundTrip)
+{
+    auto &f = fixture();
+    auto bytes = serializeFullProof(f.full_proof);
+    auto back = deserializeFullProof<Fr>(bytes);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(f.full->verify(*back, f.inputs));
+    EXPECT_EQ(serializeFullProof(*back), bytes);
+}
+
+TEST(Serialize, WrongTagRejected)
+{
+    auto &f = fixture();
+    auto bytes = serializeProof(f.proof);
+    bytes[0] = 0x7f;
+    EXPECT_FALSE(deserializeProof<Fr>(bytes).has_value());
+    // A Snark proof is not a FullSnark proof.
+    auto bytes2 = serializeProof(f.proof);
+    EXPECT_FALSE(deserializeFullProof<Fr>(bytes2).has_value());
+}
+
+TEST(Serialize, TrailingGarbageRejected)
+{
+    auto &f = fixture();
+    auto bytes = serializeProof(f.proof);
+    bytes.push_back(0);
+    EXPECT_FALSE(deserializeProof<Fr>(bytes).has_value());
+}
+
+TEST(Serialize, EmptyInputRejected)
+{
+    EXPECT_FALSE(
+        deserializeProof<Fr>(std::span<const uint8_t>{}).has_value());
+    EXPECT_FALSE(
+        deserializeFullProof<Fr>(std::span<const uint8_t>{}).has_value());
+}
+
+TEST(Serialize, HostileLengthPrefixRejected)
+{
+    auto &f = fixture();
+    auto bytes = serializeProof(f.proof);
+    // The first u32 length prefix sits after tag + 3*(32+1) bytes; blow
+    // it up to a hostile value.
+    size_t off = 1 + 3 * 33;
+    bytes[off] = 0xff;
+    bytes[off + 1] = 0xff;
+    bytes[off + 2] = 0xff;
+    bytes[off + 3] = 0x7f;
+    EXPECT_FALSE(deserializeProof<Fr>(bytes).has_value());
+}
+
+TEST(Serialize, GkrProofRoundTrip)
+{
+    Rng rng(2);
+    auto c = randomLayeredCircuit<Fr>(4, 3, 12, rng);
+    std::vector<Fr> inputs(16);
+    for (auto &x : inputs)
+        x = Fr::random(rng);
+    Gkr<Fr> gkr(c);
+    Transcript pt("ser-gkr");
+    auto proof = gkr.prove(inputs, pt);
+
+    auto bytes = serializeGkrProof(proof);
+    auto back = deserializeGkrProof<Fr>(bytes);
+    ASSERT_TRUE(back.has_value());
+    Transcript vt("ser-gkr");
+    EXPECT_TRUE(gkr.verify(*back, inputs, vt));
+    EXPECT_EQ(serializeGkrProof(*back), bytes);
+    // Cross-type confusion rejected.
+    EXPECT_FALSE(deserializeProof<Fr>(bytes).has_value());
+}
+
+TEST(Serialize, GkrProofCorruptionRejected)
+{
+    Rng rng(3);
+    auto c = randomLayeredCircuit<Fr>(3, 2, 8, rng);
+    std::vector<Fr> inputs(8);
+    for (auto &x : inputs)
+        x = Fr::random(rng);
+    Gkr<Fr> gkr(c);
+    Transcript pt("ser-gkr");
+    auto proof = gkr.prove(inputs, pt);
+    auto bytes = serializeGkrProof(proof);
+    for (size_t pos : {size_t{8}, bytes.size() / 2, bytes.size() - 3}) {
+        auto bad = bytes;
+        bad[pos] ^= 0x40;
+        auto back = deserializeGkrProof<Fr>(bad);
+        if (back.has_value()) {
+            Transcript vt("ser-gkr");
+            EXPECT_FALSE(gkr.verify(*back, inputs, vt)) << pos;
+        }
+    }
+}
+
+/** Corruption sweep: flip one byte at a parameterized blob position. */
+class CorruptionSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CorruptionSweep, CorruptedSnarkProofNeverAccepted)
+{
+    auto &f = fixture();
+    auto bytes = serializeProof(f.proof);
+    size_t pos = static_cast<size_t>(GetParam()) * (bytes.size() - 1) / 15;
+    if (pos == 0)
+        pos = 1; // keep the tag; tag corruption is covered elsewhere
+    bytes[pos] ^= 0x55;
+    auto back = deserializeProof<Fr>(bytes);
+    if (back.has_value()) {
+        // Structure survived: the cryptographic checks must not.
+        EXPECT_FALSE(f.snark.verify(*back, {})) << "pos " << pos;
+    }
+}
+
+TEST_P(CorruptionSweep, CorruptedFullProofNeverAccepted)
+{
+    auto &f = fixture();
+    auto bytes = serializeFullProof(f.full_proof);
+    size_t pos = static_cast<size_t>(GetParam()) * (bytes.size() - 1) / 15;
+    if (pos == 0)
+        pos = 1;
+    bytes[pos] ^= 0xa3;
+    auto back = deserializeFullProof<Fr>(bytes);
+    if (back.has_value()) {
+        EXPECT_FALSE(f.full->verify(*back, f.inputs)) << "pos " << pos;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BytePositions, CorruptionSweep,
+                         ::testing::Range(0, 16));
+
+/** Truncation sweep: any prefix of a proof must fail to decode. */
+class TruncationSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TruncationSweep, TruncatedProofRejected)
+{
+    auto &f = fixture();
+    auto bytes = serializeProof(f.proof);
+    size_t keep = static_cast<size_t>(GetParam()) * bytes.size() / 8;
+    bytes.resize(keep);
+    EXPECT_FALSE(deserializeProof<Fr>(bytes).has_value())
+        << "kept " << keep;
+}
+
+INSTANTIATE_TEST_SUITE_P(PrefixLengths, TruncationSweep,
+                         ::testing::Range(0, 8));
+
+/** Random-blob fuzz: arbitrary bytes must never crash or be accepted. */
+class RandomBlobFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RandomBlobFuzz, NeverAccepted)
+{
+    Rng rng(GetParam());
+    size_t len = 1 + rng.nextBounded(4096);
+    std::vector<uint8_t> blob(len);
+    for (auto &b : blob)
+        b = static_cast<uint8_t>(rng.next());
+    // Force a plausible tag half the time so parsing goes deeper.
+    if (rng.next() & 1)
+        blob[0] = static_cast<uint8_t>(1 + rng.nextBounded(2));
+    auto &f = fixture();
+    auto p1 = deserializeProof<Fr>(blob);
+    if (p1.has_value()) {
+        EXPECT_FALSE(f.snark.verify(*p1, {}));
+    }
+    auto p2 = deserializeFullProof<Fr>(blob);
+    if (p2.has_value()) {
+        EXPECT_FALSE(f.full->verify(*p2, f.inputs));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomBlobFuzz,
+                         ::testing::Range<uint64_t>(100, 130));
+
+} // namespace
+} // namespace bzk

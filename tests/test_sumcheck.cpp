@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Tests for the sum-check module: Algorithm 1 completeness/soundness,
+ * product sum-checks, Fiat-Shamir consistency, and the GPU drivers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ff/Fields.h"
+#include "gpusim/Device.h"
+#include "sumcheck/GpuSumcheck.h"
+#include "sumcheck/Sumcheck.h"
+
+namespace bzk {
+namespace {
+
+template <typename F>
+class SumcheckT : public ::testing::Test
+{
+};
+
+using Fields = ::testing::Types<Fr, Gl64>;
+TYPED_TEST_SUITE(SumcheckT, Fields);
+
+TYPED_TEST(SumcheckT, CompletenessInteractive)
+{
+    using F = TypeParam;
+    Rng rng(1);
+    for (unsigned n : {1u, 3u, 6u}) {
+        auto poly = Multilinear<F>::random(n, rng);
+        std::vector<F> challenges(n);
+        for (auto &c : challenges)
+            c = F::random(rng);
+        auto proof = proveSumcheck(poly, challenges);
+        auto verdict =
+            verifySumcheck(poly.sumOverHypercube(), proof, challenges);
+        ASSERT_TRUE(verdict.ok) << "n=" << n;
+        EXPECT_EQ(verdict.final_claim, poly.evaluate(verdict.point));
+    }
+}
+
+TYPED_TEST(SumcheckT, RejectsWrongSum)
+{
+    using F = TypeParam;
+    Rng rng(2);
+    auto poly = Multilinear<F>::random(4, rng);
+    std::vector<F> challenges(4);
+    for (auto &c : challenges)
+        c = F::random(rng);
+    auto proof = proveSumcheck(poly, challenges);
+    F bad_sum = poly.sumOverHypercube() + F::one();
+    EXPECT_FALSE(verifySumcheck(bad_sum, proof, challenges).ok);
+}
+
+TYPED_TEST(SumcheckT, RejectsTamperedRound)
+{
+    using F = TypeParam;
+    Rng rng(3);
+    auto poly = Multilinear<F>::random(4, rng);
+    std::vector<F> challenges(4);
+    for (auto &c : challenges)
+        c = F::random(rng);
+    auto proof = proveSumcheck(poly, challenges);
+    for (size_t round = 0; round < 4; ++round) {
+        auto bad = proof;
+        bad.rounds[round][0] += F::one();
+        auto verdict =
+            verifySumcheck(poly.sumOverHypercube(), bad, challenges);
+        // Either an interior round check fails, or the final claim no
+        // longer matches the polynomial.
+        bool caught = !verdict.ok ||
+                      verdict.final_claim != poly.evaluate(verdict.point);
+        EXPECT_TRUE(caught) << "round " << round;
+    }
+}
+
+TYPED_TEST(SumcheckT, ProofShapeMatchesAlgorithm1)
+{
+    // Each of the n rounds contributes exactly the pair (pi_i1, pi_i2),
+    // and round sums halve consistently: pi_{i+1,1} + pi_{i+1,2} is the
+    // fold of round i at r_i.
+    using F = TypeParam;
+    Rng rng(4);
+    unsigned n = 5;
+    auto poly = Multilinear<F>::random(n, rng);
+    std::vector<F> challenges(n);
+    for (auto &c : challenges)
+        c = F::random(rng);
+    auto proof = proveSumcheck(poly, challenges);
+    ASSERT_EQ(proof.rounds.size(), n);
+    for (unsigned i = 0; i + 1 < n; ++i) {
+        const F &pi1 = proof.rounds[i][0];
+        const F &pi2 = proof.rounds[i][1];
+        F folded = pi1 + challenges[i] * (pi2 - pi1);
+        EXPECT_EQ(proof.rounds[i + 1][0] + proof.rounds[i + 1][1], folded);
+    }
+}
+
+TYPED_TEST(SumcheckT, FirstRoundSumsAreHalfTableSums)
+{
+    using F = TypeParam;
+    Rng rng(5);
+    auto poly = Multilinear<F>::random(3, rng);
+    std::vector<F> challenges{F::random(rng), F::random(rng),
+                              F::random(rng)};
+    auto proof = proveSumcheck(poly, challenges);
+    F lo = F::zero(), hi = F::zero();
+    for (size_t b = 0; b < 4; ++b) {
+        lo += poly.evals()[b];
+        hi += poly.evals()[b + 4];
+    }
+    EXPECT_EQ(proof.rounds[0][0], lo);
+    EXPECT_EQ(proof.rounds[0][1], hi);
+}
+
+TYPED_TEST(SumcheckT, FiatShamirRoundTrip)
+{
+    using F = TypeParam;
+    Rng rng(6);
+    auto poly = Multilinear<F>::random(5, rng);
+    F sum = poly.sumOverHypercube();
+
+    Transcript pt("fs-test");
+    pt.absorbField("sum", sum);
+    auto fs = proveSumcheckFs(poly, pt);
+
+    Transcript vt("fs-test");
+    vt.absorbField("sum", sum);
+    auto verdict = verifySumcheckFs(sum, fs.proof, vt);
+    ASSERT_TRUE(verdict.ok);
+    EXPECT_EQ(verdict.point, fs.challenges);
+    EXPECT_EQ(verdict.final_claim, poly.evaluate(verdict.point));
+}
+
+TYPED_TEST(SumcheckT, FiatShamirBindsStatement)
+{
+    // A proof generated for one claimed sum must not verify under a
+    // transcript that absorbed a different statement.
+    using F = TypeParam;
+    Rng rng(7);
+    auto poly = Multilinear<F>::random(4, rng);
+    F sum = poly.sumOverHypercube();
+
+    Transcript pt("fs-test");
+    pt.absorbField("sum", sum);
+    auto fs = proveSumcheckFs(poly, pt);
+
+    Transcript vt("fs-test");
+    vt.absorbField("sum", sum + F::one());
+    auto verdict = verifySumcheckFs(sum + F::one(), fs.proof, vt);
+    bool caught =
+        !verdict.ok || verdict.final_claim != poly.evaluate(verdict.point);
+    EXPECT_TRUE(caught);
+}
+
+TYPED_TEST(SumcheckT, ProductSumcheckCompleteness)
+{
+    using F = TypeParam;
+    Rng rng(8);
+    for (size_t degree : {1u, 2u, 3u}) {
+        unsigned n = 4;
+        std::vector<Multilinear<F>> factors;
+        for (size_t j = 0; j < degree; ++j)
+            factors.push_back(Multilinear<F>::random(n, rng));
+
+        // Claimed sum of the product over the hypercube.
+        F sum = F::zero();
+        for (size_t b = 0; b < (size_t{1} << n); ++b) {
+            F term = F::one();
+            for (const auto &f : factors)
+                term *= f.evals()[b];
+            sum += term;
+        }
+
+        auto factors_copy = factors;
+        Transcript pt("psc-test");
+        pt.absorbField("sum", sum);
+        std::vector<F> point;
+        auto proof = proveProductSumcheckFs(factors_copy, pt, &point);
+
+        Transcript vt("psc-test");
+        vt.absorbField("sum", sum);
+        auto verdict = verifyProductSumcheckFs(sum, proof, vt);
+        ASSERT_TRUE(verdict.ok) << "degree " << degree;
+        EXPECT_EQ(verdict.point, point);
+
+        F expected = F::one();
+        for (const auto &f : factors)
+            expected *= f.evaluate(verdict.point);
+        EXPECT_EQ(verdict.final_claim, expected) << "degree " << degree;
+
+        // The folded factors the prover is left with equal the factor
+        // evaluations at the final point.
+        for (size_t j = 0; j < degree; ++j)
+            EXPECT_EQ(factors_copy[j].evals()[0],
+                      factors[j].evaluate(verdict.point));
+    }
+}
+
+TYPED_TEST(SumcheckT, ProductSumcheckRejectsWrongSum)
+{
+    using F = TypeParam;
+    Rng rng(9);
+    std::vector<Multilinear<F>> factors{Multilinear<F>::random(3, rng),
+                                        Multilinear<F>::random(3, rng)};
+    F sum = F::zero();
+    for (size_t b = 0; b < 8; ++b)
+        sum += factors[0].evals()[b] * factors[1].evals()[b];
+
+    auto factors_copy = factors;
+    Transcript pt("psc-test");
+    pt.absorbField("sum", sum);
+    auto proof = proveProductSumcheckFs(factors_copy, pt);
+
+    Transcript vt("psc-test");
+    vt.absorbField("sum", sum);
+    EXPECT_FALSE(verifyProductSumcheckFs(sum + F::one(), proof, vt).ok);
+}
+
+class GpuSumcheckTest : public ::testing::Test
+{
+  protected:
+    gpusim::Device dev_{gpusim::DeviceSpec::v100()};
+};
+
+TEST_F(GpuSumcheckTest, FunctionalProofsVerify)
+{
+    GpuSumcheckOptions opt;
+    opt.functional = 2;
+    Rng rng(10);
+    std::vector<SumcheckProof<Fr>> proofs;
+    PipelinedSumcheckGpu(dev_, opt).run(4, 8, rng, &proofs);
+    ASSERT_EQ(proofs.size(), 2u);
+    for (const auto &proof : proofs)
+        EXPECT_EQ(proof.rounds.size(), 8u);
+}
+
+TEST_F(GpuSumcheckTest, DriversAgreeFunctionally)
+{
+    GpuSumcheckOptions opt;
+    opt.functional = 2;
+    Rng rng1(11), rng2(11);
+    std::vector<SumcheckProof<Fr>> a, b;
+    PipelinedSumcheckGpu(dev_, opt).run(4, 6, rng1, &a);
+    IntuitiveSumcheckGpu(dev_, opt).run(4, 6, rng2, &b);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].rounds, b[i].rounds);
+}
+
+TEST_F(GpuSumcheckTest, PipelinedThroughputWins)
+{
+    GpuSumcheckOptions opt;
+    opt.functional = 0;
+    Rng rng(1);
+    auto pipe = PipelinedSumcheckGpu(dev_, opt).run(256, 14, rng);
+    auto base = IntuitiveSumcheckGpu(dev_, opt).run(256, 14, rng);
+    EXPECT_GT(pipe.throughput_per_ms, base.throughput_per_ms);
+}
+
+TEST_F(GpuSumcheckTest, AdvantageGrowsForSmallInstances)
+{
+    GpuSumcheckOptions opt;
+    opt.functional = 0;
+    Rng rng(1);
+    auto speedup = [&](unsigned n) {
+        auto pipe = PipelinedSumcheckGpu(dev_, opt).run(256, n, rng);
+        auto base = IntuitiveSumcheckGpu(dev_, opt).run(256, n, rng);
+        return pipe.throughput_per_ms / base.throughput_per_ms;
+    };
+    EXPECT_GT(speedup(10), speedup(16));
+}
+
+TEST_F(GpuSumcheckTest, PipelinedLatencyWorse)
+{
+    GpuSumcheckOptions opt;
+    opt.functional = 0;
+    Rng rng(1);
+    auto pipe = PipelinedSumcheckGpu(dev_, opt).run(128, 14, rng);
+    auto base = IntuitiveSumcheckGpu(dev_, opt).run(128, 14, rng);
+    EXPECT_GT(pipe.first_latency_ms, base.first_latency_ms);
+}
+
+TEST_F(GpuSumcheckTest, PingPongMemorySmallerThanStagedBatch)
+{
+    GpuSumcheckOptions opt;
+    opt.functional = 0;
+    Rng rng(1);
+    auto pipe = PipelinedSumcheckGpu(dev_, opt).run(64, 14, rng);
+    auto base = IntuitiveSumcheckGpu(dev_, opt).run(64, 14, rng);
+    EXPECT_LT(pipe.peak_device_bytes, base.peak_device_bytes);
+}
+
+TEST_F(GpuSumcheckTest, UtilizationHigherWhenPipelined)
+{
+    GpuSumcheckOptions opt;
+    opt.functional = 0;
+    Rng rng(1);
+    auto pipe = PipelinedSumcheckGpu(dev_, opt).run(256, 12, rng);
+    auto base = IntuitiveSumcheckGpu(dev_, opt).run(256, 12, rng);
+    EXPECT_GT(pipe.utilization, base.utilization);
+}
+
+} // namespace
+} // namespace bzk

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Unit tests for the utility substrate: hex codecs, running statistics,
+ * deterministic RNG and the thread pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "util/Hex.h"
+#include "util/Rng.h"
+#include "util/Stats.h"
+#include "util/ThreadPool.h"
+
+namespace bzk {
+namespace {
+
+TEST(Hex, RoundTrip)
+{
+    std::vector<uint8_t> data{0x00, 0x01, 0xab, 0xff, 0x10};
+    std::string hex = toHex(data);
+    EXPECT_EQ(hex, "0001abff10");
+    EXPECT_EQ(fromHex(hex), data);
+}
+
+TEST(Hex, RejectsOddLength)
+{
+    EXPECT_TRUE(fromHex("abc").empty());
+}
+
+TEST(Hex, RejectsBadDigits)
+{
+    EXPECT_TRUE(fromHex("zz").empty());
+}
+
+TEST(Hex, EmptyInput)
+{
+    EXPECT_EQ(toHex(std::vector<uint8_t>{}), "");
+    EXPECT_TRUE(fromHex("").empty());
+}
+
+TEST(Hex, UppercaseAccepted)
+{
+    auto bytes = fromHex("AB");
+    ASSERT_EQ(bytes.size(), 1u);
+    EXPECT_EQ(bytes[0], 0xab);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BoundedStaysInBound)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBounded(17), 17u);
+}
+
+TEST(Rng, BoundedZero)
+{
+    Rng rng(7);
+    EXPECT_EQ(rng.nextBounded(0), 0u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, BoundedRoughlyUniform)
+{
+    Rng rng(11);
+    int counts[4] = {0, 0, 0, 0};
+    for (int i = 0; i < 40000; ++i)
+        counts[rng.nextBounded(4)]++;
+    for (int c : counts) {
+        EXPECT_GT(c, 9000);
+        EXPECT_LT(c, 11000);
+    }
+}
+
+TEST(RunningStats, Empty)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, Basic)
+{
+    RunningStats s;
+    for (double x : {1.0, 2.0, 3.0, 4.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+    EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(RunningStats, SingleSampleVarianceZero)
+{
+    RunningStats s;
+    s.add(5.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(TablePrinter, RendersAligned)
+{
+    TablePrinter t({"a", "long-header"});
+    t.addRow({"1", "2"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("long-header"), std::string::npos);
+    EXPECT_NE(out.find("| 1"), std::string::npos);
+}
+
+TEST(TablePrinter, PadsMissingCells)
+{
+    TablePrinter t({"a", "b", "c"});
+    t.addRow({"only"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(FormatSig, Reasonable)
+{
+    EXPECT_EQ(formatSig(1234.5678, 4), "1235");
+    EXPECT_EQ(formatSig(0.00012345, 3), "0.000123");
+}
+
+TEST(ThreadPool, RunsAllJobs)
+{
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&counter] { counter.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRange)
+{
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(1000, [&hits](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i)
+            hits[i].fetch_add(1);
+    });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmpty)
+{
+    ThreadPool pool(2);
+    bool ran = false;
+    pool.parallelFor(0, [&ran](size_t, size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, WaitWithNoJobsReturns)
+{
+    ThreadPool pool(2);
+    pool.wait();
+    SUCCEED();
+}
+
+} // namespace
+} // namespace bzk

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Tests for the verifiable-ML stack: the circuit-friendly CNN engine,
+ * the circuit compiler (engine/circuit agreement and end-to-end proofs
+ * of real inferences), VGG-16 accounting, and the MLaaS service.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/FullSnark.h"
+#include "core/Snark.h"
+#include "gpusim/Device.h"
+#include "zkml/CircuitCompiler.h"
+#include "zkml/Cnn.h"
+#include "zkml/MlService.h"
+#include "zkml/Vgg16.h"
+
+namespace bzk {
+namespace {
+
+TEST(Cnn, ForwardShapes)
+{
+    Rng rng(1);
+    CnnModel model(CnnConfig::tiny(), rng);
+    Tensor input(1, 8, 8);
+    for (auto &p : input.data)
+        p = static_cast<int64_t>(rng.nextBounded(16));
+    Tensor out = model.forward(input);
+    EXPECT_EQ(out.channels, 10);
+    EXPECT_EQ(out.height, 1);
+    EXPECT_EQ(out.width, 1);
+}
+
+TEST(Cnn, DeterministicFromSeed)
+{
+    Rng r1(2), r2(2);
+    CnnModel m1(CnnConfig::tiny(), r1);
+    CnnModel m2(CnnConfig::tiny(), r2);
+    EXPECT_EQ(m1.weightBytes(), m2.weightBytes());
+    Tensor input(1, 8, 8);
+    for (size_t i = 0; i < input.data.size(); ++i)
+        input.data[i] = static_cast<int64_t>(i % 5);
+    EXPECT_EQ(m1.forward(input).data, m2.forward(input).data);
+}
+
+TEST(Cnn, GateCountTracksMacs)
+{
+    Rng rng(3);
+    CnnModel model(CnnConfig::tiny(), rng);
+    EXPECT_GT(model.macCount(), 1000u);
+    EXPECT_EQ(model.gateCount(), 2 * model.macCount());
+}
+
+TEST(CircuitCompiler, CircuitMatchesEngine)
+{
+    // The compiled circuit must reproduce the integer engine exactly.
+    Rng rng(4);
+    CnnModel model(CnnConfig::tiny(), rng);
+    auto compiled = compileCnn<Fr>(model);
+
+    Tensor input(1, 8, 8);
+    for (auto &p : input.data)
+        p = static_cast<int64_t>(rng.nextBounded(8));
+    Tensor expect = model.forward(input);
+
+    auto inputs = inputsFromTensor<Fr>(input);
+    auto witness = witnessFromModel<Fr>(model);
+    auto assignment = compiled.circuit.evaluate(inputs, witness);
+    ASSERT_EQ(compiled.outputs.size(), expect.data.size());
+    for (size_t i = 0; i < compiled.outputs.size(); ++i) {
+        EXPECT_EQ(assignment.wires[compiled.outputs[i]],
+                  fieldFromInt<Fr>(expect.data[i]))
+            << "logit " << i;
+    }
+    EXPECT_TRUE(compiled.circuit.checkSatisfied(assignment));
+}
+
+TEST(CircuitCompiler, EndToEndInferenceProof)
+{
+    // A real verifiable-ML proof: commit to the inference circuit's
+    // tables and verify — the Figure 8 flow at test scale.
+    Rng rng(5);
+    CnnConfig cfg;
+    cfg.in_channels = 1;
+    cfg.in_height = 4;
+    cfg.in_width = 4;
+    cfg.layers = {
+        {CnnLayer::Kind::Conv3x3, 2},
+        {CnnLayer::Kind::Square, 0},
+        {CnnLayer::Kind::Dense, 3},
+    };
+    CnnModel model(cfg, rng);
+    auto compiled = compileCnn<Fr>(model);
+
+    Tensor input(1, 4, 4);
+    for (auto &p : input.data)
+        p = static_cast<int64_t>(rng.nextBounded(4));
+    auto inputs = inputsFromTensor<Fr>(input);
+    auto witness = witnessFromModel<Fr>(model);
+    auto assignment = compiled.circuit.evaluate(inputs, witness);
+    auto tables = compiled.circuit.buildTables(assignment);
+
+    Snark<Fr> snark(tables.n_vars, /*seed=*/7);
+    auto proof = snark.prove(tables, inputs);
+    EXPECT_TRUE(snark.verify(proof, inputs));
+
+    // A different claimed input must not verify.
+    auto other = inputs;
+    other[0] += Fr::one();
+    EXPECT_FALSE(snark.verify(proof, other));
+}
+
+TEST(CircuitCompiler, WiringSoundInferenceProof)
+{
+    // The FullSnark variant binds the *image* into the proof through
+    // the R1CS public half: the same proof must not verify for a
+    // different image, even though the circuit is identical.
+    Rng rng(55);
+    CnnConfig cfg;
+    cfg.in_channels = 1;
+    cfg.in_height = 4;
+    cfg.in_width = 4;
+    cfg.layers = {
+        {CnnLayer::Kind::Conv3x3, 2},
+        {CnnLayer::Kind::Square, 0},
+        {CnnLayer::Kind::Dense, 3},
+    };
+    CnnModel model(cfg, rng);
+    auto compiled = compileCnn<Fr>(model);
+
+    Tensor image(1, 4, 4);
+    for (auto &p : image.data)
+        p = static_cast<int64_t>(rng.nextBounded(4));
+    auto inputs = inputsFromTensor<Fr>(image);
+    auto witness = witnessFromModel<Fr>(model);
+    auto assignment = compiled.circuit.evaluate(inputs, witness);
+
+    FullSnark<Fr> snark(buildR1cs(compiled.circuit), 7);
+    auto proof = snark.prove(inputs, assignment);
+    EXPECT_TRUE(snark.verify(proof, inputs));
+
+    auto other = inputs;
+    other[3] += Fr::one();
+    EXPECT_FALSE(snark.verify(proof, other));
+}
+
+TEST(CircuitCompiler, WrongModelFailsEngineCheck)
+{
+    Rng rng(6);
+    CnnModel model(CnnConfig::tiny(), rng);
+    auto compiled = compileCnn<Fr>(model);
+    Tensor input(1, 8, 8);
+    for (auto &p : input.data)
+        p = 1;
+    auto inputs = inputsFromTensor<Fr>(input);
+    auto witness = witnessFromModel<Fr>(model);
+    witness[3] += Fr::one(); // a different model
+    auto assignment = compiled.circuit.evaluate(inputs, witness);
+    // The assignment is internally consistent (it satisfies the gates)
+    // but computes different logits than the committed model.
+    Tensor expect = model.forward(input);
+    bool all_match = true;
+    for (size_t i = 0; i < compiled.outputs.size(); ++i) {
+        if (assignment.wires[compiled.outputs[i]] !=
+            fieldFromInt<Fr>(expect.data[i]))
+            all_match = false;
+    }
+    EXPECT_FALSE(all_match);
+}
+
+TEST(Vgg16, StructureMatchesPaperSetting)
+{
+    Rng rng(7);
+    Vgg16 vgg(rng);
+    // 13 conv + 5 pool + 3 fc layers.
+    size_t convs = 0, pools = 0, fcs = 0;
+    for (const auto &li : vgg.layerInfo()) {
+        if (li.name.rfind("conv", 0) == 0)
+            ++convs;
+        else if (li.name == "pool")
+            ++pools;
+        else
+            ++fcs;
+    }
+    EXPECT_EQ(convs, 13u);
+    EXPECT_EQ(pools, 5u);
+    EXPECT_EQ(fcs, 3u);
+    // ~313M MACs for VGG-16 on 32x32 inputs.
+    EXPECT_GT(vgg.macCount(), 250'000'000u);
+    EXPECT_LT(vgg.macCount(), 350'000'000u);
+    // ~15M weights for the CIFAR variant.
+    EXPECT_GT(vgg.weightCount(), 14'000'000u);
+    EXPECT_LT(vgg.weightCount(), 17'000'000u);
+}
+
+TEST(Vgg16, InferenceProducesTenLogits)
+{
+    Rng rng(8);
+    Vgg16 vgg(rng);
+    Tensor img = Vgg16::randomImage(rng);
+    auto logits = vgg.forward(img);
+    EXPECT_EQ(logits.size(), 10u);
+    int cls = vgg.predict(img);
+    EXPECT_GE(cls, 0);
+    EXPECT_LT(cls, 10);
+}
+
+TEST(Vgg16, ProofGateCountInExpectedRange)
+{
+    Rng rng(9);
+    Vgg16 vgg(rng);
+    size_t gates = vgg.proofGateCount();
+    // MACs/16 + 8*activations: roughly 2^24.2 for this shape.
+    EXPECT_GT(gates, size_t{1} << 23);
+    EXPECT_LT(gates, size_t{1} << 25);
+}
+
+TEST(MlService, CommitmentIsStable)
+{
+    gpusim::Device dev(gpusim::DeviceSpec::v100());
+    Rng r1(10), r2(10);
+    VerifiableMlService s1(dev, r1);
+    VerifiableMlService s2(dev, r2);
+    EXPECT_EQ(s1.modelCommitment(), s2.modelCommitment());
+}
+
+TEST(MlService, DifferentModelDifferentCommitment)
+{
+    gpusim::Device dev(gpusim::DeviceSpec::v100());
+    Rng r1(11), r2(12);
+    VerifiableMlService s1(dev, r1);
+    VerifiableMlService s2(dev, r2);
+    EXPECT_NE(s1.modelCommitment(), s2.modelCommitment());
+}
+
+TEST(MlService, FunctionalFigure8LoopVerifies)
+{
+    gpusim::Device dev(gpusim::DeviceSpec::gh200());
+    Rng rng(14);
+    VerifiableMlService service(dev, rng);
+    auto result = service.serveBatch(4, rng, /*functional_proofs=*/2);
+    EXPECT_EQ(result.functional_proofs, 2u);
+    EXPECT_TRUE(result.functional_verified);
+}
+
+TEST(MlService, ServesBatchWithSubSecondAmortizedProofs)
+{
+    // Table 11's headline on the GH200 spec: sub-second per proof.
+    gpusim::Device dev(gpusim::DeviceSpec::gh200());
+    Rng rng(13);
+    VerifiableMlService service(dev, rng);
+    auto result = service.serveBatch(32, rng);
+    EXPECT_FALSE(result.predictions.empty());
+    double ms_per_proof = 1.0 / result.proving.stats.throughput_per_ms;
+    EXPECT_LT(ms_per_proof, 1000.0);
+}
+
+} // namespace
+} // namespace bzk
