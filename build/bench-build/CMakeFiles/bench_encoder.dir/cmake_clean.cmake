@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_encoder"
+  "../bench/bench_encoder.pdb"
+  "CMakeFiles/bench_encoder.dir/bench_encoder.cpp.o"
+  "CMakeFiles/bench_encoder.dir/bench_encoder.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_encoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_gkr"
+  "../bench/bench_gkr.pdb"
+  "CMakeFiles/bench_gkr.dir/bench_gkr.cpp.o"
+  "CMakeFiles/bench_gkr.dir/bench_gkr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gkr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_gpus"
+  "../bench/bench_gpus.pdb"
+  "CMakeFiles/bench_gpus.dir/bench_gpus.cpp.o"
+  "CMakeFiles/bench_gpus.dir/bench_gpus.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

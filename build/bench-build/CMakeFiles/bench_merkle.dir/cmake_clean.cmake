@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_merkle"
+  "../bench/bench_merkle.pdb"
+  "CMakeFiles/bench_merkle.dir/bench_merkle.cpp.o"
+  "CMakeFiles/bench_merkle.dir/bench_merkle.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_merkle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_overlap"
+  "../bench/bench_overlap.pdb"
+  "CMakeFiles/bench_overlap.dir/bench_overlap.cpp.o"
+  "CMakeFiles/bench_overlap.dir/bench_overlap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sumcheck"
+  "../bench/bench_sumcheck.pdb"
+  "CMakeFiles/bench_sumcheck.dir/bench_sumcheck.cpp.o"
+  "CMakeFiles/bench_sumcheck.dir/bench_sumcheck.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sumcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_system"
+  "../bench/bench_system.pdb"
+  "CMakeFiles/bench_system.dir/bench_system.cpp.o"
+  "CMakeFiles/bench_system.dir/bench_system.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_zkml"
+  "../bench/bench_zkml.pdb"
+  "CMakeFiles/bench_zkml.dir/bench_zkml.cpp.o"
+  "CMakeFiles/bench_zkml.dir/bench_zkml.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_zkml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_throughput.dir/batch_throughput.cpp.o"
+  "CMakeFiles/batch_throughput.dir/batch_throughput.cpp.o.d"
+  "batch_throughput"
+  "batch_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gkr_inference.dir/gkr_inference.cpp.o"
+  "CMakeFiles/gkr_inference.dir/gkr_inference.cpp.o.d"
+  "gkr_inference"
+  "gkr_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gkr_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

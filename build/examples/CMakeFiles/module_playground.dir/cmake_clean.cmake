@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/module_playground.dir/module_playground.cpp.o"
+  "CMakeFiles/module_playground.dir/module_playground.cpp.o.d"
+  "module_playground"
+  "module_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/module_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

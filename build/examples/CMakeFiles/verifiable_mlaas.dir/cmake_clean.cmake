@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verifiable_mlaas.dir/verifiable_mlaas.cpp.o"
+  "CMakeFiles/verifiable_mlaas.dir/verifiable_mlaas.cpp.o.d"
+  "verifiable_mlaas"
+  "verifiable_mlaas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verifiable_mlaas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

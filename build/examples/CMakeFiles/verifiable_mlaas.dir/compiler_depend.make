@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for verifiable_mlaas.
+# This may be replaced when dependencies are built.

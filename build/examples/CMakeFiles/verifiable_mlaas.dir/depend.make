@@ -1,0 +1,2 @@
+# Empty dependencies file for verifiable_mlaas.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("ff")
+subdirs("hash")
+subdirs("gpusim")
+subdirs("poly")
+subdirs("gkr")
+subdirs("merkle")
+subdirs("sumcheck")
+subdirs("encoder")
+subdirs("curve")
+subdirs("circuit")
+subdirs("baseline")
+subdirs("core")
+subdirs("zkml")

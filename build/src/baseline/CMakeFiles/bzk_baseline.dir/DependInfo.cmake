@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/OldProtocol.cpp" "src/baseline/CMakeFiles/bzk_baseline.dir/OldProtocol.cpp.o" "gcc" "src/baseline/CMakeFiles/bzk_baseline.dir/OldProtocol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/curve/CMakeFiles/bzk_curve.dir/DependInfo.cmake"
+  "/root/repo/build/src/ff/CMakeFiles/bzk_ff.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/bzk_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bzk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bzk_baseline.dir/OldProtocol.cpp.o"
+  "CMakeFiles/bzk_baseline.dir/OldProtocol.cpp.o.d"
+  "libbzk_baseline.a"
+  "libbzk_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bzk_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

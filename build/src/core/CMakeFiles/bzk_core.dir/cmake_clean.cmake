@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bzk_core.dir/PipelinedSystem.cpp.o"
+  "CMakeFiles/bzk_core.dir/PipelinedSystem.cpp.o.d"
+  "CMakeFiles/bzk_core.dir/StreamingService.cpp.o"
+  "CMakeFiles/bzk_core.dir/StreamingService.cpp.o.d"
+  "libbzk_core.a"
+  "libbzk_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bzk_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

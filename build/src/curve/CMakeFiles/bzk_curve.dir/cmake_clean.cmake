@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bzk_curve.dir/Bn254.cpp.o"
+  "CMakeFiles/bzk_curve.dir/Bn254.cpp.o.d"
+  "CMakeFiles/bzk_curve.dir/Msm.cpp.o"
+  "CMakeFiles/bzk_curve.dir/Msm.cpp.o.d"
+  "libbzk_curve.a"
+  "libbzk_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bzk_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

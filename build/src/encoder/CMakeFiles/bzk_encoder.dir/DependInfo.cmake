@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/encoder/GpuEncoder.cpp" "src/encoder/CMakeFiles/bzk_encoder.dir/GpuEncoder.cpp.o" "gcc" "src/encoder/CMakeFiles/bzk_encoder.dir/GpuEncoder.cpp.o.d"
+  "/root/repo/src/encoder/Topology.cpp" "src/encoder/CMakeFiles/bzk_encoder.dir/Topology.cpp.o" "gcc" "src/encoder/CMakeFiles/bzk_encoder.dir/Topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ff/CMakeFiles/bzk_ff.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/bzk_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bzk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

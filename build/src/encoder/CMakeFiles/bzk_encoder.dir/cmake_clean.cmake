@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bzk_encoder.dir/GpuEncoder.cpp.o"
+  "CMakeFiles/bzk_encoder.dir/GpuEncoder.cpp.o.d"
+  "CMakeFiles/bzk_encoder.dir/Topology.cpp.o"
+  "CMakeFiles/bzk_encoder.dir/Topology.cpp.o.d"
+  "libbzk_encoder.a"
+  "libbzk_encoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bzk_encoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bzk_ff.dir/U256.cpp.o"
+  "CMakeFiles/bzk_ff.dir/U256.cpp.o.d"
+  "libbzk_ff.a"
+  "libbzk_ff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bzk_ff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bzk_gkr.dir/GpuGkr.cpp.o"
+  "CMakeFiles/bzk_gkr.dir/GpuGkr.cpp.o.d"
+  "libbzk_gkr.a"
+  "libbzk_gkr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bzk_gkr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

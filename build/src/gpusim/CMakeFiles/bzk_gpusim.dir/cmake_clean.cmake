@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bzk_gpusim.dir/Device.cpp.o"
+  "CMakeFiles/bzk_gpusim.dir/Device.cpp.o.d"
+  "CMakeFiles/bzk_gpusim.dir/DeviceSpec.cpp.o"
+  "CMakeFiles/bzk_gpusim.dir/DeviceSpec.cpp.o.d"
+  "libbzk_gpusim.a"
+  "libbzk_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bzk_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

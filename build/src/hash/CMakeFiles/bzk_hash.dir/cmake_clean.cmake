@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bzk_hash.dir/Sha256.cpp.o"
+  "CMakeFiles/bzk_hash.dir/Sha256.cpp.o.d"
+  "CMakeFiles/bzk_hash.dir/Transcript.cpp.o"
+  "CMakeFiles/bzk_hash.dir/Transcript.cpp.o.d"
+  "libbzk_hash.a"
+  "libbzk_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bzk_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

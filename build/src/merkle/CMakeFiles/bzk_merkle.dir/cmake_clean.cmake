@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bzk_merkle.dir/GpuMerkle.cpp.o"
+  "CMakeFiles/bzk_merkle.dir/GpuMerkle.cpp.o.d"
+  "CMakeFiles/bzk_merkle.dir/MerkleTree.cpp.o"
+  "CMakeFiles/bzk_merkle.dir/MerkleTree.cpp.o.d"
+  "libbzk_merkle.a"
+  "libbzk_merkle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bzk_merkle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

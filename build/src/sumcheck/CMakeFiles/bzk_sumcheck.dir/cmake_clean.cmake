@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bzk_sumcheck.dir/GpuSumcheck.cpp.o"
+  "CMakeFiles/bzk_sumcheck.dir/GpuSumcheck.cpp.o.d"
+  "libbzk_sumcheck.a"
+  "libbzk_sumcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bzk_sumcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

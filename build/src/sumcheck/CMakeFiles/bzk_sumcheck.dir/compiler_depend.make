@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bzk_sumcheck.
+# This may be replaced when dependencies are built.

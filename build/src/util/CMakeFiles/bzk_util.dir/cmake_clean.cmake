@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bzk_util.dir/Hex.cpp.o"
+  "CMakeFiles/bzk_util.dir/Hex.cpp.o.d"
+  "CMakeFiles/bzk_util.dir/Log.cpp.o"
+  "CMakeFiles/bzk_util.dir/Log.cpp.o.d"
+  "CMakeFiles/bzk_util.dir/Stats.cpp.o"
+  "CMakeFiles/bzk_util.dir/Stats.cpp.o.d"
+  "CMakeFiles/bzk_util.dir/ThreadPool.cpp.o"
+  "CMakeFiles/bzk_util.dir/ThreadPool.cpp.o.d"
+  "libbzk_util.a"
+  "libbzk_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bzk_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bzk_zkml.dir/Cnn.cpp.o"
+  "CMakeFiles/bzk_zkml.dir/Cnn.cpp.o.d"
+  "CMakeFiles/bzk_zkml.dir/MlService.cpp.o"
+  "CMakeFiles/bzk_zkml.dir/MlService.cpp.o.d"
+  "CMakeFiles/bzk_zkml.dir/Vgg16.cpp.o"
+  "CMakeFiles/bzk_zkml.dir/Vgg16.cpp.o.d"
+  "libbzk_zkml.a"
+  "libbzk_zkml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bzk_zkml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

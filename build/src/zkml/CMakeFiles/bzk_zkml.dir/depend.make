@@ -1,0 +1,2 @@
+# Empty dependencies file for bzk_zkml.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deaths.dir/test_deaths.cpp.o"
+  "CMakeFiles/test_deaths.dir/test_deaths.cpp.o.d"
+  "test_deaths"
+  "test_deaths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deaths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

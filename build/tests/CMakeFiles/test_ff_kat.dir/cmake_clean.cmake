@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ff_kat.dir/test_ff_kat.cpp.o"
+  "CMakeFiles/test_ff_kat.dir/test_ff_kat.cpp.o.d"
+  "test_ff_kat"
+  "test_ff_kat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ff_kat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

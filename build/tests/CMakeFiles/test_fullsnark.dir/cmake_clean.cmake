@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fullsnark.dir/test_fullsnark.cpp.o"
+  "CMakeFiles/test_fullsnark.dir/test_fullsnark.cpp.o.d"
+  "test_fullsnark"
+  "test_fullsnark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fullsnark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

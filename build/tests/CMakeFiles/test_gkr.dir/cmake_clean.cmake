@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gkr.dir/test_gkr.cpp.o"
+  "CMakeFiles/test_gkr.dir/test_gkr.cpp.o.d"
+  "test_gkr"
+  "test_gkr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gkr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

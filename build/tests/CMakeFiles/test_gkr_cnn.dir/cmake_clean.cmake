@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gkr_cnn.dir/test_gkr_cnn.cpp.o"
+  "CMakeFiles/test_gkr_cnn.dir/test_gkr_cnn.cpp.o.d"
+  "test_gkr_cnn"
+  "test_gkr_cnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gkr_cnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

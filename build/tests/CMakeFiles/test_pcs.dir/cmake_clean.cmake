@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pcs.dir/test_pcs.cpp.o"
+  "CMakeFiles/test_pcs.dir/test_pcs.cpp.o.d"
+  "test_pcs"
+  "test_pcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

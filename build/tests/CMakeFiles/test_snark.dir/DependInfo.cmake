@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_snark.cpp" "tests/CMakeFiles/test_snark.dir/test_snark.cpp.o" "gcc" "tests/CMakeFiles/test_snark.dir/test_snark.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bzk_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ff/CMakeFiles/bzk_ff.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/bzk_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/bzk_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/merkle/CMakeFiles/bzk_merkle.dir/DependInfo.cmake"
+  "/root/repo/build/src/sumcheck/CMakeFiles/bzk_sumcheck.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoder/CMakeFiles/bzk_encoder.dir/DependInfo.cmake"
+  "/root/repo/build/src/curve/CMakeFiles/bzk_curve.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/bzk_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bzk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/zkml/CMakeFiles/bzk_zkml.dir/DependInfo.cmake"
+  "/root/repo/build/src/gkr/CMakeFiles/bzk_gkr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zkml.dir/test_zkml.cpp.o"
+  "CMakeFiles/test_zkml.dir/test_zkml.cpp.o.d"
+  "test_zkml"
+  "test_zkml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zkml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batchzk.dir/batchzk.cpp.o"
+  "CMakeFiles/batchzk.dir/batchzk.cpp.o.d"
+  "batchzk"
+  "batchzk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batchzk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
