@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Robustness bench: throughput of the pipelined batch system as a
+ * function of injected fault rate. Not a paper table — it quantifies
+ * the cost of the graceful-degradation paths this repo adds on top of
+ * the paper's happy-path design: lane failures re-allocate the static
+ * 35:12:113 split onto survivors, transfer stalls stretch the streamed
+ * input, and corrupted staged Merkle layers force task retries.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/BenchUtil.h"
+#include "core/PipelinedSystem.h"
+#include "gpusim/Device.h"
+#include "gpusim/FaultInjector.h"
+
+using namespace bzk;
+using namespace bzk::bench;
+
+namespace {
+
+constexpr unsigned kLogGates = 18;
+constexpr size_t kBatch = 256;
+
+SystemRunResult
+runWithPlan(const gpusim::FaultPlan &plan, uint64_t seed)
+{
+    gpusim::Device dev(gpusim::DeviceSpec::gh200());
+    gpusim::FaultInjector injector(plan, seed);
+    if (!plan.empty())
+        dev.setFaultInjector(&injector);
+    SystemOptions opt;
+    opt.functional = 0;
+    opt.seed = seed;
+    Rng rng(seed);
+    return PipelinedZkpSystem(dev, opt).run(kBatch, kLogGates, rng);
+}
+
+/** A plan failing `fraction` of the lanes over the whole run. */
+gpusim::FaultPlan
+laneFailurePlan(double fraction, size_t horizon)
+{
+    if (fraction <= 0.0)
+        return {};
+    gpusim::FaultPlan plan;
+    plan.events.push_back({gpusim::FaultKind::LaneFailure, 0, horizon,
+                           fraction});
+    return plan;
+}
+
+/** A plan stalling every transfer by `multiplier`. */
+gpusim::FaultPlan
+stallPlan(double multiplier, size_t horizon)
+{
+    if (multiplier <= 1.0)
+        return {};
+    gpusim::FaultPlan plan;
+    plan.events.push_back({gpusim::FaultKind::TransferStall, 0, horizon,
+                           multiplier});
+    return plan;
+}
+
+/** A plan corrupting every `period`-th admitted task's staged layer. */
+gpusim::FaultPlan
+corruptionPlan(size_t period, size_t horizon)
+{
+    gpusim::FaultPlan plan;
+    if (period == 0)
+        return plan;
+    for (size_t c = 0; c < horizon; c += period)
+        plan.events.push_back(
+            {gpusim::FaultKind::MerkleCorruption, c, c + 1, 1.0});
+    return plan;
+}
+
+} // namespace
+
+int
+main()
+{
+    const uint64_t seed = 2024;
+    size_t horizon =
+        kBatch + systemWorkModel(kLogGates, seed).totalStages();
+    auto healthy = runWithPlan({}, seed);
+    double base = healthy.stats.throughput_per_ms;
+
+    TablePrinter lanes({"failed lanes", "proofs/ms", "vs healthy",
+                        "degraded cycles", "mean cycle (ms)"});
+    for (double f : {0.0, 0.05, 0.10, 0.20, 0.40}) {
+        auto r = runWithPlan(laneFailurePlan(f, horizon), seed);
+        lanes.addRow({formatSig(f * 100.0, 3) + "%",
+                      fmtThroughput(r.stats.throughput_per_ms),
+                      fmtSpeedup(r.stats.throughput_per_ms / base),
+                      std::to_string(r.degraded_cycles),
+                      fmtMs(r.stats.total_ms /
+                            static_cast<double>(kBatch))});
+    }
+    printTable("Throughput vs failed-lane fraction (GH200, 2^18, "
+               "batch 256)",
+               lanes,
+               "Work relocates onto surviving lanes; throughput "
+               "degrades ~proportionally, never collapses.");
+
+    TablePrinter stalls({"transfer stall", "proofs/ms", "vs healthy",
+                         "stalled transfers"});
+    for (double m : {1.0, 1.5, 2.0, 4.0, 8.0}) {
+        gpusim::Device dev(gpusim::DeviceSpec::gh200());
+        gpusim::FaultInjector injector(stallPlan(m, horizon), seed);
+        if (m > 1.0)
+            dev.setFaultInjector(&injector);
+        SystemOptions opt;
+        opt.functional = 0;
+        opt.seed = seed;
+        Rng rng(seed);
+        auto r = PipelinedZkpSystem(dev, opt).run(kBatch, kLogGates, rng);
+        stalls.addRow({fmtSpeedup(m),
+                       fmtThroughput(r.stats.throughput_per_ms),
+                       fmtSpeedup(r.stats.throughput_per_ms / base),
+                       std::to_string(
+                           injector.stats().stalled_transfers)});
+    }
+    printTable("Throughput vs transfer stall (GH200, 2^18, batch 256)",
+               stalls,
+               "Mild stalls hide behind multi-stream overlap; heavy "
+               "stalls make the PCIe link the cycle bottleneck.");
+
+    TablePrinter corrupt({"corruption period", "proofs/ms", "vs healthy",
+                          "detected", "retried"});
+    for (size_t period : {size_t{0}, size_t{64}, size_t{16}, size_t{4}}) {
+        auto r = runWithPlan(corruptionPlan(period, horizon), seed);
+        corrupt.addRow({period == 0 ? "never"
+                                    : "1/" + std::to_string(period),
+                        fmtThroughput(r.stats.throughput_per_ms),
+                        fmtSpeedup(r.stats.throughput_per_ms / base),
+                        std::to_string(r.corrupt_detected),
+                        std::to_string(r.retried_tasks)});
+    }
+    printTable("Throughput vs staged-layer corruption rate", corrupt,
+               "Every corruption is caught by the Merkle root re-check "
+               "and costs one retry cycle.");
+    return 0;
+}

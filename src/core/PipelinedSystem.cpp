@@ -5,6 +5,8 @@
 
 #include "encoder/GpuEncoder.h"
 #include "gpusim/Calibration.h"
+#include "gpusim/FaultInjector.h"
+#include "merkle/GpuMerkle.h"
 #include "util/Log.h"
 #include "util/Timer.h"
 
@@ -26,6 +28,38 @@ pcsShape(unsigned n_vars, size_t &k_rows, size_t &m_cols)
         col = 5;
     m_cols = size_t{1} << col;
     k_rows = size_t{1} << (n_vars - col);
+}
+
+/**
+ * Root re-check on a staged Merkle layer: commit to a small real tree,
+ * stage its leaf layer to host bytes (as dynamic loading does), let the
+ * injector flip bytes in the staged copy, rebuild the root from the
+ * reloaded layer and compare with the committed root. Returns true when
+ * the corruption is detected (roots differ) — with SHA-256 this is
+ * every time any byte actually flipped.
+ */
+bool
+merkleRecheckDetects(gpusim::FaultInjector &inj, uint64_t seed,
+                     size_t cycle)
+{
+    Rng rng(seed ^ (0xc0de1abULL + cycle));
+    auto blocks = randomBlocks(8, rng);
+    MerkleTree committed = MerkleTree::build(blocks);
+
+    const auto &leaves = committed.layers().front();
+    std::vector<uint8_t> staged;
+    staged.reserve(leaves.size() * 32);
+    for (const auto &d : leaves)
+        staged.insert(staged.end(), d.bytes.begin(), d.bytes.end());
+    if (!inj.corruptLayer(staged))
+        return false;
+
+    std::vector<Digest> reloaded(leaves.size());
+    for (size_t i = 0; i < leaves.size(); ++i)
+        std::copy_n(staged.begin() + static_cast<ptrdiff_t>(32 * i), 32,
+                    reloaded[i].bytes.begin());
+    MerkleTree rebuilt = MerkleTree::buildFromLeaves(std::move(reloaded));
+    return rebuilt.root() != committed.root();
 }
 
 } // namespace
@@ -151,7 +185,6 @@ PipelinedZkpSystem::run(size_t batch, unsigned n_vars, Rng &rng)
     StreamId d2h = opt_.overlap_transfers ? dev_.createStream() : compute;
 
     size_t depth = model.totalStages();
-    size_t cycles = batch + depth - 1;
     double per_stage_lanes = cores / static_cast<double>(depth);
     double first_end = 0.0;
     OpId prev_load = gpusim::kNoOp;
@@ -161,27 +194,63 @@ PipelinedZkpSystem::run(size_t batch, unsigned n_vars, Rng &rng)
         // Preloading ablation: one bulk transfer before the pipeline.
         prev_load = dev_.copyH2D(h2d, model.h2d_bytes * batch);
     }
-    for (size_t c = 0; c < cycles; ++c) {
+    gpusim::FaultInjector *inj = dev_.faultInjector();
+    size_t extra = 0; // retried tasks, appended to the batch
+    double relocated_sum = 0.0;
+    for (size_t c = 0;; ++c) {
+        size_t batch_eff = batch + extra;
+        size_t cycles_eff = batch_eff + depth - 1;
+        if (c >= cycles_eff)
+            break;
+
+        double surv = 1.0;
+        if (inj) {
+            inj->beginCycle(c);
+            double failed_frac = inj->failedLaneFraction();
+            if (failed_frac > 0.0) {
+                surv = std::max(0.05, 1.0 - failed_frac);
+                ++result.degraded_cycles;
+                relocated_sum += 1.0 - surv;
+            }
+        }
+
         OpId load = gpusim::kNoOp;
-        if (opt_.dynamic_loading && c < batch)
+        if (opt_.dynamic_loading && c < batch_eff)
             load = dev_.copyH2D(h2d, model.h2d_bytes);
 
         // Ramp: lanes of stages holding live tasks.
-        size_t live = std::min({c + 1, depth, batch, cycles - c});
+        size_t live =
+            std::min({c + 1, depth, batch_eff, cycles_eff - c});
         double active = per_stage_lanes * static_cast<double>(live);
         KernelDesc k;
         k.name = "system_cycle";
-        k.lanes = cores;
-        k.profile.push_back({cycle_cycles, active});
+        // Graceful degradation: on a cycle with failed lanes, the
+        // static 35:12:113 split is re-scaled onto the survivors — the
+        // same work runs on fewer lanes over a longer cycle.
+        k.lanes = cores * surv;
+        k.profile.push_back({cycle_cycles / surv, active * surv});
         k.mem_bytes = traffic_per_cycle;
         OpId op = dev_.launchKernel(compute, k, prev_load);
         prev_load = load;
+
+        // Root re-check on the staged Merkle layers of the task
+        // admitted this cycle: detected corruption re-enqueues the task
+        // rather than letting an invalid proof leave the pipeline.
+        if (inj && c < batch_eff && inj->corruptionBytes() > 0 &&
+            merkleRecheckDetects(*inj, opt_.seed, c)) {
+            ++result.corrupt_detected;
+            ++result.retried_tasks;
+            ++extra;
+        }
 
         if (c + 1 >= depth)
             dev_.copyD2H(d2h, model.d2h_bytes, op);
         if (c == depth - 1)
             first_end = dev_.opEnd(op);
     }
+    if (result.degraded_cycles > 0)
+        result.relocated_lane_fraction =
+            relocated_sum / static_cast<double>(result.degraded_cycles);
 
     result.stats.batch = batch;
     result.stats.total_ms = dev_.now();

@@ -75,6 +75,23 @@ struct SystemRunResult
     std::vector<SnarkProof<Fr>> proofs;
     /** All functional proofs passed verification. */
     bool verified = true;
+
+    /// @name Fault-injection outcomes (all zero without an injector)
+    /// @{
+
+    /** Cycles run with part of the lane budget failed. */
+    size_t degraded_cycles = 0;
+    /**
+     * Mean fraction of the static lane split re-allocated onto the
+     * surviving lanes per degraded cycle (0 when never degraded).
+     */
+    double relocated_lane_fraction = 0.0;
+    /** Corrupted staged Merkle layers caught by the root re-check. */
+    size_t corrupt_detected = 0;
+    /** Tasks re-run after their staged layers failed the re-check. */
+    size_t retried_tasks = 0;
+
+    /// @}
 };
 
 /** Per-proof module work in lane-cycles (the system's cost inventory). */

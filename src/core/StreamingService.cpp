@@ -3,12 +3,40 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <queue>
 #include <vector>
 
 #include "gpusim/Calibration.h"
+#include "gpusim/FaultInjector.h"
 #include "util/Log.h"
 
 namespace bzk {
+
+namespace {
+
+/** One request waiting for (re-)admission. */
+struct Pending
+{
+    /** Time of this submission (original arrival or re-submission). */
+    double submitted = 0.0;
+    /** Original arrival time; sojourns are measured from here. */
+    double first_arrival = 0.0;
+    /** Re-submissions already made. */
+    size_t attempt = 0;
+};
+
+struct LaterSubmission
+{
+    bool
+    operator()(const Pending &a, const Pending &b) const
+    {
+        if (a.submitted != b.submitted)
+            return a.submitted > b.submitted;
+        return a.first_arrival > b.first_arrival; // deterministic ties
+    }
+};
+
+} // namespace
 
 StreamingResult
 StreamingZkpService::run(const StreamingOptions &workload, Rng &rng) const
@@ -45,46 +73,112 @@ StreamingZkpService::run(const StreamingOptions &workload, Rng &rng) const
         a = t;
     }
 
-    // Admission: one request per cycle boundary, FIFO.
+    gpusim::FaultInjector *inj = dev_.faultInjector();
+    double backoff_base =
+        workload.backoff_ms > 0.0 ? workload.backoff_ms : cycle_ms;
+
+    // Admission: one request per cycle boundary, FIFO. Requests ending
+    // any other way (shed at a full queue, dropped after exhausting
+    // retries) also terminate, so every original request is accounted
+    // for exactly once.
     std::vector<double> sojourns;
     sojourns.reserve(workload.num_requests);
-    std::deque<double> queue;
+    std::deque<Pending> queue;
+    std::priority_queue<Pending, std::vector<Pending>, LaterSubmission>
+        resubmits;
     size_t next_arrival = 0;
+    size_t dropped = 0;
+    size_t cycle_index = 0;
     double queue_area = 0.0;
     double now = 0.0;
     double last_completion = 0.0;
-    while (sojourns.size() < workload.num_requests) {
-        double next_cycle = now + cycle_ms;
+
+    auto enqueue = [&](const Pending &p) {
+        if (workload.queue_capacity > 0 &&
+            queue.size() >= workload.queue_capacity) {
+            ++result.shed;
+            return;
+        }
+        queue.push_back(p);
+    };
+
+    while (result.completed + result.shed + dropped <
+           workload.num_requests) {
+        // Injected faults stretch this cycle: transfer stalls slow the
+        // streamed input, failed lanes slow the compute.
+        double step = cycle_ms;
+        if (inj) {
+            inj->beginCycle(cycle_index);
+            double comp = comp_ms;
+            double failed = inj->failedLaneFraction();
+            if (failed > 0.0)
+                comp /= std::max(0.05, 1.0 - failed);
+            double comm = comm_ms * inj->transferStallMultiplier();
+            step = system_opt_.overlap_transfers ? std::max(comp, comm)
+                                                 : comp + comm;
+        }
+        ++cycle_index;
+
+        double next_cycle = now + step;
         while (next_arrival < arrivals.size() &&
                arrivals[next_arrival] <= next_cycle) {
-            queue.push_back(arrivals[next_arrival]);
+            enqueue({arrivals[next_arrival], arrivals[next_arrival], 0});
             ++next_arrival;
         }
-        queue_area += static_cast<double>(queue.size()) * cycle_ms;
+        while (!resubmits.empty() &&
+               resubmits.top().submitted <= next_cycle) {
+            enqueue(resubmits.top());
+            resubmits.pop();
+        }
+        queue_area += static_cast<double>(queue.size()) * step;
+        result.max_queue = std::max(result.max_queue, queue.size());
         now = next_cycle;
-        if (!queue.empty()) {
-            double arrival = queue.front();
+        while (!queue.empty()) {
+            Pending p = queue.front();
             queue.pop_front();
+            if (workload.timeout_ms > 0.0 &&
+                now - p.submitted > workload.timeout_ms) {
+                // Timed out waiting for admission; the slot stays free
+                // for the next queued request.
+                ++result.timed_out;
+                if (p.attempt < workload.max_retries) {
+                    ++result.retried;
+                    double backoff =
+                        backoff_base *
+                        std::ldexp(1.0, static_cast<int>(p.attempt));
+                    resubmits.push(
+                        {now + backoff, p.first_arrival, p.attempt + 1});
+                } else {
+                    ++dropped;
+                }
+                continue;
+            }
             // Admitted this cycle; completes after the pipeline depth.
             double completion =
                 now + static_cast<double>(depth) * cycle_ms;
-            sojourns.push_back(completion - arrival);
+            sojourns.push_back(completion - p.first_arrival);
+            ++result.completed;
             last_completion = std::max(last_completion, completion);
+            break;
         }
     }
 
-    std::sort(sojourns.begin(), sojourns.end());
-    auto pct = [&](double p) {
-        size_t idx = static_cast<size_t>(p * (sojourns.size() - 1));
-        return sojourns[idx];
-    };
-    result.p50_ms = pct(0.50);
-    result.p90_ms = pct(0.90);
-    result.p99_ms = pct(0.99);
-    result.max_ms = sojourns.back();
-    result.mean_queue = queue_area / now;
+    if (!sojourns.empty()) {
+        std::sort(sojourns.begin(), sojourns.end());
+        auto pct = [&](double p) {
+            size_t idx = static_cast<size_t>(p * (sojourns.size() - 1));
+            return sojourns[idx];
+        };
+        result.p50_ms = pct(0.50);
+        result.p90_ms = pct(0.90);
+        result.p99_ms = pct(0.99);
+        result.max_ms = sojourns.back();
+    }
+    result.mean_queue = now > 0.0 ? queue_area / now : 0.0;
     result.throughput_per_ms =
-        static_cast<double>(sojourns.size()) / last_completion;
+        last_completion > 0.0
+            ? static_cast<double>(sojourns.size()) / last_completion
+            : 0.0;
     return result;
 }
 

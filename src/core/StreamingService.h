@@ -35,6 +35,35 @@ struct StreamingOptions
     unsigned n_vars = 18;
     /** Public encoder seed. */
     uint64_t seed = 2024;
+
+    /// @name Admission-queue robustness (defaults preserve the
+    /// unguarded open-loop behavior bit for bit)
+    /// @{
+
+    /**
+     * A request still queued this long after submission abandons the
+     * queue (counted in StreamingResult::timed_out). 0 disables.
+     */
+    double timeout_ms = 0.0;
+    /**
+     * Re-submissions a timed-out request may make before it is dropped
+     * for good. 0 disables retry.
+     */
+    size_t max_retries = 0;
+    /**
+     * Base client back-off before the first re-submission; doubles on
+     * every further attempt (exponential backoff). When 0 with retries
+     * enabled, one pipeline cycle is used.
+     */
+    double backoff_ms = 0.0;
+    /**
+     * Admission-queue capacity; arrivals (and re-submissions) beyond it
+     * are shed instead of queued, so an overloaded service rejects work
+     * rather than growing the queue without bound. 0 = unbounded.
+     */
+    size_t queue_capacity = 0;
+
+    /// @}
 };
 
 /** Request-level results of a streaming run. */
@@ -53,8 +82,25 @@ struct StreamingResult
     double max_ms = 0.0;
     /** Time-averaged queue length at admission. */
     double mean_queue = 0.0;
+    /** Largest queue length observed at any cycle boundary. */
+    size_t max_queue = 0;
     /** Completed requests per ms over the run. */
     double throughput_per_ms = 0.0;
+
+    /// @name Robustness counters (all zero with the default options and
+    /// no fault injector)
+    /// @{
+
+    /** Requests whose proof actually completed. */
+    size_t completed = 0;
+    /** Timeout events (a request gave up waiting for admission). */
+    size_t timed_out = 0;
+    /** Re-submissions made after timeouts (with backoff). */
+    size_t retried = 0;
+    /** Arrivals rejected because the admission queue was full. */
+    size_t shed = 0;
+
+    /// @}
 };
 
 /** Streaming front-end over the pipelined ZKP system. */

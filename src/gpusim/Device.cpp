@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "gpusim/Calibration.h"
+#include "gpusim/FaultInjector.h"
 #include "util/Log.h"
 
 namespace bzk::gpusim {
@@ -205,6 +206,10 @@ Device::copyH2D(StreamId stream, uint64_t bytes, OpId depends_on)
     if (depends_on != kNoOp)
         ready = std::max(ready, opEnd(depends_on));
     double dur = copyDurationMs(bytes);
+    if (injector_ && injector_->transferStallMultiplier() > 1.0) {
+        dur *= injector_->transferStallMultiplier();
+        injector_->noteStalledTransfer();
+    }
     OpRecord record;
     record.kind = OpRecord::Kind::CopyH2D;
     record.name = "h2d";
@@ -224,6 +229,10 @@ Device::copyD2H(StreamId stream, uint64_t bytes, OpId depends_on)
     if (depends_on != kNoOp)
         ready = std::max(ready, opEnd(depends_on));
     double dur = copyDurationMs(bytes);
+    if (injector_ && injector_->transferStallMultiplier() > 1.0) {
+        dur *= injector_->transferStallMultiplier();
+        injector_->noteStalledTransfer();
+    }
     OpRecord record;
     record.kind = OpRecord::Kind::CopyD2H;
     record.name = "d2h";

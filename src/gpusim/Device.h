@@ -33,6 +33,8 @@
 
 namespace bzk::gpusim {
 
+class FaultInjector;
+
 using StreamId = uint32_t;
 using OpId = uint32_t;
 
@@ -186,6 +188,27 @@ class Device
     /** Forget all scheduled work and reset the clock (memory kept). */
     void resetTimeline();
 
+    /// @name Fault injection
+    /// @{
+
+    /**
+     * Attach (or detach with nullptr) a fault injector. While attached,
+     * host<->device copies are stretched by the injector's active
+     * transfer-stall multiplier; systems driving the device consult the
+     * same injector for lane failures and data corruption. The device
+     * does not own the injector. With no injector attached the device
+     * behaves exactly as before this hook existed.
+     */
+    void setFaultInjector(FaultInjector *injector)
+    {
+        injector_ = injector;
+    }
+
+    /** The attached injector, or nullptr. */
+    FaultInjector *faultInjector() const { return injector_; }
+
+    /// @}
+
   private:
     /** Earliest time >= t0 at which @p lanes are free for @p dur ms. */
     double earliestComputeStart(double t0, double lanes, double dur) const;
@@ -208,6 +231,8 @@ class Device
     std::vector<uint64_t> allocations_;
     uint64_t live_bytes_ = 0;
     uint64_t peak_bytes_ = 0;
+
+    FaultInjector *injector_ = nullptr;
 };
 
 } // namespace bzk::gpusim

@@ -1,0 +1,276 @@
+#include "gpusim/FaultInjector.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/Log.h"
+#include "util/Rng.h"
+
+namespace bzk::gpusim {
+
+namespace {
+
+const char *
+kindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::TransferStall:
+        return "stall";
+      case FaultKind::LaneFailure:
+        return "lanes";
+      case FaultKind::MerkleCorruption:
+        return "corrupt";
+    }
+    return "?";
+}
+
+/** Parse an unsigned decimal field or fatal() with context. */
+size_t
+parseCount(const std::string &field, const std::string &item)
+{
+    size_t pos = 0;
+    unsigned long long v = 0;
+    try {
+        v = std::stoull(field, &pos);
+    } catch (...) {
+        fatal("fault plan: bad number '%s' in '%s'", field.c_str(),
+              item.c_str());
+    }
+    if (pos != field.size())
+        fatal("fault plan: bad number '%s' in '%s'", field.c_str(),
+              item.c_str());
+    return static_cast<size_t>(v);
+}
+
+double
+parseMagnitude(const std::string &field, const std::string &item)
+{
+    size_t pos = 0;
+    double v = 0.0;
+    try {
+        v = std::stod(field, &pos);
+    } catch (...) {
+        fatal("fault plan: bad magnitude '%s' in '%s'", field.c_str(),
+              item.c_str());
+    }
+    if (pos != field.size())
+        fatal("fault plan: bad magnitude '%s' in '%s'", field.c_str(),
+              item.c_str());
+    return v;
+}
+
+/** Split "B-E" into a half-open window or fatal(). */
+void
+parseWindow(const std::string &field, const std::string &item,
+            size_t &begin, size_t &end)
+{
+    size_t dash = field.find('-');
+    if (dash == std::string::npos)
+        fatal("fault plan: window '%s' in '%s' must be BEGIN-END",
+              field.c_str(), item.c_str());
+    begin = parseCount(field.substr(0, dash), item);
+    end = parseCount(field.substr(dash + 1), item);
+    if (end <= begin)
+        fatal("fault plan: empty window '%s' in '%s' (END must exceed "
+              "BEGIN)",
+              field.c_str(), item.c_str());
+}
+
+} // namespace
+
+size_t
+FaultPlan::horizon() const
+{
+    size_t h = 0;
+    for (const auto &e : events)
+        h = std::max(h, e.end_cycle);
+    return h;
+}
+
+FaultPlan
+FaultPlan::random(uint64_t seed, size_t horizon_cycles, double intensity)
+{
+    if (horizon_cycles == 0 || intensity <= 0.0)
+        return {};
+    intensity = std::min(intensity, 1.0);
+    FaultPlan plan;
+    Rng rng(seed ^ 0x0fa7157a11ULL);
+
+    // Stall and lane-failure windows each cover ~intensity/2 of the
+    // horizon, in windows of at most an eighth of it.
+    auto windows = [&](FaultKind kind, double lo, double hi) {
+        size_t budget =
+            static_cast<size_t>(0.5 * intensity * horizon_cycles);
+        size_t max_len = std::max<size_t>(1, horizon_cycles / 8);
+        while (budget > 0) {
+            size_t len = 1 + rng.nextBounded(std::min(budget, max_len));
+            size_t begin = rng.nextBounded(horizon_cycles);
+            FaultEvent e;
+            e.kind = kind;
+            e.begin_cycle = begin;
+            e.end_cycle = std::min(horizon_cycles, begin + len);
+            e.magnitude = lo + rng.nextDouble() * (hi - lo);
+            plan.events.push_back(e);
+            budget -= std::min(budget, e.end_cycle - e.begin_cycle);
+        }
+    };
+    windows(FaultKind::TransferStall, 1.5, 4.0);
+    windows(FaultKind::LaneFailure, 0.05, 0.30);
+
+    // Corruption strikes ~intensity/16 of the cycles, one byte each.
+    size_t strikes = std::max<size_t>(
+        1, static_cast<size_t>(intensity * horizon_cycles / 16.0));
+    for (size_t i = 0; i < strikes; ++i) {
+        FaultEvent e;
+        e.kind = FaultKind::MerkleCorruption;
+        e.begin_cycle = rng.nextBounded(horizon_cycles);
+        e.end_cycle = e.begin_cycle + 1;
+        e.magnitude = 1.0 + static_cast<double>(rng.nextBounded(3));
+        plan.events.push_back(e);
+    }
+    return plan;
+}
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    std::stringstream ss(spec);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (item.empty())
+            continue;
+        std::vector<std::string> fields;
+        std::stringstream is(item);
+        std::string f;
+        while (std::getline(is, f, ':'))
+            fields.push_back(f);
+        if (fields.empty())
+            fatal("fault plan: empty item in '%s'", spec.c_str());
+
+        FaultEvent e;
+        if (fields[0] == "stall" || fields[0] == "lanes") {
+            if (fields.size() != 3)
+                fatal("fault plan: '%s' needs KIND:BEGIN-END:MAGNITUDE",
+                      item.c_str());
+            parseWindow(fields[1], item, e.begin_cycle, e.end_cycle);
+            e.magnitude = parseMagnitude(fields[2], item);
+            if (fields[0] == "stall") {
+                e.kind = FaultKind::TransferStall;
+                if (e.magnitude <= 1.0)
+                    fatal("fault plan: stall multiplier %.3f in '%s' "
+                          "must exceed 1",
+                          e.magnitude, item.c_str());
+            } else {
+                e.kind = FaultKind::LaneFailure;
+                if (e.magnitude <= 0.0 || e.magnitude >= 1.0)
+                    fatal("fault plan: lane fraction %.3f in '%s' must "
+                          "be in (0, 1)",
+                          e.magnitude, item.c_str());
+            }
+        } else if (fields[0] == "corrupt") {
+            if (fields.size() != 2 && fields.size() != 3)
+                fatal("fault plan: '%s' needs corrupt:CYCLE[:BYTES]",
+                      item.c_str());
+            e.kind = FaultKind::MerkleCorruption;
+            e.begin_cycle = parseCount(fields[1], item);
+            e.end_cycle = e.begin_cycle + 1;
+            e.magnitude =
+                fields.size() == 3
+                    ? static_cast<double>(parseCount(fields[2], item))
+                    : 1.0;
+            if (e.magnitude < 1.0)
+                fatal("fault plan: corrupt byte count in '%s' must be "
+                      ">= 1",
+                      item.c_str());
+        } else {
+            fatal("fault plan: unknown fault kind '%s' (want stall, "
+                  "lanes or corrupt)",
+                  fields[0].c_str());
+        }
+        plan.events.push_back(e);
+    }
+    if (plan.events.empty())
+        fatal("fault plan: no events in '%s'", spec.c_str());
+    return plan;
+}
+
+std::string
+FaultPlan::describe() const
+{
+    std::string out;
+    char buf[128];
+    for (const auto &e : events) {
+        if (e.kind == FaultKind::MerkleCorruption)
+            std::snprintf(buf, sizeof(buf),
+                          "  corrupt cycle %zu: flip %.0f byte(s)\n",
+                          e.begin_cycle, e.magnitude);
+        else
+            std::snprintf(buf, sizeof(buf),
+                          "  %s cycles [%zu, %zu): %s %.3g\n",
+                          kindName(e.kind), e.begin_cycle, e.end_cycle,
+                          e.kind == FaultKind::TransferStall
+                              ? "multiplier"
+                              : "fraction",
+                          e.magnitude);
+        out += buf;
+    }
+    return out;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, uint64_t seed)
+    : plan_(std::move(plan)), seed_(seed)
+{
+}
+
+void
+FaultInjector::beginCycle(size_t cycle)
+{
+    cycle_ = cycle;
+    stall_ = 1.0;
+    failed_ = 0.0;
+    corrupt_bytes_ = 0;
+    for (const auto &e : plan_.events) {
+        if (cycle < e.begin_cycle || cycle >= e.end_cycle)
+            continue;
+        switch (e.kind) {
+          case FaultKind::TransferStall:
+            stall_ = std::max(stall_, e.magnitude);
+            break;
+          case FaultKind::LaneFailure:
+            failed_ = std::min(0.95, failed_ + e.magnitude);
+            break;
+          case FaultKind::MerkleCorruption:
+            corrupt_bytes_ += static_cast<uint32_t>(e.magnitude);
+            break;
+        }
+    }
+    if (failed_ > 0.0)
+        ++stats_.degraded_cycles;
+}
+
+bool
+FaultInjector::corruptLayer(std::span<uint8_t> data)
+{
+    if (corrupt_bytes_ == 0 || data.empty())
+        return false;
+    // Positions and flip masks derive from (seed, cycle) alone so the
+    // corruption is reproducible regardless of call order.
+    uint64_t state = seed_ ^ (0x9e3779b97f4a7c15ULL * (cycle_ + 1));
+    bool changed = false;
+    for (uint32_t i = 0; i < corrupt_bytes_; ++i) {
+        uint64_t word = splitmix64(state);
+        size_t pos = static_cast<size_t>(word % data.size());
+        uint8_t mask = static_cast<uint8_t>((word >> 32) & 0xff);
+        if (mask == 0)
+            mask = 0x01; // guarantee the byte actually flips
+        data[pos] ^= mask;
+        changed = true;
+    }
+    if (changed)
+        ++stats_.corrupted_layers;
+    return changed;
+}
+
+} // namespace bzk::gpusim

@@ -1,0 +1,157 @@
+#ifndef BZK_GPUSIM_FAULTINJECTOR_H_
+#define BZK_GPUSIM_FAULTINJECTOR_H_
+
+/**
+ * @file
+ * Deterministic fault injection for the simulated GPU and the systems
+ * built on it.
+ *
+ * Real proof farms see stalled PCIe transfers, degraded SMs and corrupt
+ * staged data; the simulator's happy path hides all of that. This module
+ * makes those failure modes *schedulable*: a FaultPlan is an explicit
+ * list of fault windows (or is derived from a single RNG seed), and a
+ * FaultInjector walks the plan cycle by cycle, answering three
+ * questions for the current pipeline cycle:
+ *
+ *  - by what factor are host<->device transfers stalled?
+ *  - what fraction of the device's lanes is failed (work must relocate
+ *    onto the survivors)?
+ *  - how many bytes of the staged Merkle layer are flipped?
+ *
+ * Everything is a pure function of (plan, seed, cycle), so a run under
+ * faults is exactly as reproducible as a run without them. A Device
+ * with no injector attached behaves bit-identically to one that never
+ * heard of this header.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bzk::gpusim {
+
+/** The classes of fault the injector can schedule. */
+enum class FaultKind : uint8_t {
+    /** Host<->device transfers take `magnitude`x longer. */
+    TransferStall,
+    /** Fraction `magnitude` of the device's lanes is failed. */
+    LaneFailure,
+    /** `magnitude` bytes of the staged Merkle layer are flipped. */
+    MerkleCorruption,
+};
+
+/** One scheduled fault, active over a half-open cycle window. */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::TransferStall;
+    /** First pipeline cycle the fault is active in. */
+    size_t begin_cycle = 0;
+    /** First cycle the fault is no longer active in (exclusive). */
+    size_t end_cycle = 0;
+    /**
+     * Meaning depends on kind: stall multiplier (> 1), failed-lane
+     * fraction (0..1), or bytes to flip (>= 1).
+     */
+    double magnitude = 0.0;
+
+    bool operator==(const FaultEvent &o) const = default;
+};
+
+/** A complete, explicit fault schedule. */
+struct FaultPlan
+{
+    std::vector<FaultEvent> events;
+
+    bool empty() const { return events.empty(); }
+
+    /** One past the last cycle any event touches. */
+    size_t horizon() const;
+
+    /**
+     * Derive a plan from a single seed: `intensity` in (0, 1] scales how
+     * much of the horizon is covered by each fault class. The same
+     * (seed, horizon, intensity) always yields the same plan.
+     */
+    static FaultPlan random(uint64_t seed, size_t horizon_cycles,
+                            double intensity);
+
+    /**
+     * Parse a comma-separated plan spec:
+     *   stall:B-E:M     transfers in cycles [B, E) stalled by M x
+     *   lanes:B-E:F     lane fraction F in [B, E) failed
+     *   corrupt:C[:N]   flip N (default 1) bytes of cycle C's layer
+     * fatal()s with a diagnostic on malformed input.
+     */
+    static FaultPlan parse(const std::string &spec);
+
+    /** Human-readable one-line-per-event rendering of the plan. */
+    std::string describe() const;
+};
+
+/** Counters the injector accumulates over a run. */
+struct FaultStats
+{
+    /** Transfers whose duration was stretched by an active stall. */
+    size_t stalled_transfers = 0;
+    /** Cycles observed with a nonzero failed-lane fraction. */
+    size_t degraded_cycles = 0;
+    /** Layers actually corrupted via corruptLayer(). */
+    size_t corrupted_layers = 0;
+};
+
+/**
+ * Walks a FaultPlan cycle by cycle. The owning system calls
+ * beginCycle() once per pipeline cycle; the Device (and the system
+ * itself) then query the active fault state.
+ */
+class FaultInjector
+{
+  public:
+    /** @param seed drives the deterministic byte-flip positions. */
+    explicit FaultInjector(FaultPlan plan, uint64_t seed = 0);
+
+    /** Enter pipeline cycle @p cycle and resolve the active faults. */
+    void beginCycle(size_t cycle);
+
+    /** The cycle most recently passed to beginCycle(). */
+    size_t cycle() const { return cycle_; }
+
+    /** Active transfer stall multiplier; 1.0 when unstalled. */
+    double transferStallMultiplier() const { return stall_; }
+
+    /** Active failed-lane fraction in [0, 0.95]; 0.0 when healthy. */
+    double failedLaneFraction() const { return failed_; }
+
+    /** Bytes to flip in this cycle's staged layer; 0 = no corruption. */
+    uint32_t corruptionBytes() const { return corrupt_bytes_; }
+
+    /**
+     * Flip corruptionBytes() bytes of @p data at positions derived
+     * deterministically from (seed, cycle). Returns true if any byte
+     * changed. No-op (returns false) when no corruption is scheduled or
+     * @p data is empty.
+     */
+    bool corruptLayer(std::span<uint8_t> data);
+
+    /** Called by the Device when a transfer hits an active stall. */
+    void noteStalledTransfer() { ++stats_.stalled_transfers; }
+
+    const FaultStats &stats() const { return stats_; }
+
+    const FaultPlan &plan() const { return plan_; }
+
+  private:
+    FaultPlan plan_;
+    uint64_t seed_;
+    size_t cycle_ = 0;
+    double stall_ = 1.0;
+    double failed_ = 0.0;
+    uint32_t corrupt_bytes_ = 0;
+    FaultStats stats_;
+};
+
+} // namespace bzk::gpusim
+
+#endif // BZK_GPUSIM_FAULTINJECTOR_H_

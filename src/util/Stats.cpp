@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "util/Log.h"
+
 namespace bzk {
 
 void
@@ -45,6 +47,11 @@ TablePrinter::TablePrinter(std::vector<std::string> headers)
 void
 TablePrinter::addRow(std::vector<std::string> cells)
 {
+    if (cells.size() > headers_.size())
+        warn("TablePrinter: row has %zu cells but the table has %zu "
+             "columns; dropping the extras (first dropped: '%s')",
+             cells.size(), headers_.size(),
+             cells[headers_.size()].c_str());
     cells.resize(headers_.size());
     rows_.push_back(std::move(cells));
 }

@@ -23,13 +23,20 @@ class RunningStats
     /** Number of samples folded in so far. */
     size_t count() const { return count_; }
 
-    /** Mean of the samples; 0 when empty. */
+    /**
+     * True when no sample has been folded in yet. Check this before
+     * trusting min()/max(): their 0.0 empty-state return value is
+     * indistinguishable from a real 0.0 sample.
+     */
+    bool empty() const { return count_ == 0; }
+
+    /** Mean of the samples; 0 when empty (see empty()). */
     double mean() const { return count_ ? mean_ : 0.0; }
 
-    /** Smallest sample; 0 when empty. */
+    /** Smallest sample; 0 when empty (see empty()). */
     double min() const { return count_ ? min_ : 0.0; }
 
-    /** Largest sample; 0 when empty. */
+    /** Largest sample; 0 when empty (see empty()). */
     double max() const { return count_ ? max_ : 0.0; }
 
     /** Sample variance; 0 with fewer than two samples. */
@@ -60,7 +67,11 @@ class TablePrinter
     /** Create a table with the given column headers. */
     explicit TablePrinter(std::vector<std::string> headers);
 
-    /** Append one row; cells beyond the header count are dropped. */
+    /**
+     * Append one row. Missing cells are padded blank; cells beyond the
+     * header count are dropped with a warning (a silent drop hid more
+     * than one malformed benchmark row).
+     */
     void addRow(std::vector<std::string> cells);
 
     /** Render the table (headers, rule, rows) as a string. */

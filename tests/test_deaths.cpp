@@ -10,6 +10,7 @@
 #include "encoder/SpielmanCode.h"
 #include "ff/Fields.h"
 #include "gpusim/Device.h"
+#include "gpusim/FaultInjector.h"
 #include "merkle/MerkleTree.h"
 #include "poly/Multilinear.h"
 #include "sumcheck/Sumcheck.h"
@@ -106,6 +107,46 @@ TEST(DeathTest, EncoderRejectsWrongMessageLength)
     SpielmanCode<Gl64> code(64, 1);
     std::vector<Gl64> msg(63);
     EXPECT_DEATH({ (void)code.encode(msg); }, "message length");
+}
+
+// A malformed fault plan is an operator configuration error: the CLI
+// must exit cleanly (code 1) with a "fault plan" diagnostic, never
+// install a half-parsed schedule.
+
+TEST(DeathTest, FaultPlanRejectsUnknownKind)
+{
+    EXPECT_EXIT({ (void)gpusim::FaultPlan::parse("bogus:0-5:2"); },
+                ::testing::ExitedWithCode(1), "unknown fault kind");
+}
+
+TEST(DeathTest, FaultPlanRejectsInvertedWindow)
+{
+    EXPECT_EXIT({ (void)gpusim::FaultPlan::parse("stall:5-2:3"); },
+                ::testing::ExitedWithCode(1), "empty window");
+}
+
+TEST(DeathTest, FaultPlanRejectsOutOfRangeMagnitudes)
+{
+    // A stall that does not slow anything down and a lane fraction
+    // outside (0, 1) are both nonsense.
+    EXPECT_EXIT({ (void)gpusim::FaultPlan::parse("stall:0-5:0.5"); },
+                ::testing::ExitedWithCode(1), "must exceed 1");
+    EXPECT_EXIT({ (void)gpusim::FaultPlan::parse("lanes:0-5:1.5"); },
+                ::testing::ExitedWithCode(1), "must be in \\(0, 1\\)");
+}
+
+TEST(DeathTest, FaultPlanRejectsGarbageNumbers)
+{
+    EXPECT_EXIT({ (void)gpusim::FaultPlan::parse("corrupt:abc"); },
+                ::testing::ExitedWithCode(1), "bad number");
+    EXPECT_EXIT({ (void)gpusim::FaultPlan::parse("stall:0-5:fast"); },
+                ::testing::ExitedWithCode(1), "bad magnitude");
+}
+
+TEST(DeathTest, FaultPlanRejectsEmptySpec)
+{
+    EXPECT_EXIT({ (void)gpusim::FaultPlan::parse(""); },
+                ::testing::ExitedWithCode(1), "fault plan");
 }
 
 } // namespace

@@ -223,8 +223,70 @@ TEST_P(TruncationSweep, TruncatedProofRejected)
         << "kept " << keep;
 }
 
+TEST_P(TruncationSweep, TruncatedFullProofRejected)
+{
+    auto &f = fixture();
+    auto bytes = serializeFullProof(f.full_proof);
+    size_t keep = static_cast<size_t>(GetParam()) * bytes.size() / 8;
+    bytes.resize(keep);
+    EXPECT_FALSE(deserializeFullProof<Fr>(bytes).has_value())
+        << "kept " << keep;
+}
+
+TEST_P(TruncationSweep, TruncatedGkrProofRejected)
+{
+    Rng rng(4);
+    auto c = randomLayeredCircuit<Fr>(3, 2, 8, rng);
+    std::vector<Fr> inputs(8);
+    for (auto &x : inputs)
+        x = Fr::random(rng);
+    Gkr<Fr> gkr(c);
+    Transcript pt("ser-gkr");
+    auto bytes = serializeGkrProof(gkr.prove(inputs, pt));
+    size_t keep = static_cast<size_t>(GetParam()) * bytes.size() / 8;
+    bytes.resize(keep);
+    EXPECT_FALSE(deserializeGkrProof<Fr>(bytes).has_value())
+        << "kept " << keep;
+}
+
 INSTANTIATE_TEST_SUITE_P(PrefixLengths, TruncationSweep,
                          ::testing::Range(0, 8));
+
+/**
+ * Dense byte-flip sweep: each seed flips a random byte at a random
+ * position (and with a random mask), covering positions the 16-step
+ * sweep above strides over. The decoded proof must never verify.
+ */
+class DenseFlipSweep : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(DenseFlipSweep, FlippedByteNeverAccepted)
+{
+    auto &f = fixture();
+    Rng rng(GetParam());
+    auto bytes = serializeProof(f.proof);
+    size_t pos = 1 + rng.nextBounded(bytes.size() - 1);
+    uint8_t mask = static_cast<uint8_t>(1 + rng.nextBounded(255));
+    bytes[pos] ^= mask;
+    auto back = deserializeProof<Fr>(bytes);
+    if (back.has_value()) {
+        EXPECT_FALSE(f.snark.verify(*back, {}))
+            << "pos " << pos << " mask " << unsigned(mask);
+    }
+
+    auto full_bytes = serializeFullProof(f.full_proof);
+    size_t fpos = 1 + rng.nextBounded(full_bytes.size() - 1);
+    full_bytes[fpos] ^= mask;
+    auto fback = deserializeFullProof<Fr>(full_bytes);
+    if (fback.has_value()) {
+        EXPECT_FALSE(f.full->verify(*fback, f.inputs))
+            << "pos " << fpos << " mask " << unsigned(mask);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DenseFlipSweep,
+                         ::testing::Range<uint64_t>(500, 540));
 
 /** Random-blob fuzz: arbitrary bytes must never crash or be accepted. */
 class RandomBlobFuzz : public ::testing::TestWithParam<uint64_t>

@@ -102,10 +102,26 @@ TEST(Rng, BoundedRoughlyUniform)
 TEST(RunningStats, Empty)
 {
     RunningStats s;
+    EXPECT_TRUE(s.empty());
     EXPECT_EQ(s.count(), 0u);
     EXPECT_EQ(s.mean(), 0.0);
+    // min()/max() of an empty accumulator return 0.0, which is
+    // indistinguishable from a genuine 0.0 sample — callers must gate
+    // on empty() first. This test pins both the sentinel and the gate.
     EXPECT_EQ(s.min(), 0.0);
     EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, EmptyFlagClearsOnFirstSample)
+{
+    RunningStats s;
+    ASSERT_TRUE(s.empty());
+    s.add(-3.0);
+    EXPECT_FALSE(s.empty());
+    // A negative sample shows why the 0.0 sentinel alone is ambiguous:
+    // with empty() the caller can tell this real extremum apart.
+    EXPECT_EQ(s.min(), -3.0);
+    EXPECT_EQ(s.max(), -3.0);
 }
 
 TEST(RunningStats, Basic)
@@ -144,6 +160,31 @@ TEST(TablePrinter, PadsMissingCells)
     t.addRow({"only"});
     std::string out = t.render();
     EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(TablePrinter, WarnsOnExtraCellsAndDropsThem)
+{
+    TablePrinter t({"a", "b"});
+    ::testing::internal::CaptureStderr();
+    t.addRow({"1", "2", "EXTRA", "MORE"});
+    std::string err = ::testing::internal::GetCapturedStderr();
+    // The mismatch is reported (default log level Info passes warn),
+    // naming the first dropped cell...
+    EXPECT_NE(err.find("TablePrinter"), std::string::npos);
+    EXPECT_NE(err.find("EXTRA"), std::string::npos);
+    // ...and the rendered table keeps only the declared columns.
+    std::string out = t.render();
+    EXPECT_NE(out.find("| 1"), std::string::npos);
+    EXPECT_EQ(out.find("EXTRA"), std::string::npos);
+    EXPECT_EQ(out.find("MORE"), std::string::npos);
+}
+
+TEST(TablePrinter, ExactWidthRowIsSilent)
+{
+    TablePrinter t({"a", "b"});
+    ::testing::internal::CaptureStderr();
+    t.addRow({"1", "2"});
+    EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
 }
 
 TEST(FormatSig, Reasonable)
