@@ -6,15 +6,132 @@
  * Shared helpers for the table-regeneration benchmarks. Every bench
  * binary prints the corresponding paper table with the same rows and
  * columns, so EXPERIMENTS.md can be checked against `./bench_*` output
- * directly.
+ * directly. Every bench additionally accepts `--json <path>` and dumps
+ * its key metrics as machine-readable JSON (schema below), which the
+ * perf-smoke CI job feeds to tools/check_bench.py.
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "obs/Metrics.h"
+#include "util/Log.h"
 #include "util/Stats.h"
 
 namespace bzk::bench {
+
+/**
+ * Machine-readable sidecar for one bench binary. Construct it from
+ * argv (it consumes `--json <path>`; with no flag it stays disabled
+ * and costs nothing), add one row of named numeric metrics per table
+ * row, and it writes
+ *
+ *   {"bench": <name>,
+ *    "rows": [{"label": <label>, "metrics": {<metric>: <value>, ...}}],
+ *    "meta": {"device": <device>, "git_sha": <sha>, ...}}
+ *
+ * on destruction (or an explicit write()). The git sha is taken from
+ * the BZK_GIT_SHA environment variable (CI exports GITHUB_SHA there);
+ * "unknown" otherwise.
+ */
+class JsonBench
+{
+  public:
+    JsonBench(std::string name, int argc, char **argv)
+        : name_(std::move(name))
+    {
+        for (int i = 1; i + 1 < argc; ++i)
+            if (std::string(argv[i]) == "--json")
+                path_ = argv[i + 1];
+        const char *sha = std::getenv("BZK_GIT_SHA");
+        meta("git_sha", sha && *sha ? sha : "unknown");
+    }
+
+    JsonBench(const JsonBench &) = delete;
+    JsonBench &operator=(const JsonBench &) = delete;
+
+    ~JsonBench() { write(); }
+
+    /** True when `--json <path>` was passed. */
+    bool enabled() const { return !path_.empty(); }
+
+    /** Set (or overwrite) one meta entry, e.g. ("device", "GH200"). */
+    void meta(const std::string &key, const std::string &value)
+    {
+        for (auto &kv : meta_)
+            if (kv.first == key) {
+                kv.second = value;
+                return;
+            }
+        meta_.emplace_back(key, value);
+    }
+
+    /** Append one row of metrics under @p label. */
+    void addRow(const std::string &label,
+                std::vector<std::pair<std::string, double>> metrics)
+    {
+        rows_.push_back({label, std::move(metrics)});
+    }
+
+    /** Write the JSON file now (no-op when disabled or already done). */
+    void write()
+    {
+        if (path_.empty() || written_)
+            return;
+        written_ = true;
+        std::ofstream out(path_);
+        if (!out) {
+            warn("JsonBench: cannot open '%s' for writing",
+                 path_.c_str());
+            return;
+        }
+        out << "{\"bench\":\"" << escape(name_) << "\",\"rows\":[";
+        for (size_t r = 0; r < rows_.size(); ++r) {
+            out << (r ? "," : "") << "{\"label\":\""
+                << escape(rows_[r].label) << "\",\"metrics\":{";
+            const auto &ms = rows_[r].metrics;
+            for (size_t m = 0; m < ms.size(); ++m)
+                out << (m ? "," : "") << "\"" << escape(ms[m].first)
+                    << "\":" << obs::formatMetricValue(ms[m].second);
+            out << "}}";
+        }
+        out << "],\"meta\":{";
+        for (size_t m = 0; m < meta_.size(); ++m)
+            out << (m ? "," : "") << "\"" << escape(meta_[m].first)
+                << "\":\"" << escape(meta_[m].second) << "\"";
+        out << "}}\n";
+        std::printf("wrote %s\n", path_.c_str());
+    }
+
+  private:
+    struct Row
+    {
+        std::string label;
+        std::vector<std::pair<std::string, double>> metrics;
+    };
+
+    static std::string escape(const std::string &s)
+    {
+        std::string out;
+        out.reserve(s.size());
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            out += c;
+        }
+        return out;
+    }
+
+    std::string name_;
+    std::string path_;
+    std::vector<Row> rows_;
+    std::vector<std::pair<std::string, std::string>> meta_;
+    bool written_ = false;
+};
 
 /** Print a table with a title and optional footnote. */
 inline void

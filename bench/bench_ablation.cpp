@@ -23,10 +23,12 @@ using namespace bzk;
 using namespace bzk::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     gpusim::Device dev(gpusim::DeviceSpec::gh200());
     Rng rng(0xab1a);
+    JsonBench json("bench_ablation", argc, argv);
+    json.meta("device", dev.spec().name);
 
     // A1: lane allocation in the pipelined Merkle module.
     {
@@ -48,6 +50,11 @@ main()
                    table,
                    "Equal splits starve the leaf layer; the halving rule "
                    "keeps every stage's cycle time equal.");
+        json.addRow("A1-lane-allocation",
+                    {{"halving_throughput_per_ms",
+                      prop.throughput_per_ms},
+                     {"equal_throughput_per_ms",
+                      equal.throughput_per_ms}});
     }
 
     // A2: bucket sorting in the pipelined encoder.
@@ -69,6 +76,11 @@ main()
                        fmtSpeedup(sorted.throughput_per_ms /
                                   unsorted.throughput_per_ms) +
                        " from grouping rows of similar length per warp.");
+        json.addRow("A2-warp-sorting",
+                    {{"sorted_throughput_per_ms",
+                      sorted.throughput_per_ms},
+                     {"unsorted_throughput_per_ms",
+                      unsorted.throughput_per_ms}});
     }
 
     // A3: transfer/compute overlap in the full system.
@@ -89,6 +101,11 @@ main()
         printTable("A3: multi-stream overlap in the full system "
                    "(S = 2^20)",
                    table, "");
+        json.addRow("A3-overlap",
+                    {{"overlap_throughput_per_ms",
+                      overlap.stats.throughput_per_ms},
+                     {"serial_throughput_per_ms",
+                      serial.stats.throughput_per_ms}});
     }
 
     // A4: dynamic loading vs batch preloading.
@@ -110,6 +127,13 @@ main()
         printTable("A4: dynamic loading vs preloading (S = 2^20)", table,
                    "Preloading scales with the batch; dynamic loading "
                    "stays constant (Table 10's mechanism).");
+        json.addRow("A4-dynamic-loading",
+                    {{"dynamic_peak_bytes",
+                      static_cast<double>(
+                          dynamic.stats.peak_device_bytes)},
+                     {"preload_peak_bytes",
+                      static_cast<double>(
+                          preload.stats.peak_device_bytes)}});
     }
     return 0;
 }

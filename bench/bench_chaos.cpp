@@ -79,13 +79,16 @@ corruptionPlan(size_t period, size_t horizon)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     const uint64_t seed = 2024;
+    JsonBench json("bench_chaos", argc, argv);
+    json.meta("device", "GH200");
     size_t horizon =
         kBatch + systemWorkModel(kLogGates, seed).totalStages();
     auto healthy = runWithPlan({}, seed);
     double base = healthy.stats.throughput_per_ms;
+    json.addRow("healthy", {{"throughput_per_ms", base}});
 
     TablePrinter lanes({"failed lanes", "proofs/ms", "vs healthy",
                         "degraded cycles", "mean cycle (ms)"});
@@ -97,6 +100,10 @@ main()
                       std::to_string(r.degraded_cycles),
                       fmtMs(r.stats.total_ms /
                             static_cast<double>(kBatch))});
+        json.addRow("lane-failure-" + formatSig(f * 100.0, 3) + "pct",
+                    {{"throughput_per_ms", r.stats.throughput_per_ms},
+                     {"degraded_cycles",
+                      static_cast<double>(r.degraded_cycles)}});
     }
     printTable("Throughput vs failed-lane fraction (GH200, 2^18, "
                "batch 256)",
@@ -121,6 +128,11 @@ main()
                        fmtSpeedup(r.stats.throughput_per_ms / base),
                        std::to_string(
                            injector.stats().stalled_transfers)});
+        json.addRow("stall-" + formatSig(m, 3) + "x",
+                    {{"throughput_per_ms", r.stats.throughput_per_ms},
+                     {"stalled_transfers",
+                      static_cast<double>(
+                          injector.stats().stalled_transfers)}});
     }
     printTable("Throughput vs transfer stall (GH200, 2^18, batch 256)",
                stalls,
@@ -137,6 +149,14 @@ main()
                         fmtSpeedup(r.stats.throughput_per_ms / base),
                         std::to_string(r.corrupt_detected),
                         std::to_string(r.retried_tasks)});
+        json.addRow("corruption-" +
+                        (period == 0 ? std::string("never")
+                                     : "1of" + std::to_string(period)),
+                    {{"throughput_per_ms", r.stats.throughput_per_ms},
+                     {"corrupt_detected",
+                      static_cast<double>(r.corrupt_detected)},
+                     {"retried_tasks",
+                      static_cast<double>(r.retried_tasks)}});
     }
     printTable("Throughput vs staged-layer corruption rate", corrupt,
                "Every corruption is caught by the Merkle root re-check "

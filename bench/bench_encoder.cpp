@@ -17,10 +17,12 @@ using namespace bzk;
 using namespace bzk::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     gpusim::Device dev(gpusim::DeviceSpec::gh200());
     Rng rng(0xdead03);
+    JsonBench json("bench_encoder", argc, argv);
+    json.meta("device", dev.spec().name);
 
     // One real CPU measurement at 2^18; the Spielman encoder is O(N),
     // so larger rows scale linearly (footnoted).
@@ -48,6 +50,10 @@ main()
                       fmtSpeedup(ours.throughput_per_ms / cpu_per_ms),
                       fmtSpeedup(ours.throughput_per_ms /
                                  np.throughput_per_ms)});
+        json.addRow(fmtPow2(logn),
+                    {{"ours_throughput_per_ms", ours.throughput_per_ms},
+                     {"np_throughput_per_ms", np.throughput_per_ms},
+                     {"cpu_throughput_per_ms", cpu_per_ms}});
     }
 
     printTable("Table 5: throughput of linear-time encoder modules "

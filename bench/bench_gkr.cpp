@@ -18,9 +18,11 @@ using namespace bzk;
 using namespace bzk::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     gpusim::Device dev(gpusim::DeviceSpec::gh200());
+    JsonBench json("bench_gkr", argc, argv);
+    json.meta("device", dev.spec().name);
 
     TablePrinter table({"Depth x Width", "Intuitive p/ms", "Ours p/ms",
                         "Speedup", "Util (intuitive)", "Util (ours)"});
@@ -39,6 +41,10 @@ main()
                                  base.throughput_per_ms),
                       formatSig(base.utilization * 100, 3) + "%",
                       formatSig(pipe.utilization * 100, 3) + "%"});
+        json.addRow("depth-" + std::to_string(depth),
+                    {{"ours_throughput_per_ms", pipe.throughput_per_ms},
+                     {"intuitive_throughput_per_ms",
+                      base.throughput_per_ms}});
     }
     printTable("Extension: batch GKR proving (GH200 spec)", table,
                "Deeper circuits mean more pipeline stages and a larger "

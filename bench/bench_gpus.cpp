@@ -15,10 +15,12 @@ using namespace bzk;
 using namespace bzk::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     Rng rng(0xdead08);
     const unsigned logs = 20;
+    JsonBench json("bench_gpus", argc, argv);
+    json.meta("device", "all-presets");
 
     TablePrinter table({"GPU", "Scheme", "Latency (s)", "Lat. speedup",
                         "Proofs/s", "Thr. speedup"});
@@ -46,6 +48,11 @@ main()
                       fmtSpeedup(bp_latency_s / our_latency_s),
                       formatSig(our_throughput_s, 4),
                       fmtSpeedup(our_throughput_s / bp_throughput_s)});
+        json.addRow(spec.name,
+                    {{"ours_throughput_per_s", our_throughput_s},
+                     {"ours_latency_s", our_latency_s},
+                     {"bell_throughput_per_s", bp_throughput_s},
+                     {"bell_latency_s", bp_latency_s}});
     }
 
     printTable("Table 8: ZKP systems across GPUs at S = 2^20", table,
@@ -70,6 +77,9 @@ main()
             base = per_s;
         fleet_table.addRow({std::to_string(cards), formatSig(per_s, 4),
                             fmtSpeedup(per_s / base)});
+        json.addRow("fleet-" + std::to_string(cards) + "xH100",
+                    {{"fleet_throughput_per_s", per_s},
+                     {"fleet_scaling", per_s / base}});
     }
     printTable("Extension: multi-GPU fleet scaling at S = 2^20",
                fleet_table, "");

@@ -16,10 +16,12 @@ using namespace bzk;
 using namespace bzk::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     gpusim::Device dev(gpusim::DeviceSpec::gh200());
     Rng rng(0xdead06);
+    JsonBench json("bench_latency", argc, argv);
+    json.meta("device", dev.spec().name);
 
     TablePrinter table({"Size", "Module", "Scheme", "Latency (ms)",
                         "Speedup"});
@@ -57,6 +59,14 @@ main()
         table.addRow({"", "", "Ours", fmtMs(e_ours.first_latency_ms),
                       fmtSpeedup(np.first_latency_ms /
                                  e_ours.first_latency_ms)});
+
+        json.addRow(fmtPow2(logn),
+                    {{"merkle_ours_ms", m_ours.first_latency_ms},
+                     {"merkle_simon_ms", simon.first_latency_ms},
+                     {"sumcheck_ours_ms", s_ours.first_latency_ms},
+                     {"sumcheck_icicle_ms", icicle.first_latency_ms},
+                     {"encoder_ours_ms", e_ours.first_latency_ms},
+                     {"encoder_np_ms", np.first_latency_ms}});
     }
 
     printTable("Table 6: latency of ZKP modules (GH200 spec)", table,

@@ -24,10 +24,12 @@ fmtGb(uint64_t bytes)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     gpusim::Device dev(gpusim::DeviceSpec::gh200());
     Rng rng(0xdead10);
+    JsonBench json("bench_memory", argc, argv);
+    json.meta("device", dev.spec().name);
 
     TablePrinter table({"S", "Bellperson", "Ours", "Reduction"});
 
@@ -46,6 +48,12 @@ main()
                       fmtSpeedup(static_cast<double>(
                                      bp.stats.peak_device_bytes) /
                                  result.stats.peak_device_bytes)});
+        json.addRow(fmtPow2(logs),
+                    {{"ours_peak_bytes",
+                      static_cast<double>(
+                          result.stats.peak_device_bytes)},
+                     {"bell_peak_bytes",
+                      static_cast<double>(bp.stats.peak_device_bytes)}});
     }
 
     printTable("Table 10: amortized device memory per in-flight proof",

@@ -17,10 +17,12 @@ using namespace bzk;
 using namespace bzk::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     gpusim::Device dev(gpusim::DeviceSpec::gh200());
     Rng rng(0xdead01);
+    JsonBench json("bench_merkle", argc, argv);
+    json.meta("device", dev.spec().name);
 
     TablePrinter table({"Size", "Orion(CPU) t/ms", "Simon(GPU) t/ms",
                         "Ours(GPU) t/ms", "vs CPU", "vs GPU"});
@@ -45,6 +47,12 @@ main()
                                  cpu_stats.throughput_per_ms),
                       fmtSpeedup(ours.throughput_per_ms /
                                  simon.throughput_per_ms)});
+        json.addRow(fmtPow2(logn),
+                    {{"ours_throughput_per_ms", ours.throughput_per_ms},
+                     {"simon_throughput_per_ms",
+                      simon.throughput_per_ms},
+                     {"cpu_throughput_per_ms",
+                      cpu_stats.throughput_per_ms}});
     }
 
     printTable("Table 3: throughput of Merkle tree modules (GH200 spec)",

@@ -7,6 +7,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "core/TensorPcs.h"
 #include "curve/Msm.h"
 #include "encoder/SpielmanCode.h"
@@ -208,4 +211,35 @@ BENCHMARK(BM_GkrProveLayer)->DenseRange(6, 10, 2);
 } // namespace
 } // namespace bzk
 
-BENCHMARK_MAIN();
+// Custom main so `--json <path>` works like the table benches: it is
+// translated into google-benchmark's JSON reporter flags before
+// Initialize() consumes argv.
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> opts;
+    std::string out_flag, fmt_flag;
+    for (int i = 0; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+            out_flag = "--benchmark_out=" + std::string(argv[i + 1]);
+            fmt_flag = "--benchmark_out_format=json";
+            ++i;
+            continue;
+        }
+        opts.push_back(argv[i]);
+    }
+    if (!out_flag.empty()) {
+        opts.push_back(out_flag);
+        opts.push_back(fmt_flag);
+    }
+    std::vector<char *> cargs;
+    for (auto &s : opts)
+        cargs.push_back(s.data());
+    int cargc = static_cast<int>(cargs.size());
+    benchmark::Initialize(&cargc, cargs.data());
+    if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

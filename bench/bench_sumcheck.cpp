@@ -16,10 +16,12 @@ using namespace bzk;
 using namespace bzk::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     gpusim::Device dev(gpusim::DeviceSpec::gh200());
     Rng rng(0xdead02);
+    JsonBench json("bench_sumcheck", argc, argv);
+    json.meta("device", dev.spec().name);
 
     TablePrinter table({"Size", "Arkworks(CPU) p/ms", "Icicle(GPU) p/ms",
                         "Ours(GPU) p/ms", "vs CPU", "vs GPU"});
@@ -41,6 +43,12 @@ main()
                                  cpu_stats.throughput_per_ms),
                       fmtSpeedup(ours.throughput_per_ms /
                                  icicle.throughput_per_ms)});
+        json.addRow(fmtPow2(n),
+                    {{"ours_throughput_per_ms", ours.throughput_per_ms},
+                     {"icicle_throughput_per_ms",
+                      icicle.throughput_per_ms},
+                     {"cpu_throughput_per_ms",
+                      cpu_stats.throughput_per_ms}});
     }
 
     printTable("Table 4: throughput of sum-check modules (GH200 spec)",

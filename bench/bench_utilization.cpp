@@ -46,9 +46,11 @@ printTrace(const std::string &label, gpusim::Device &dev)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     Rng rng(0xdead12);
+    JsonBench json("bench_utilization", argc, argv);
+    json.meta("device", "3090Ti");
     std::printf("== Figure 9: GPU core utilization over time "
                 "(RTX 3090Ti spec) ==\n");
     std::printf("each strip: utilization from run start to finish "
@@ -100,5 +102,11 @@ main()
                   formatSig(b.utilization * 100, 3) + "%",
                   fmtThroughput(b.throughput_per_ms)});
     std::printf("%s", table.render().c_str());
+
+    json.addRow("merkle-batch",
+                {{"intuitive_utilization", a.utilization},
+                 {"pipelined_utilization", b.utilization},
+                 {"intuitive_throughput_per_ms", a.throughput_per_ms},
+                 {"pipelined_throughput_per_ms", b.throughput_per_ms}});
     return 0;
 }

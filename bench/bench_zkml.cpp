@@ -16,10 +16,12 @@ using namespace bzk;
 using namespace bzk::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     gpusim::Device dev(gpusim::DeviceSpec::gh200());
     Rng rng(0xdead11);
+    JsonBench json("bench_zkml", argc, argv);
+    json.meta("device", dev.spec().name);
 
     VerifiableMlService service(dev, rng);
     std::printf("model commitment: %s\n",
@@ -54,6 +56,12 @@ main()
                   formatSig(cpu_latency_s, 4), "this host, extrapolated"});
     table.addRow({"Ours (GH200 spec)", formatSig(throughput_s, 4),
                   formatSig(latency_s, 4), "simulated"});
+
+    json.addRow("vgg16",
+                {{"ours_throughput_per_s", throughput_s},
+                 {"ours_latency_s", latency_s},
+                 {"ours_ms_per_proof", ms_per_proof},
+                 {"cpu_latency_s", cpu_latency_s}});
 
     printTable("Table 11: verifiable ML (VGG-16, 32x32x3 inputs)", table,
                "Sub-second amortized proof generation: " +

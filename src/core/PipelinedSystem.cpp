@@ -7,6 +7,8 @@
 #include "gpusim/Calibration.h"
 #include "gpusim/FaultInjector.h"
 #include "merkle/GpuMerkle.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "util/Log.h"
 #include "util/Timer.h"
 
@@ -197,6 +199,7 @@ PipelinedZkpSystem::run(size_t batch, unsigned n_vars, Rng &rng)
     gpusim::FaultInjector *inj = dev_.faultInjector();
     size_t extra = 0; // retried tasks, appended to the batch
     double relocated_sum = 0.0;
+    size_t cycles_run = 0;
     for (size_t c = 0;; ++c) {
         size_t batch_eff = batch + extra;
         size_t cycles_eff = batch_eff + depth - 1;
@@ -232,6 +235,36 @@ PipelinedZkpSystem::run(size_t batch, unsigned n_vars, Rng &rng)
         k.mem_bytes = traffic_per_cycle;
         OpId op = dev_.launchKernel(compute, k, prev_load);
         prev_load = load;
+        ++cycles_run;
+
+        if (metrics_ || trace_) {
+            double t0 = dev_.opStart(op);
+            double t1 = dev_.opEnd(op);
+            int64_t cyc = static_cast<int64_t>(c);
+            if (metrics_)
+                metrics_
+                    ->histogram(
+                        "bzk_cycle_ms",
+                        {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500},
+                        "per-cycle wall time, ms")
+                    .observe(t1 - t0);
+            if (trace_) {
+                // The three module groups co-run on partitioned lanes
+                // for the whole cycle; each gets its own track so
+                // Perfetto shows the static split and any degraded
+                // stretching.
+                std::string tag = "[c" + std::to_string(c) + "]";
+                trace_->span("lane:encoder", "encoder" + tag, "encoder",
+                             t0, t1, cyc);
+                trace_->span("lane:merkle", "merkle" + tag, "merkle",
+                             t0, t1, cyc);
+                trace_->span("lane:sumcheck", "sumcheck" + tag,
+                             "sumcheck", t0, t1, cyc);
+                if (surv < 1.0)
+                    trace_->instant("faults", "lane-failure" + tag,
+                                    "fault", t0, cyc);
+            }
+        }
 
         // Root re-check on the staged Merkle layers of the task
         // admitted this cycle: detected corruption re-enqueues the task
@@ -241,6 +274,12 @@ PipelinedZkpSystem::run(size_t batch, unsigned n_vars, Rng &rng)
             ++result.corrupt_detected;
             ++result.retried_tasks;
             ++extra;
+            if (trace_)
+                trace_->instant("faults",
+                                "merkle-retry[c" + std::to_string(c) +
+                                    "]",
+                                "retry", dev_.opEnd(op),
+                                static_cast<int64_t>(c));
         }
 
         if (c + 1 >= depth)
@@ -273,6 +312,47 @@ PipelinedZkpSystem::run(size_t batch, unsigned n_vars, Rng &rng)
     result.cycle_ms = std::max(result.comp_ms_per_cycle,
                                dev_.copyDurationMs(model.h2d_bytes));
     result.h2d_bytes_per_cycle = model.h2d_bytes;
+
+    if (metrics_) {
+        metrics_->counter("bzk_cycles_total", "pipeline cycles run")
+            .add(static_cast<double>(cycles_run));
+        metrics_->counter("bzk_tasks_total", "proof tasks admitted")
+            .add(static_cast<double>(batch + extra));
+        metrics_
+            ->counter("bzk_degraded_cycles_total",
+                      "cycles run with failed lanes")
+            .add(static_cast<double>(result.degraded_cycles));
+        metrics_
+            ->counter("bzk_retried_tasks_total",
+                      "tasks re-proved after a failed root re-check")
+            .add(static_cast<double>(result.retried_tasks));
+        metrics_
+            ->counter("bzk_corrupt_detected_total",
+                      "corrupted staged layers caught")
+            .add(static_cast<double>(result.corrupt_detected));
+        metrics_
+            ->counter("bzk_h2d_bytes_total",
+                      "host-to-device bytes streamed")
+            .add(static_cast<double>(model.h2d_bytes) *
+                 static_cast<double>(batch + extra));
+        metrics_->gauge("bzk_utilization", "busy-lane fraction of makespan")
+            .set(result.stats.utilization);
+        metrics_
+            ->gauge("bzk_throughput_proofs_per_ms",
+                    "proofs per millisecond over the run")
+            .set(result.stats.throughput_per_ms);
+        metrics_
+            ->gauge("bzk_lane_split_encoder", "lanes held by the encoders")
+            .set(result.lanes_encoder);
+        metrics_
+            ->gauge("bzk_lane_split_merkle",
+                    "lanes held by the Merkle modules")
+            .set(result.lanes_merkle);
+        metrics_
+            ->gauge("bzk_lane_split_sumcheck",
+                    "lanes held by the sum-check modules")
+            .set(result.lanes_sumcheck);
+    }
 
     dev_.free(device_mem);
     return result;

@@ -26,6 +26,11 @@
 #include "gpusim/Device.h"
 #include "util/Rng.h"
 
+namespace bzk::obs {
+class MetricsRegistry;
+class TraceRecorder;
+} // namespace bzk::obs
+
 namespace bzk {
 
 /** Configuration of the batch system. */
@@ -130,6 +135,22 @@ class PipelinedZkpSystem
     PipelinedZkpSystem(gpusim::Device &dev, SystemOptions opt = {});
 
     /**
+     * Attach observability sinks (either may be nullptr, the default):
+     * @p metrics receives counters/gauges/histograms per run, @p trace
+     * receives per-cycle spans on the encoder / Merkle / sum-check lane
+     * tracks plus fault and retry instants. Both are pure observers —
+     * proofs and simulated times are bit-identical with and without
+     * them (pinned by test_obs, same discipline as the FaultInjector).
+     * Neither is owned.
+     */
+    void setObservability(obs::MetricsRegistry *metrics,
+                          obs::TraceRecorder *trace)
+    {
+        metrics_ = metrics;
+        trace_ = trace;
+    }
+
+    /**
      * Generate proofs for @p batch instances of a random circuit whose
      * constraint tables have 2^n_vars rows.
      */
@@ -138,6 +159,8 @@ class PipelinedZkpSystem
   private:
     gpusim::Device &dev_;
     SystemOptions opt_;
+    obs::MetricsRegistry *metrics_ = nullptr;
+    obs::TraceRecorder *trace_ = nullptr;
 };
 
 /**

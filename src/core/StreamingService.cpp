@@ -8,6 +8,7 @@
 
 #include "gpusim/Calibration.h"
 #include "gpusim/FaultInjector.h"
+#include "obs/Metrics.h"
 #include "util/Log.h"
 
 namespace bzk {
@@ -179,6 +180,42 @@ StreamingZkpService::run(const StreamingOptions &workload, Rng &rng) const
         last_completion > 0.0
             ? static_cast<double>(sojourns.size()) / last_completion
             : 0.0;
+
+    if (metrics_) {
+        metrics_
+            ->counter("bzk_stream_arrivals_total", "requests submitted")
+            .add(static_cast<double>(workload.num_requests));
+        metrics_
+            ->counter("bzk_stream_completed_total",
+                      "requests whose proof completed")
+            .add(static_cast<double>(result.completed));
+        metrics_
+            ->counter("bzk_stream_timed_out_total",
+                      "admission-timeout events")
+            .add(static_cast<double>(result.timed_out));
+        metrics_
+            ->counter("bzk_stream_retried_total",
+                      "re-submissions after timeouts")
+            .add(static_cast<double>(result.retried));
+        metrics_
+            ->counter("bzk_stream_shed_total",
+                      "arrivals rejected at a full queue")
+            .add(static_cast<double>(result.shed));
+        metrics_
+            ->gauge("bzk_stream_offered_load",
+                    "arrival rate over pipeline capacity")
+            .set(result.offered_load);
+        metrics_
+            ->gauge("bzk_stream_mean_queue",
+                    "time-averaged admission queue length")
+            .set(result.mean_queue);
+        auto &sojourn_hist = metrics_->histogram(
+            "bzk_stream_sojourn_ms",
+            {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000},
+            "arrival-to-completion time, ms");
+        for (double s : sojourns)
+            sojourn_hist.observe(s);
+    }
     return result;
 }
 

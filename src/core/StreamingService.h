@@ -113,6 +113,14 @@ class StreamingZkpService
     }
 
     /**
+     * Attach a metrics registry (nullptr detaches, the default). Each
+     * run() adds request counters (arrivals/completions/timeouts/
+     * retries/shed) and a sojourn-time histogram. Pure observer: the
+     * simulated results are identical with and without it. Not owned.
+     */
+    void setMetrics(obs::MetricsRegistry *metrics) { metrics_ = metrics; }
+
+    /**
      * Simulate @p workload against the pipeline's steady-state cycle.
      * Deterministic given @p rng's seed.
      */
@@ -121,6 +129,7 @@ class StreamingZkpService
   private:
     gpusim::Device &dev_;
     SystemOptions system_opt_;
+    obs::MetricsRegistry *metrics_ = nullptr;
 };
 
 } // namespace bzk

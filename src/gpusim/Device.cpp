@@ -6,6 +6,7 @@
 
 #include "gpusim/Calibration.h"
 #include "gpusim/FaultInjector.h"
+#include "obs/Trace.h"
 #include "util/Log.h"
 
 namespace bzk::gpusim {
@@ -143,6 +144,25 @@ Device::finishOp(OpRecord record, StreamId stream)
     record.stream = stream;
     now_ms_ = std::max(now_ms_, record.end_ms);
     stream_tail_[stream] = record.end_ms;
+    if (recorder_) {
+        std::string track;
+        const char *cat;
+        switch (record.kind) {
+          case OpRecord::Kind::Kernel:
+            track = "stream:" + std::to_string(stream);
+            cat = "kernel";
+            break;
+          case OpRecord::Kind::CopyH2D:
+            track = "copy:h2d";
+            cat = "h2d";
+            break;
+          default:
+            track = "copy:d2h";
+            cat = "d2h";
+        }
+        recorder_->span(track, record.name, cat, record.start_ms,
+                        record.end_ms);
+    }
     ops_.push_back(std::move(record));
     return static_cast<OpId>(ops_.size() - 1);
 }

@@ -31,6 +31,10 @@
 
 #include "gpusim/DeviceSpec.h"
 
+namespace bzk::obs {
+class TraceRecorder;
+}
+
 namespace bzk::gpusim {
 
 class FaultInjector;
@@ -209,6 +213,26 @@ class Device
 
     /// @}
 
+    /// @name Observability
+    /// @{
+
+    /**
+     * Attach (or detach with nullptr) a trace recorder. While attached,
+     * every resolved op is mirrored as a span on a per-stream (or
+     * copy-engine) track. The recorder is a pure observer: simulated
+     * times, op records and memory accounting are bit-identical with
+     * and without one (pinned by test_obs). Not owned.
+     */
+    void setTraceRecorder(obs::TraceRecorder *recorder)
+    {
+        recorder_ = recorder;
+    }
+
+    /** The attached recorder, or nullptr. */
+    obs::TraceRecorder *traceRecorder() const { return recorder_; }
+
+    /// @}
+
   private:
     /** Earliest time >= t0 at which @p lanes are free for @p dur ms. */
     double earliestComputeStart(double t0, double lanes, double dur) const;
@@ -233,6 +257,7 @@ class Device
     uint64_t peak_bytes_ = 0;
 
     FaultInjector *injector_ = nullptr;
+    obs::TraceRecorder *recorder_ = nullptr;
 };
 
 } // namespace bzk::gpusim

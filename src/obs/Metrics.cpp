@@ -1,0 +1,254 @@
+#include "obs/Metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/Log.h"
+
+namespace bzk::obs {
+
+namespace {
+
+/** Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. */
+bool
+validMetricName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    for (size_t i = 0; i < name.size(); ++i) {
+        char c = name[i];
+        bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                     c == '_' || c == ':';
+        bool digit = c >= '0' && c <= '9';
+        if (!(alpha || (digit && i > 0)))
+            return false;
+    }
+    return true;
+}
+
+void
+checkName(const std::string &name)
+{
+    if (!validMetricName(name))
+        warn("MetricsRegistry: '%s' is not a valid Prometheus metric "
+             "name; exporters may reject it",
+             name.c_str());
+}
+
+/** Minimal JSON string escaping (names here are plain identifiers). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+formatMetricValue(double value)
+{
+    if (std::isfinite(value) && value == std::floor(value) &&
+        std::fabs(value) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", value);
+        return buf;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.12g", value);
+    return buf;
+}
+
+void
+Counter::add(double delta)
+{
+    if (delta < 0.0) {
+        warn("Counter: ignoring negative delta %g (counters are "
+             "monotonic)",
+             delta);
+        return;
+    }
+    value_ += delta;
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds))
+{
+    if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+        std::adjacent_find(bounds_.begin(), bounds_.end()) !=
+            bounds_.end())
+        fatal("Histogram: bucket bounds must be strictly increasing");
+    counts_.assign(bounds_.size() + 1, 0);
+}
+
+void
+Histogram::observe(double value)
+{
+    size_t i = static_cast<size_t>(
+        std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+        bounds_.begin());
+    ++counts_[i];
+    ++count_;
+    sum_ += value;
+}
+
+uint64_t
+Histogram::bucketCount(size_t i) const
+{
+    if (i >= counts_.size())
+        panic("Histogram: bucket %zu out of range (%zu buckets)", i,
+              counts_.size());
+    return counts_[i];
+}
+
+uint64_t
+Histogram::cumulativeCount(size_t i) const
+{
+    if (i >= counts_.size())
+        panic("Histogram: bucket %zu out of range (%zu buckets)", i,
+              counts_.size());
+    uint64_t total = 0;
+    for (size_t b = 0; b <= i; ++b)
+        total += counts_[b];
+    return total;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name, const std::string &help)
+{
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+        checkName(name);
+        it = counters_.emplace(name, NamedCounter{}).first;
+        it->second.help = help;
+    }
+    return it->second.instrument;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name, const std::string &help)
+{
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+        checkName(name);
+        it = gauges_.emplace(name, NamedGauge{}).first;
+        it->second.help = help;
+    }
+    return it->second.instrument;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           std::vector<double> upper_bounds,
+                           const std::string &help)
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        checkName(name);
+        it = histograms_
+                 .emplace(name, NamedHistogram(std::move(upper_bounds)))
+                 .first;
+        it->second.help = help;
+    }
+    return it->second.instrument;
+}
+
+bool
+MetricsRegistry::has(const std::string &name) const
+{
+    return counters_.count(name) > 0 || gauges_.count(name) > 0 ||
+           histograms_.count(name) > 0;
+}
+
+size_t
+MetricsRegistry::size() const
+{
+    return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"counters\":{";
+    bool first = true;
+    for (const auto &[name, c] : counters_) {
+        os << (first ? "" : ",") << "\"" << jsonEscape(name)
+           << "\":" << formatMetricValue(c.instrument.value());
+        first = false;
+    }
+    os << "},\"gauges\":{";
+    first = true;
+    for (const auto &[name, g] : gauges_) {
+        os << (first ? "" : ",") << "\"" << jsonEscape(name)
+           << "\":" << formatMetricValue(g.instrument.value());
+        first = false;
+    }
+    os << "},\"histograms\":{";
+    first = true;
+    for (const auto &[name, h] : histograms_) {
+        const Histogram &hist = h.instrument;
+        os << (first ? "" : ",") << "\"" << jsonEscape(name)
+           << "\":{\"buckets\":[";
+        for (size_t b = 0; b <= hist.bounds().size(); ++b) {
+            os << (b ? "," : "") << "{\"le\":";
+            if (b < hist.bounds().size())
+                os << formatMetricValue(hist.bounds()[b]);
+            else
+                os << "\"+Inf\"";
+            os << ",\"count\":" << hist.bucketCount(b) << "}";
+        }
+        os << "],\"sum\":" << formatMetricValue(hist.sum())
+           << ",\"count\":" << hist.count() << "}";
+        first = false;
+    }
+    os << "}}";
+    return os.str();
+}
+
+std::string
+MetricsRegistry::toPrometheus() const
+{
+    std::ostringstream os;
+    auto header = [&os](const std::string &name, const std::string &help,
+                        const char *type) {
+        if (!help.empty())
+            os << "# HELP " << name << " " << help << "\n";
+        os << "# TYPE " << name << " " << type << "\n";
+    };
+    for (const auto &[name, c] : counters_) {
+        header(name, c.help, "counter");
+        os << name << " " << formatMetricValue(c.instrument.value())
+           << "\n";
+    }
+    for (const auto &[name, g] : gauges_) {
+        header(name, g.help, "gauge");
+        os << name << " " << formatMetricValue(g.instrument.value())
+           << "\n";
+    }
+    for (const auto &[name, h] : histograms_) {
+        const Histogram &hist = h.instrument;
+        header(name, h.help, "histogram");
+        for (size_t b = 0; b <= hist.bounds().size(); ++b) {
+            os << name << "_bucket{le=\"";
+            if (b < hist.bounds().size())
+                os << formatMetricValue(hist.bounds()[b]);
+            else
+                os << "+Inf";
+            os << "\"} " << hist.cumulativeCount(b) << "\n";
+        }
+        os << name << "_sum " << formatMetricValue(hist.sum()) << "\n";
+        os << name << "_count " << hist.count() << "\n";
+    }
+    return os.str();
+}
+
+} // namespace bzk::obs

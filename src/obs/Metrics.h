@@ -1,0 +1,179 @@
+#ifndef BZK_OBS_METRICS_H_
+#define BZK_OBS_METRICS_H_
+
+/**
+ * @file
+ * Metrics registry for the proof service: counters, gauges and
+ * fixed-bucket histograms, exportable as JSON and as Prometheus text
+ * exposition format.
+ *
+ * The registry is the pull-side half of the observability layer (the
+ * push side is obs::TraceRecorder): systems update named instruments
+ * while they run, and an operator scrapes the whole registry at any
+ * point. Instruments are created on first use and live as long as the
+ * registry; returned references stay valid because instruments are
+ * stored behind stable heap nodes (std::map).
+ *
+ * Everything here is plain bookkeeping — no clocks, no threads, no
+ * global state — so a run that updates a registry is exactly as
+ * deterministic as one that does not.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bzk::obs {
+
+/** Monotonically increasing sum (Prometheus `counter`). */
+class Counter
+{
+  public:
+    /** Add @p delta (negative deltas are ignored with a warning). */
+    void add(double delta = 1.0);
+
+    /** Current total. */
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Last-write-wins instantaneous value (Prometheus `gauge`). */
+class Gauge
+{
+  public:
+    void set(double value) { value_ = value; }
+
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * Fixed-bucket histogram (Prometheus `histogram`). Bucket upper bounds
+ * are set at creation and never change; an implicit +Inf bucket catches
+ * everything above the last bound. A sample lands in the first bucket
+ * whose upper bound is >= the sample (Prometheus `le` semantics).
+ */
+class Histogram
+{
+  public:
+    /** @param upper_bounds strictly increasing finite bucket bounds. */
+    explicit Histogram(std::vector<double> upper_bounds);
+
+    /** Fold one sample into the histogram. */
+    void observe(double value);
+
+    /** Finite bucket upper bounds (excludes the implicit +Inf). */
+    const std::vector<double> &bounds() const { return bounds_; }
+
+    /**
+     * Non-cumulative count of samples in bucket @p i, where
+     * i == bounds().size() addresses the +Inf bucket.
+     */
+    uint64_t bucketCount(size_t i) const;
+
+    /** Cumulative count of samples <= bounds()[i] (Prometheus `le`). */
+    uint64_t cumulativeCount(size_t i) const;
+
+    /** Total number of samples observed. */
+    uint64_t count() const { return count_; }
+
+    /** Sum of all observed samples. */
+    double sum() const { return sum_; }
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<uint64_t> counts_;
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Named instrument store. Lookup creates the instrument on first use;
+ * later lookups with the same name return the same instrument (a
+ * histogram's buckets are fixed by the first call). Export order is the
+ * lexicographic name order, so exports are golden-testable.
+ */
+class MetricsRegistry
+{
+  public:
+    /** Find or create a counter. @p help is kept from the first call. */
+    Counter &counter(const std::string &name, const std::string &help = "");
+
+    /** Find or create a gauge. */
+    Gauge &gauge(const std::string &name, const std::string &help = "");
+
+    /** Find or create a histogram with the given finite bucket bounds. */
+    Histogram &histogram(const std::string &name,
+                         std::vector<double> upper_bounds,
+                         const std::string &help = "");
+
+    /** True when an instrument of any kind with @p name exists. */
+    bool has(const std::string &name) const;
+
+    /** Number of registered instruments across all kinds. */
+    size_t size() const;
+
+    /**
+     * JSON export:
+     * {"counters":{name:value,...},"gauges":{...},
+     *  "histograms":{name:{"buckets":[{"le":b,"count":n},...],
+     *                      "sum":s,"count":c},...}}
+     * Histogram bucket counts are non-cumulative; the final bucket's
+     * "le" is the string "+Inf".
+     */
+    std::string toJson() const;
+
+    /**
+     * Prometheus text exposition format (one HELP/TYPE header per
+     * instrument; histogram buckets are cumulative with an +Inf bucket,
+     * plus _sum and _count series).
+     */
+    std::string toPrometheus() const;
+
+  private:
+    struct Described
+    {
+        std::string help;
+    };
+
+    struct NamedCounter : Described
+    {
+        Counter instrument;
+    };
+
+    struct NamedGauge : Described
+    {
+        Gauge instrument;
+    };
+
+    struct NamedHistogram : Described
+    {
+        Histogram instrument;
+
+        explicit NamedHistogram(std::vector<double> bounds)
+            : instrument(std::move(bounds))
+        {
+        }
+    };
+
+    std::map<std::string, NamedCounter> counters_;
+    std::map<std::string, NamedGauge> gauges_;
+    std::map<std::string, NamedHistogram> histograms_;
+};
+
+/**
+ * Render @p value the way the exporters do: integers without a decimal
+ * point, everything else with up to 12 significant digits. Exposed so
+ * golden tests and external emitters agree with the registry.
+ */
+std::string formatMetricValue(double value);
+
+} // namespace bzk::obs
+
+#endif // BZK_OBS_METRICS_H_

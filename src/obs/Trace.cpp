@@ -1,0 +1,155 @@
+#include "obs/Trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/Log.h"
+
+namespace bzk::obs {
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+size_t
+TraceRecorder::trackId(const std::string &track)
+{
+    auto it = std::find(track_order_.begin(), track_order_.end(), track);
+    if (it != track_order_.end())
+        return static_cast<size_t>(it - track_order_.begin());
+    track_order_.push_back(track);
+    return track_order_.size() - 1;
+}
+
+void
+TraceRecorder::span(const std::string &track, const std::string &name,
+                    const std::string &category, double start_ms,
+                    double end_ms, int64_t cycle)
+{
+    if (end_ms < start_ms) {
+        warn("TraceRecorder: span '%s' ends (%g) before it starts (%g); "
+             "dropping it",
+             name.c_str(), end_ms, start_ms);
+        return;
+    }
+    trackId(track);
+    spans_.push_back({track, name, category, start_ms, end_ms, cycle});
+}
+
+void
+TraceRecorder::instant(const std::string &track, const std::string &name,
+                       const std::string &category, double t_ms,
+                       int64_t cycle)
+{
+    trackId(track);
+    instants_.push_back({track, name, category, t_ms, cycle});
+}
+
+size_t
+TraceRecorder::spanCount(const std::string &category) const
+{
+    size_t n = 0;
+    for (const auto &s : spans_)
+        n += s.category == category;
+    return n;
+}
+
+size_t
+TraceRecorder::maxNestingDepth(const std::string &track) const
+{
+    // Sweep the span boundaries; ends sort before same-time starts so
+    // back-to-back spans do not count as overlapping.
+    std::vector<std::pair<double, int>> events;
+    for (const auto &s : spans_) {
+        if (s.track != track)
+            continue;
+        events.push_back({s.start_ms, +1});
+        events.push_back({s.end_ms, -1});
+    }
+    std::sort(events.begin(), events.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.first != b.first)
+                      return a.first < b.first;
+                  return a.second < b.second;
+              });
+    size_t depth = 0, max_depth = 0;
+    for (const auto &[t, d] : events) {
+        (void)t;
+        if (d > 0)
+            max_depth = std::max(max_depth, ++depth);
+        else
+            --depth;
+    }
+    return max_depth;
+}
+
+std::string
+TraceRecorder::chromeTraceJson() const
+{
+    std::ostringstream os;
+    os << "[";
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            os << ",";
+        first = false;
+    };
+    for (size_t tid = 0; tid < track_order_.size(); ++tid) {
+        sep();
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+           << "\"tid\":" << tid << ",\"args\":{\"name\":\""
+           << jsonEscape(track_order_[tid]) << "\"}}";
+    }
+    auto tid_of = [this](const std::string &track) {
+        return std::find(track_order_.begin(), track_order_.end(),
+                         track) -
+               track_order_.begin();
+    };
+    char buf[64];
+    for (const auto &s : spans_) {
+        sep();
+        os << "{\"name\":\"" << jsonEscape(s.name) << "\",\"cat\":\""
+           << jsonEscape(s.category) << "\",\"ph\":\"X\",\"ts\":";
+        std::snprintf(buf, sizeof(buf), "%.3f", s.start_ms * 1e3);
+        os << buf << ",\"dur\":";
+        std::snprintf(buf, sizeof(buf), "%.3f",
+                      (s.end_ms - s.start_ms) * 1e3);
+        os << buf << ",\"pid\":0,\"tid\":" << tid_of(s.track)
+           << ",\"args\":{\"cycle\":" << s.cycle << "}}";
+    }
+    for (const auto &i : instants_) {
+        sep();
+        os << "{\"name\":\"" << jsonEscape(i.name) << "\",\"cat\":\""
+           << jsonEscape(i.category)
+           << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+        std::snprintf(buf, sizeof(buf), "%.3f", i.t_ms * 1e3);
+        os << buf << ",\"pid\":0,\"tid\":" << tid_of(i.track)
+           << ",\"args\":{\"cycle\":" << i.cycle << "}}";
+    }
+    os << "]";
+    return os.str();
+}
+
+void
+TraceRecorder::clear()
+{
+    spans_.clear();
+    instants_.clear();
+    track_order_.clear();
+}
+
+} // namespace bzk::obs

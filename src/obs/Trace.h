@@ -1,0 +1,106 @@
+#ifndef BZK_OBS_TRACE_H_
+#define BZK_OBS_TRACE_H_
+
+/**
+ * @file
+ * Per-cycle trace recording for the pipelined proof service.
+ *
+ * A TraceRecorder collects spans (named intervals on named tracks) and
+ * instants (zero-duration markers) and exports them in the Chrome
+ * trace-event JSON format, loadable in chrome://tracing or Perfetto.
+ * Producers are the simulated Device (kernel and copy-engine ops) and
+ * the systems above it (per-cycle encoder / Merkle / sum-check module
+ * spans, fault and retry events).
+ *
+ * The recorder is a pure observer behind a null-object default: every
+ * instrumentation site checks a pointer that defaults to nullptr, so a
+ * run with no recorder attached is bit-identical to one predating this
+ * header (pinned by test_obs).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bzk::obs {
+
+/** One named interval on a track. */
+struct TraceSpan
+{
+    /** Track (Chrome "thread") the span renders on, e.g. "lane:merkle". */
+    std::string track;
+    /** Display name, e.g. "merkle[c12]". */
+    std::string name;
+    /** Category for filtering: encoder, merkle, sumcheck, h2d, ... */
+    std::string category;
+    double start_ms = 0.0;
+    double end_ms = 0.0;
+    /** Pipeline cycle the span belongs to; -1 when not cycle-scoped. */
+    int64_t cycle = -1;
+};
+
+/** One zero-duration marker (fault, retry, admission, ...). */
+struct TraceInstant
+{
+    std::string track;
+    std::string name;
+    std::string category;
+    double t_ms = 0.0;
+    int64_t cycle = -1;
+};
+
+/** Collects spans/instants and renders Chrome trace-event JSON. */
+class TraceRecorder
+{
+  public:
+    /** Record a completed span; @p end_ms must be >= @p start_ms. */
+    void span(const std::string &track, const std::string &name,
+              const std::string &category, double start_ms, double end_ms,
+              int64_t cycle = -1);
+
+    /** Record an instantaneous event. */
+    void instant(const std::string &track, const std::string &name,
+                 const std::string &category, double t_ms,
+                 int64_t cycle = -1);
+
+    const std::vector<TraceSpan> &spans() const { return spans_; }
+
+    const std::vector<TraceInstant> &instants() const
+    {
+        return instants_;
+    }
+
+    /** Spans recorded whose category equals @p category. */
+    size_t spanCount(const std::string &category) const;
+
+    /**
+     * Deepest stack of simultaneously open spans on @p track (1 for
+     * disjoint spans, 0 for an unknown track). Nested module spans and
+     * pipeline overlap both show up here.
+     */
+    size_t maxNestingDepth(const std::string &track) const;
+
+    /**
+     * Chrome trace-event JSON: a metadata thread_name record per track
+     * (tracks are numbered in first-appearance order), then one
+     * complete ("ph":"X") event per span and one instant ("ph":"i")
+     * event per marker, timestamps in microseconds.
+     */
+    std::string chromeTraceJson() const;
+
+    /** Drop everything recorded so far. */
+    void clear();
+
+  private:
+    /** Stable track -> tid mapping in first-appearance order. */
+    size_t trackId(const std::string &track);
+
+    std::vector<TraceSpan> spans_;
+    std::vector<TraceInstant> instants_;
+    std::vector<std::string> track_order_;
+};
+
+} // namespace bzk::obs
+
+#endif // BZK_OBS_TRACE_H_

@@ -36,7 +36,9 @@ RunningStats::variance() const
 double
 RunningStats::stddev() const
 {
-    return std::sqrt(variance());
+    // variance() is 0 below two samples and can dip epsilon-negative
+    // from catastrophic cancellation; clamp so stddev is never NaN.
+    return std::sqrt(std::max(0.0, variance()));
 }
 
 TablePrinter::TablePrinter(std::vector<std::string> headers)
@@ -52,6 +54,10 @@ TablePrinter::addRow(std::vector<std::string> cells)
              "columns; dropping the extras (first dropped: '%s')",
              cells.size(), headers_.size(),
              cells[headers_.size()].c_str());
+    else if (cells.size() < headers_.size())
+        warn("TablePrinter: row has %zu cells but the table has %zu "
+             "columns; padding the missing cells blank",
+             cells.size(), headers_.size());
     cells.resize(headers_.size());
     rows_.push_back(std::move(cells));
 }

@@ -68,9 +68,11 @@ class TablePrinter
     explicit TablePrinter(std::vector<std::string> headers);
 
     /**
-     * Append one row. Missing cells are padded blank; cells beyond the
-     * header count are dropped with a warning (a silent drop hid more
-     * than one malformed benchmark row).
+     * Append one row. Any width mismatch against the headers warns (a
+     * silent drop hid more than one malformed benchmark row): missing
+     * cells are padded blank, cells beyond the header count are
+     * dropped. Rows meant to render blank cells should pass explicit
+     * "" entries.
      */
     void addRow(std::vector<std::string> cells);
 

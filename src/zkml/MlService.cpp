@@ -1,6 +1,7 @@
 #include "zkml/MlService.h"
 
 #include "core/Snark.h"
+#include "obs/Metrics.h"
 #include "util/Log.h"
 #include "zkml/CircuitCompiler.h"
 
@@ -48,7 +49,18 @@ VerifiableMlService::serveBatch(size_t batch, Rng &rng,
     SystemOptions opt = opt_;
     opt.functional = 0;
     PipelinedZkpSystem system(dev_, opt);
+    system.setObservability(metrics_, trace_);
     result.proving = system.run(batch, n_vars_, rng);
+
+    if (metrics_) {
+        auto &reg = *metrics_;
+        reg.counter("bzk_ml_predictions_total",
+                    "customer predictions served")
+            .add(static_cast<double>(batch));
+        reg.counter("bzk_ml_functional_proofs_total",
+                    "real reduced-CNN proofs generated")
+            .add(static_cast<double>(functional_proofs));
+    }
 
     // Optionally exercise the full Figure 8 loop cryptographically on
     // a reduced CNN: real circuit, real proof, real verification.

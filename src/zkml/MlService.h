@@ -56,6 +56,18 @@ class VerifiableMlService
     unsigned circuitVars() const { return n_vars_; }
 
     /**
+     * Attach observability sinks, forwarded to the pipelined system
+     * each serveBatch() constructs (either may be nullptr, the
+     * default). Pure observers; not owned.
+     */
+    void setObservability(obs::MetricsRegistry *metrics,
+                          obs::TraceRecorder *trace)
+    {
+        metrics_ = metrics;
+        trace_ = trace;
+    }
+
+    /**
      * Prediction + proving phase: serve @p batch customer images and
      * batch-generate their proofs through the pipelined system.
      * @param functional_proofs additionally generate (and verify) this
@@ -71,6 +83,8 @@ class VerifiableMlService
     Vgg16 model_;
     Digest model_root_;
     unsigned n_vars_;
+    obs::MetricsRegistry *metrics_ = nullptr;
+    obs::TraceRecorder *trace_ = nullptr;
 };
 
 } // namespace bzk

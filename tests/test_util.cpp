@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <set>
 
 #include "util/Hex.h"
@@ -142,7 +143,21 @@ TEST(RunningStats, SingleSampleVarianceZero)
     RunningStats s;
     s.add(5.0);
     EXPECT_EQ(s.variance(), 0.0);
+    // stddev() must be exactly 0 (not NaN) for a single sample: the
+    // count-1 Bessel denominator would be 0 without the count guard.
     EXPECT_EQ(s.stddev(), 0.0);
+    EXPECT_FALSE(std::isnan(s.stddev()));
+}
+
+TEST(RunningStats, StddevNeverNan)
+{
+    // Identical large samples drive Welford's m2 through catastrophic
+    // cancellation; stddev() clamps at 0 instead of sqrt(-epsilon).
+    RunningStats s;
+    for (int i = 0; i < 100; ++i)
+        s.add(1e15 + 0.1);
+    EXPECT_FALSE(std::isnan(s.stddev()));
+    EXPECT_GE(s.stddev(), 0.0);
 }
 
 TEST(TablePrinter, RendersAligned)
@@ -154,12 +169,26 @@ TEST(TablePrinter, RendersAligned)
     EXPECT_NE(out.find("| 1"), std::string::npos);
 }
 
-TEST(TablePrinter, PadsMissingCells)
+TEST(TablePrinter, PadsMissingCellsAndWarns)
 {
     TablePrinter t({"a", "b", "c"});
+    ::testing::internal::CaptureStderr();
     t.addRow({"only"});
+    std::string err = ::testing::internal::GetCapturedStderr();
+    // A short row is as suspicious as a long one: it used to be
+    // accepted silently, hiding dropped benchmark columns.
+    EXPECT_NE(err.find("TablePrinter"), std::string::npos);
+    EXPECT_NE(err.find("padding"), std::string::npos);
     std::string out = t.render();
     EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(TablePrinter, ExplicitBlankCellsAreSilent)
+{
+    TablePrinter t({"a", "b", "c"});
+    ::testing::internal::CaptureStderr();
+    t.addRow({"1", "", ""});
+    EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
 }
 
 TEST(TablePrinter, WarnsOnExtraCellsAndDropsThem)

@@ -12,8 +12,14 @@
  *   batchzk simulate [--gpu NAME] [--log-gates N] [--batch B]
  *       run the pipelined batch system on a simulated GPU and print
  *       throughput / latency / memory;
- *   batchzk trace   [--gpu NAME] [--log-gates N] [--out FILE]
- *       dump a Chrome trace (chrome://tracing) of one batch run;
+ *   batchzk trace   [FILE] [--gpu NAME] [--log-gates N] [--out FILE]
+ *       record one batch run with a TraceRecorder and dump a Chrome
+ *       trace (chrome://tracing / Perfetto) with per-module lane
+ *       spans, device op spans, and fault/retry instants;
+ *   batchzk metrics [--gpu NAME] [--log-gates N] [--batch B]
+ *                   [--format prom|json] [--out FILE]
+ *       run one batch with a MetricsRegistry attached and print the
+ *       collected metrics in Prometheus text (default) or JSON;
  *   batchzk chaos   --faults PLAN [--gpu NAME] [--log-gates N]
  *                   [--batch B] [--seed S]
  *       run the batch system healthy and again under a deterministic
@@ -33,6 +39,8 @@
 #include "core/Snark.h"
 #include "gpusim/Device.h"
 #include "gpusim/FaultInjector.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "util/Log.h"
 #include "util/Stats.h"
 #include "util/Timer.h"
@@ -81,6 +89,7 @@ struct Args
     std::string system = "table"; // or "full" (wiring-sound)
     size_t batch = 128;
     std::string faults;
+    std::string format = "prom"; // metrics output: "prom" or "json"
 };
 
 bool
@@ -89,7 +98,15 @@ parse(int argc, char **argv, Args &args)
     if (argc < 2)
         return false;
     args.command = argv[1];
-    for (int i = 2; i + 1 < argc; i += 2) {
+    int first_opt = 2;
+    // trace/metrics accept a positional output path:
+    //   batchzk trace /tmp/t.json
+    if ((args.command == "trace" || args.command == "metrics") &&
+        argc > 2 && argv[2][0] != '-') {
+        args.out = argv[2];
+        first_opt = 3;
+    }
+    for (int i = first_opt; i + 1 < argc; i += 2) {
         std::string key = argv[i];
         std::string value = argv[i + 1];
         if (key == "--log-gates")
@@ -108,6 +125,8 @@ parse(int argc, char **argv, Args &args)
             args.system = value;
         else if (key == "--faults")
             args.faults = value;
+        else if (key == "--format")
+            args.format = value;
         else
             return false;
     }
@@ -321,19 +340,54 @@ int
 cmdTrace(const Args &args)
 {
     gpusim::Device dev(specByName(args.gpu));
+    obs::TraceRecorder recorder;
+    dev.setTraceRecorder(&recorder);
     SystemOptions opt;
     opt.functional = 0;
+    opt.seed = args.seed;
     PipelinedZkpSystem system(dev, opt);
+    system.setObservability(nullptr, &recorder);
     Rng rng(args.seed);
     system.run(std::min<size_t>(args.batch, 64), args.log_gates, rng);
-    std::string json = dev.chromeTraceJson();
+    std::string json = recorder.chromeTraceJson();
     std::string path = args.out == "proof.bzkp" ? "trace.json" : args.out;
     std::ofstream out(path);
     if (!out)
         fatal("cannot open '%s' for writing", path.c_str());
     out << json;
-    std::printf("wrote %s (%zu bytes) — load in chrome://tracing\n",
-                path.c_str(), json.size());
+    std::printf("wrote %s (%zu bytes, %zu spans, %zu instants) — load "
+                "in chrome://tracing or https://ui.perfetto.dev\n",
+                path.c_str(), json.size(), recorder.spans().size(),
+                recorder.instants().size());
+    return 0;
+}
+
+int
+cmdMetrics(const Args &args)
+{
+    if (args.format != "prom" && args.format != "json")
+        fatal("--format must be 'prom' or 'json'");
+    gpusim::Device dev(specByName(args.gpu));
+    obs::MetricsRegistry metrics;
+    SystemOptions opt;
+    opt.functional = 0;
+    opt.seed = args.seed;
+    PipelinedZkpSystem system(dev, opt);
+    system.setObservability(&metrics, nullptr);
+    Rng rng(args.seed);
+    system.run(args.batch, args.log_gates, rng);
+    std::string text = args.format == "json" ? metrics.toJson()
+                                             : metrics.toPrometheus();
+    if (args.out != "proof.bzkp") {
+        std::ofstream out(args.out);
+        if (!out)
+            fatal("cannot open '%s' for writing", args.out.c_str());
+        out << text;
+        std::printf("wrote %s (%zu bytes, %zu metrics)\n",
+                    args.out.c_str(), text.size(), metrics.size());
+    } else {
+        std::fputs(text.c_str(), stdout);
+    }
     return 0;
 }
 
@@ -443,10 +497,10 @@ main(int argc, char **argv)
     if (!parse(argc, argv, args)) {
         std::fprintf(
             stderr,
-            "usage: batchzk <prove|verify|info|simulate|trace|chaos> "
-            "[--log-gates N] [--seed S] [--system table|full] "
+            "usage: batchzk <prove|verify|info|simulate|trace|metrics|"
+            "chaos> [--log-gates N] [--seed S] [--system table|full] "
             "[--in FILE] [--out FILE] [--gpu NAME] [--batch B] "
-            "[--faults PLAN]\n");
+            "[--faults PLAN] [--format prom|json]\n");
         return 2;
     }
     if (args.command == "prove")
@@ -459,6 +513,8 @@ main(int argc, char **argv)
         return cmdSimulate(args);
     if (args.command == "trace")
         return cmdTrace(args);
+    if (args.command == "metrics")
+        return cmdMetrics(args);
     if (args.command == "chaos")
         return cmdChaos(args);
     std::fprintf(stderr, "unknown command '%s'\n", args.command.c_str());

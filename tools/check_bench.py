@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Compare a bench --json dump against its checked-in baseline.
+
+Usage:
+    check_bench.py --baseline bench/baselines/bench_system.json \
+                   --current /tmp/bench_system.json \
+                   [--tolerance 0.25]
+
+Rules (stdlib only; exit 0 = pass, 1 = regression, 2 = usage error):
+
+  * Every (row, metric) pair present in the BASELINE must exist in the
+    current dump. Extra rows/metrics in the current dump are ignored,
+    so benches can grow without breaking CI.
+  * Metric direction is inferred from its name: names containing
+    "throughput", "speedup", "scaling", "utilization", or ending in
+    "_per_s"/"_per_ms" are higher-is-better; everything else
+    (latencies in _ms/_s, byte counts) is lower-is-better.
+  * A metric fails when it is worse than the baseline by more than
+    --tolerance (default 25%). Improvements never fail.
+  * Overlap inversion: any row carrying comm_ms, comp_ms, AND
+    overall_ms in the CURRENT dump must satisfy
+    overall_ms <= max(comm_ms, comp_ms) * 1.25 — the pipelined
+    system's defining property that transfers hide behind compute.
+"""
+
+import argparse
+import json
+import sys
+
+HIGHER_BETTER_TOKENS = ("throughput", "speedup", "scaling",
+                        "utilization")
+HIGHER_BETTER_SUFFIXES = ("_per_s", "_per_ms")
+OVERLAP_SLACK = 1.25
+
+
+def is_higher_better(metric):
+    name = metric.lower()
+    if any(tok in name for tok in HIGHER_BETTER_TOKENS):
+        return True
+    return name.endswith(HIGHER_BETTER_SUFFIXES)
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for row in doc.get("rows", []):
+        rows[row["label"]] = row.get("metrics", {})
+    return doc, rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional regression (default 0.25)")
+    args = ap.parse_args()
+
+    try:
+        base_doc, base_rows = load_rows(args.baseline)
+        cur_doc, cur_rows = load_rows(args.current)
+    except (OSError, json.JSONDecodeError, KeyError) as e:
+        print(f"check_bench: cannot load inputs: {e}", file=sys.stderr)
+        return 2
+
+    bench = base_doc.get("bench", "?")
+    failures = []
+    checked = 0
+
+    for label, base_metrics in base_rows.items():
+        if label not in cur_rows:
+            failures.append(f"row '{label}' missing from current dump")
+            continue
+        cur_metrics = cur_rows[label]
+        for metric, base_val in base_metrics.items():
+            if metric not in cur_metrics:
+                failures.append(
+                    f"{label}: metric '{metric}' missing from current "
+                    "dump")
+                continue
+            cur_val = cur_metrics[metric]
+            checked += 1
+            if base_val == 0:
+                continue
+            if is_higher_better(metric):
+                ratio = cur_val / base_val
+                if ratio < 1.0 - args.tolerance:
+                    failures.append(
+                        f"{label}.{metric}: {cur_val:.6g} vs baseline "
+                        f"{base_val:.6g} ({(1 - ratio) * 100:.1f}% "
+                        "worse, higher-is-better)")
+            else:
+                ratio = cur_val / base_val
+                if ratio > 1.0 + args.tolerance:
+                    failures.append(
+                        f"{label}.{metric}: {cur_val:.6g} vs baseline "
+                        f"{base_val:.6g} ({(ratio - 1) * 100:.1f}% "
+                        "worse, lower-is-better)")
+
+    # Overlap inversion: overall cycle time must track the slower of
+    # communication and compute, not their sum.
+    for label, metrics in cur_rows.items():
+        keys = ("comm_ms", "comp_ms", "overall_ms")
+        if all(k in metrics for k in keys):
+            comm, comp, overall = (metrics[k] for k in keys)
+            bound = max(comm, comp) * OVERLAP_SLACK
+            checked += 1
+            if overall > bound:
+                failures.append(
+                    f"{label}: overlap inversion — overall_ms "
+                    f"{overall:.6g} > max(comm {comm:.6g}, comp "
+                    f"{comp:.6g}) * {OVERLAP_SLACK}")
+
+    if failures:
+        print(f"check_bench[{bench}]: FAIL ({len(failures)} problem(s), "
+              f"{checked} checks)")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"check_bench[{bench}]: OK ({checked} checks, tolerance "
+          f"{args.tolerance * 100:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
