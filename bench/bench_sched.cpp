@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Scheduler extension: uniform vs heterogeneous (mixed-size) batches
+ * through the pipeline scheduler on one GH200. The paper evaluates
+ * uniform batches only; this table shows what the first-class scheduler
+ * layer adds — mixed batches complete in one pipeline pass, paced by
+ * the costliest in-flight shape, and priorities reorder admission
+ * without disturbing the pipeline. All numbers are simulated
+ * (machine-independent), so the perf-smoke gate compares them exactly.
+ */
+
+#include <vector>
+
+#include "bench/BenchUtil.h"
+#include "core/PipelinedSystem.h"
+#include "gpusim/Device.h"
+#include "sched/ProofTask.h"
+
+using namespace bzk;
+using namespace bzk::bench;
+
+namespace {
+
+struct RowResult
+{
+    SystemRunResult run;
+    double mean_turnaround_ms = 0.0;
+    double mean_wait_cycles = 0.0;
+};
+
+RowResult
+runTasks(std::vector<sched::ProofTask> tasks)
+{
+    gpusim::Device dev(gpusim::DeviceSpec::gh200());
+    SystemOptions opt;
+    opt.functional = 0;
+    PipelinedZkpSystem system(dev, opt);
+    RowResult r;
+    r.run = system.runTasks(std::move(tasks));
+    for (const auto &ts : r.run.task_stats) {
+        r.mean_turnaround_ms += ts.complete_ms;
+        r.mean_wait_cycles += static_cast<double>(ts.queue_wait_cycles);
+    }
+    double n = static_cast<double>(r.run.task_stats.size());
+    r.mean_turnaround_ms /= n;
+    r.mean_wait_cycles /= n;
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const unsigned small_vars = 16, large_vars = 20;
+    const size_t batch = 64;
+    const uint64_t seed = 2024;
+    JsonBench json("bench_sched", argc, argv);
+    json.meta("device", "GH200");
+
+    std::vector<sched::ProofTask> uniform_small, uniform_large, mixed,
+        mixed_prio;
+    for (size_t i = 0; i < batch; ++i) {
+        uniform_small.push_back(makeProofTask(small_vars, seed, i));
+        uniform_large.push_back(makeProofTask(large_vars, seed, i));
+        unsigned n = (i % 2) ? large_vars : small_vars;
+        mixed.push_back(makeProofTask(n, seed, i));
+        // Same mix, but the small tasks jump the queue.
+        mixed_prio.push_back(
+            makeProofTask(n, seed, i, n == small_vars ? 1 : 0));
+    }
+
+    struct Case
+    {
+        const char *label;
+        std::vector<sched::ProofTask> tasks;
+    };
+    std::vector<Case> cases;
+    cases.push_back({"uniform 2^16", std::move(uniform_small)});
+    cases.push_back({"uniform 2^20", std::move(uniform_large)});
+    cases.push_back({"mixed 2^16+2^20", std::move(mixed)});
+    cases.push_back({"mixed, small first", std::move(mixed_prio)});
+
+    TablePrinter table({"workload", "throughput (/ms)", "makespan",
+                        "mean turnaround", "mean wait (cyc)",
+                        "utilization"});
+    for (auto &c : cases) {
+        auto r = runTasks(std::move(c.tasks));
+        table.addRow({c.label,
+                      fmtThroughput(r.run.stats.throughput_per_ms),
+                      fmtMs(r.run.stats.total_ms) + "ms",
+                      fmtMs(r.mean_turnaround_ms) + "ms",
+                      formatSig(r.mean_wait_cycles, 4),
+                      formatSig(r.run.stats.utilization, 3)});
+        json.addRow(c.label,
+                    {{"throughput_per_ms",
+                      r.run.stats.throughput_per_ms},
+                     {"makespan_ms", r.run.stats.total_ms},
+                     {"mean_turnaround_ms", r.mean_turnaround_ms},
+                     {"mean_wait_cycles", r.mean_wait_cycles},
+                     {"utilization", r.run.stats.utilization}});
+    }
+
+    printTable(
+        "Scheduler: uniform vs mixed-size batches (GH200, 64 tasks)",
+        table,
+        "Mixed batches run in one pipeline pass paced by the costliest "
+        "in-flight shape; admitting the small tasks first keeps early "
+        "cycles cheap, cutting mean turnaround and the makespan.");
+    return 0;
+}

@@ -6,16 +6,21 @@
  * Multi-GPU batch generation (extension beyond the paper's single-card
  * evaluation). Proof tasks are independent, so a fleet of cards runs
  * disjoint slices of the batch; each card hosts its own full pipeline
- * and its own host link (the deployment the paper's zkBridge/MLaaS
- * economics imply). Scaling is near-linear until the host-side witness
- * producer saturates, which is outside this model.
+ * scheduler and its own host link (the deployment the paper's
+ * zkBridge/MLaaS economics imply). A shared dispatcher splits the
+ * batch by largest remainder proportional to each card's lane
+ * throughput, then rebalances slices onto under-committed (or idle)
+ * cards using the scheduler's predicted per-card makespan. Scaling is
+ * near-linear until the host-side witness producer saturates, which is
+ * outside this model.
  */
 
-#include <memory>
+#include <algorithm>
 #include <vector>
 
 #include "core/PipelinedSystem.h"
 #include "gpusim/Device.h"
+#include "sched/CycleModel.h"
 
 namespace bzk {
 
@@ -28,8 +33,26 @@ struct MultiGpuResult
     double makespan_ms = 0.0;
     /** Sum of per-device peak memory. */
     uint64_t total_device_bytes = 0;
+    /** One entry per device; idle cards keep a zero-batch entry. */
     std::vector<SystemRunResult> per_device;
+    /** Batch slice each device ran (zero for idle cards). */
+    std::vector<size_t> slices;
 };
+
+/**
+ * Derive the independent per-device seed for device @p index of a
+ * fleet seeded with @p seed (splitmix64 over the pair), so each card's
+ * results are reproducible regardless of device iteration order.
+ */
+inline uint64_t
+deviceSeed(uint64_t seed, size_t index)
+{
+    uint64_t z = seed + 0x9e3779b97f4a7c15ULL *
+                            (static_cast<uint64_t>(index) + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
 
 /** A fleet of simulated GPUs running the pipelined system. */
 class MultiGpuZkpSystem
@@ -44,34 +67,127 @@ class MultiGpuZkpSystem
     }
 
     /**
-     * Run @p batch proofs for 2^n_vars-row circuits across the fleet.
-     * The batch splits proportionally to each card's lane throughput.
+     * Split @p batch across the fleet: largest-remainder quotas
+     * proportional to each card's lanes * clock (slices sum exactly to
+     * the batch; with more devices than tasks the surplus cards stay
+     * idle), refined by moving tasks from the card with the largest
+     * predicted makespan onto the card that can absorb them cheapest.
      */
-    MultiGpuResult
-    run(size_t batch, unsigned n_vars, Rng &rng)
+    std::vector<size_t>
+    planSlices(size_t batch, unsigned n_vars) const
     {
-        // Split proportional to lanes * clock.
+        size_t n = specs_.size();
         double total_rate = 0.0;
         for (const auto &spec : specs_)
             total_rate += spec.cuda_cores * spec.clock_ghz;
 
-        MultiGpuResult result;
-        size_t assigned = 0;
-        SystemOptions opt = opt_;
-        opt.functional = 0; // functional proving is host-side anyway
-        for (size_t d = 0; d < specs_.size(); ++d) {
-            double share =
-                specs_[d].cuda_cores * specs_[d].clock_ghz / total_rate;
-            size_t slice =
-                d + 1 == specs_.size()
-                    ? batch - assigned
-                    : static_cast<size_t>(share * batch);
-            slice = std::max<size_t>(slice, 1);
-            assigned += slice;
+        // Largest-remainder apportionment: floors first, then the
+        // leftover tasks to the largest fractional parts (ties to the
+        // lower device index, deterministically).
+        std::vector<size_t> slices(n, 0);
+        std::vector<std::pair<double, size_t>> remainders;
+        remainders.reserve(n);
+        size_t given = 0;
+        for (size_t d = 0; d < n; ++d) {
+            double quota = specs_[d].cuda_cores * specs_[d].clock_ghz /
+                           total_rate * static_cast<double>(batch);
+            slices[d] = static_cast<size_t>(quota);
+            given += slices[d];
+            remainders.emplace_back(
+                quota - static_cast<double>(slices[d]), d);
+        }
+        std::sort(remainders.begin(), remainders.end(),
+                  [](const auto &a, const auto &b) {
+                      if (a.first != b.first)
+                          return a.first > b.first;
+                      return a.second < b.second;
+                  });
+        size_t leftover = batch > given ? batch - given : 0;
+        for (size_t i = 0; i < leftover; ++i)
+            ++slices[remainders[i % n].second];
 
+        // Rebalance: predicted makespan of a slice is its fill + drain
+        // time at the card's steady cycle. Move single tasks off the
+        // critical card while doing so strictly shrinks the fleet
+        // makespan (also pulls work onto idle cards when that helps).
+        std::vector<double> cycle_ms(n), depth(n);
+        sched::StageGraph graph =
+            systemStageGraph(systemWorkModel(n_vars, opt_.seed));
+        for (size_t d = 0; d < n; ++d) {
             gpusim::Device dev(specs_[d]);
-            PipelinedZkpSystem system(dev, opt);
-            auto r = system.run(slice, n_vars, rng);
+            sched::CycleModel model(graph, dev, opt_.overlap_transfers);
+            cycle_ms[d] = model.cycleMs();
+            depth[d] = static_cast<double>(model.depth());
+        }
+        auto predicted = [&](size_t d, size_t slice) {
+            if (slice == 0)
+                return 0.0;
+            return (static_cast<double>(slice) + depth[d] - 1.0) *
+                   cycle_ms[d];
+        };
+        for (;;) {
+            size_t src = 0;
+            double makespan = 0.0;
+            for (size_t d = 0; d < n; ++d) {
+                if (predicted(d, slices[d]) > makespan) {
+                    makespan = predicted(d, slices[d]);
+                    src = d;
+                }
+            }
+            if (slices[src] == 0)
+                break;
+            size_t dst = src;
+            double best_cost = makespan;
+            for (size_t d = 0; d < n; ++d) {
+                if (d == src)
+                    continue;
+                double cost = predicted(d, slices[d] + 1);
+                if (cost < best_cost) {
+                    best_cost = cost;
+                    dst = d;
+                }
+            }
+            if (dst == src)
+                break;
+            // The move only helps when the source's shrunken slice and
+            // the destination's grown slice both stay under the old
+            // makespan; otherwise the plan is already balanced.
+            double after = std::max(predicted(src, slices[src] - 1),
+                                    predicted(dst, slices[dst] + 1));
+            for (size_t d = 0; d < n; ++d)
+                if (d != src && d != dst)
+                    after = std::max(after, predicted(d, slices[d]));
+            if (after >= makespan)
+                break;
+            --slices[src];
+            ++slices[dst];
+        }
+        return slices;
+    }
+
+    /**
+     * Run @p batch proofs for 2^n_vars-row circuits across the fleet.
+     * Each device draws from its own Rng seeded by deviceSeed(), so
+     * the shared @p rng is never consumed and per-device results do
+     * not depend on fleet composition or iteration order.
+     */
+    MultiGpuResult
+    run(size_t batch, unsigned n_vars, Rng &rng)
+    {
+        (void)rng; // kept for API stability; see deviceSeed()
+        MultiGpuResult result;
+        result.slices = planSlices(batch, n_vars);
+        for (size_t d = 0; d < specs_.size(); ++d) {
+            size_t slice = result.slices[d];
+            if (slice == 0) {
+                // Surplus card: stays idle, keeps its fleet position.
+                result.per_device.emplace_back();
+                continue;
+            }
+            gpusim::Device dev(specs_[d]);
+            PipelinedZkpSystem system(dev, opt_);
+            Rng dev_rng(deviceSeed(opt_.seed, d));
+            auto r = system.run(slice, n_vars, dev_rng);
             result.total_throughput_per_ms += r.stats.throughput_per_ms;
             result.makespan_ms =
                 std::max(result.makespan_ms, r.stats.total_ms);

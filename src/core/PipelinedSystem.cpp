@@ -5,19 +5,15 @@
 
 #include "encoder/GpuEncoder.h"
 #include "gpusim/Calibration.h"
-#include "gpusim/FaultInjector.h"
-#include "merkle/GpuMerkle.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "sched/LaneAllocator.h"
 #include "util/Log.h"
 #include "util/Timer.h"
 
 namespace bzk {
 
 using gpusim::BatchStats;
-using gpusim::KernelDesc;
-using gpusim::OpId;
-using gpusim::StreamId;
 
 namespace {
 
@@ -30,38 +26,6 @@ pcsShape(unsigned n_vars, size_t &k_rows, size_t &m_cols)
         col = 5;
     m_cols = size_t{1} << col;
     k_rows = size_t{1} << (n_vars - col);
-}
-
-/**
- * Root re-check on a staged Merkle layer: commit to a small real tree,
- * stage its leaf layer to host bytes (as dynamic loading does), let the
- * injector flip bytes in the staged copy, rebuild the root from the
- * reloaded layer and compare with the committed root. Returns true when
- * the corruption is detected (roots differ) — with SHA-256 this is
- * every time any byte actually flipped.
- */
-bool
-merkleRecheckDetects(gpusim::FaultInjector &inj, uint64_t seed,
-                     size_t cycle)
-{
-    Rng rng(seed ^ (0xc0de1abULL + cycle));
-    auto blocks = randomBlocks(8, rng);
-    MerkleTree committed = MerkleTree::build(blocks);
-
-    const auto &leaves = committed.layers().front();
-    std::vector<uint8_t> staged;
-    staged.reserve(leaves.size() * 32);
-    for (const auto &d : leaves)
-        staged.insert(staged.end(), d.bytes.begin(), d.bytes.end());
-    if (!inj.corruptLayer(staged))
-        return false;
-
-    std::vector<Digest> reloaded(leaves.size());
-    for (size_t i = 0; i < leaves.size(); ++i)
-        std::copy_n(staged.begin() + static_cast<ptrdiff_t>(32 * i), 32,
-                    reloaded[i].bytes.begin());
-    MerkleTree rebuilt = MerkleTree::buildFromLeaves(std::move(reloaded));
-    return rebuilt.root() != committed.root();
 }
 
 } // namespace
@@ -134,6 +98,39 @@ systemWorkModel(unsigned n_vars, uint64_t seed)
     return model;
 }
 
+sched::StageGraph
+systemStageGraph(const SystemWorkModel &model)
+{
+    sched::StageGraph graph;
+    // All streamed input (the three constraint tables plus Lagrange
+    // intermediates) enters at the encoder; the finished Merkle layers
+    // stream back to a host-staging buffer (dynamic loading, Sec. 4).
+    graph.addStage({sched::StageKind::Encoder, model.encoder_cycles,
+                    model.encoder_stages, model.h2d_bytes, 0, 0});
+    graph.addStage({sched::StageKind::Merkle, model.merkle_cycles,
+                    model.merkle_stages, 0, model.d2h_bytes,
+                    model.d2h_bytes});
+    // Fiat-Shamir is a first-class node but contributes no lane-cycles
+    // and no pipeline depth: transcript hashing is amortized into the
+    // module costs on either side.
+    graph.addStage({sched::StageKind::FiatShamir, 0.0, 0, 0, 0, 0});
+    graph.addStage({sched::StageKind::Sumcheck, model.sumcheck_cycles,
+                    model.sumcheck_stages, 0, 0, 0});
+    graph.setDeviceBytes(model.device_bytes);
+    return graph;
+}
+
+sched::ProofTask
+makeProofTask(unsigned n_vars, uint64_t seed, uint64_t id, int priority)
+{
+    sched::ProofTask task;
+    task.id = id;
+    task.n_vars = n_vars;
+    task.priority = priority;
+    task.graph = systemStageGraph(systemWorkModel(n_vars, seed));
+    return task;
+}
+
 PipelinedZkpSystem::PipelinedZkpSystem(gpusim::Device &dev,
                                        SystemOptions opt)
     : dev_(dev), opt_(opt)
@@ -159,165 +156,117 @@ PipelinedZkpSystem::run(size_t batch, unsigned n_vars, Rng &rng)
     }
 
     SystemWorkModel model = systemWorkModel(n_vars, opt_.seed);
+    sched::StageGraph graph = systemStageGraph(model);
+    std::vector<sched::ProofTask> tasks;
+    tasks.reserve(batch);
+    for (size_t i = 0; i < batch; ++i) {
+        sched::ProofTask task;
+        task.id = i;
+        task.n_vars = n_vars;
+        task.graph = graph;
+        tasks.push_back(std::move(task));
+    }
+    simulate(std::move(tasks), result);
+    return result;
+}
+
+SystemRunResult
+PipelinedZkpSystem::runTasks(std::vector<sched::ProofTask> tasks)
+{
+    SystemRunResult result;
+    simulate(std::move(tasks), result);
+    return result;
+}
+
+void
+PipelinedZkpSystem::simulate(std::vector<sched::ProofTask> tasks,
+                             SystemRunResult &result)
+{
+    size_t batch = tasks.size();
+    if (batch == 0)
+        return;
+
+    // Reference shape for the aggregate columns: the costliest task
+    // paces the pipeline (for uniform batches it is the batch's
+    // shape). Copied out because the tasks move into the scheduler.
+    const sched::StageGraph *pace = &tasks.front().graph;
+    for (const sched::ProofTask &t : tasks)
+        if (t.graph.totalCycles() > pace->totalCycles())
+            pace = &t.graph;
+    sched::StageGraph ref_graph = *pace;
+    const sched::StageGraph *ref = &ref_graph;
+
     double cores = dev_.spec().cuda_cores;
-    double total = model.totalCycles();
+    double total = ref->totalCycles();
 
     // Static lane partition proportional to module cost (Sec. 4's
-    // "35 : 12 : 113" method, derived here from the model itself).
-    result.lanes_encoder = cores * model.encoder_cycles / total;
-    result.lanes_merkle = cores * model.merkle_cycles / total;
-    result.lanes_sumcheck = cores * model.sumcheck_cycles / total;
+    // "35 : 12 : 113" method, derived from the stage graph itself).
+    sched::LaneAllocator allocator(cores);
+    std::vector<double> split = allocator.proportionalSplit(*ref);
+    const auto &stages = ref->stages();
+    for (size_t i = 0; i < stages.size(); ++i) {
+        switch (stages[i].kind) {
+          case sched::StageKind::Encoder:
+            result.lanes_encoder = split[i];
+            break;
+          case sched::StageKind::Merkle:
+            result.lanes_merkle = split[i];
+            break;
+          case sched::StageKind::Sumcheck:
+            result.lanes_sumcheck = split[i];
+            break;
+          case sched::StageKind::FiatShamir:
+            break;
+        }
+    }
 
     double cycle_cycles = total / cores;
     double cycle_ms =
         cycle_cycles / dev_.spec().cyclesPerMs() + gpusim::kKernelLaunchMs;
+    size_t depth = ref->totalDepth();
+    uint64_t h2d_bytes = ref->h2dBytes();
+    uint64_t d2h_bytes = ref->d2hBytes();
 
-    dev_.resetTimeline();
-    dev_.resetMemoryPeak();
-    // Dynamic loading keeps one task's data per pipeline region; the
-    // preloading ablation stages the whole batch's inputs up front.
-    uint64_t resident = opt_.dynamic_loading
-                            ? model.device_bytes
-                            : model.device_bytes +
-                                  model.h2d_bytes * (batch - 1);
-    int64_t device_mem = dev_.alloc(resident);
+    sched::SchedulerOptions sched_opt;
+    sched_opt.seed = opt_.seed;
+    sched_opt.overlap_transfers = opt_.overlap_transfers;
+    sched_opt.dynamic_loading = opt_.dynamic_loading;
+    sched::PipelineScheduler scheduler(dev_, sched_opt);
+    scheduler.setObservability(metrics_, trace_);
+    sched::SchedulerResult sr = scheduler.run(std::move(tasks));
 
-    StreamId compute = dev_.createStream();
-    StreamId h2d = opt_.overlap_transfers ? dev_.createStream() : compute;
-    StreamId d2h = opt_.overlap_transfers ? dev_.createStream() : compute;
-
-    size_t depth = model.totalStages();
-    double per_stage_lanes = cores / static_cast<double>(depth);
-    double first_end = 0.0;
-    OpId prev_load = gpusim::kNoOp;
-    uint64_t traffic_per_cycle =
-        static_cast<uint64_t>(model.totalCycles() / 40.0); // approx bytes
-    if (!opt_.dynamic_loading) {
-        // Preloading ablation: one bulk transfer before the pipeline.
-        prev_load = dev_.copyH2D(h2d, model.h2d_bytes * batch);
-    }
-    gpusim::FaultInjector *inj = dev_.faultInjector();
-    size_t extra = 0; // retried tasks, appended to the batch
-    double relocated_sum = 0.0;
-    size_t cycles_run = 0;
-    for (size_t c = 0;; ++c) {
-        size_t batch_eff = batch + extra;
-        size_t cycles_eff = batch_eff + depth - 1;
-        if (c >= cycles_eff)
-            break;
-
-        double surv = 1.0;
-        if (inj) {
-            inj->beginCycle(c);
-            double failed_frac = inj->failedLaneFraction();
-            if (failed_frac > 0.0) {
-                surv = std::max(0.05, 1.0 - failed_frac);
-                ++result.degraded_cycles;
-                relocated_sum += 1.0 - surv;
-            }
-        }
-
-        OpId load = gpusim::kNoOp;
-        if (opt_.dynamic_loading && c < batch_eff)
-            load = dev_.copyH2D(h2d, model.h2d_bytes);
-
-        // Ramp: lanes of stages holding live tasks.
-        size_t live =
-            std::min({c + 1, depth, batch_eff, cycles_eff - c});
-        double active = per_stage_lanes * static_cast<double>(live);
-        KernelDesc k;
-        k.name = "system_cycle";
-        // Graceful degradation: on a cycle with failed lanes, the
-        // static 35:12:113 split is re-scaled onto the survivors — the
-        // same work runs on fewer lanes over a longer cycle.
-        k.lanes = cores * surv;
-        k.profile.push_back({cycle_cycles / surv, active * surv});
-        k.mem_bytes = traffic_per_cycle;
-        OpId op = dev_.launchKernel(compute, k, prev_load);
-        prev_load = load;
-        ++cycles_run;
-
-        if (metrics_ || trace_) {
-            double t0 = dev_.opStart(op);
-            double t1 = dev_.opEnd(op);
-            int64_t cyc = static_cast<int64_t>(c);
-            if (metrics_)
-                metrics_
-                    ->histogram(
-                        "bzk_cycle_ms",
-                        {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500},
-                        "per-cycle wall time, ms")
-                    .observe(t1 - t0);
-            if (trace_) {
-                // The three module groups co-run on partitioned lanes
-                // for the whole cycle; each gets its own track so
-                // Perfetto shows the static split and any degraded
-                // stretching.
-                std::string tag = "[c" + std::to_string(c) + "]";
-                trace_->span("lane:encoder", "encoder" + tag, "encoder",
-                             t0, t1, cyc);
-                trace_->span("lane:merkle", "merkle" + tag, "merkle",
-                             t0, t1, cyc);
-                trace_->span("lane:sumcheck", "sumcheck" + tag,
-                             "sumcheck", t0, t1, cyc);
-                if (surv < 1.0)
-                    trace_->instant("faults", "lane-failure" + tag,
-                                    "fault", t0, cyc);
-            }
-        }
-
-        // Root re-check on the staged Merkle layers of the task
-        // admitted this cycle: detected corruption re-enqueues the task
-        // rather than letting an invalid proof leave the pipeline.
-        if (inj && c < batch_eff && inj->corruptionBytes() > 0 &&
-            merkleRecheckDetects(*inj, opt_.seed, c)) {
-            ++result.corrupt_detected;
-            ++result.retried_tasks;
-            ++extra;
-            if (trace_)
-                trace_->instant("faults",
-                                "merkle-retry[c" + std::to_string(c) +
-                                    "]",
-                                "retry", dev_.opEnd(op),
-                                static_cast<int64_t>(c));
-        }
-
-        if (c + 1 >= depth)
-            dev_.copyD2H(d2h, model.d2h_bytes, op);
-        if (c == depth - 1)
-            first_end = dev_.opEnd(op);
-    }
-    if (result.degraded_cycles > 0)
-        result.relocated_lane_fraction =
-            relocated_sum / static_cast<double>(result.degraded_cycles);
+    result.degraded_cycles = sr.degraded_cycles;
+    result.relocated_lane_fraction = sr.relocated_lane_fraction;
+    result.corrupt_detected = sr.corrupt_detected;
+    result.retried_tasks = sr.retried_tasks;
+    result.task_stats = std::move(sr.tasks);
 
     result.stats.batch = batch;
-    result.stats.total_ms = dev_.now();
-    result.stats.first_latency_ms = first_end;
+    result.stats.total_ms = sr.total_ms;
+    result.stats.first_latency_ms = sr.first_latency_ms;
     result.stats.item_latency_ms = static_cast<double>(depth) * cycle_ms;
     result.stats.throughput_per_ms = batch / result.stats.total_ms;
-    result.stats.peak_device_bytes = dev_.peakMemory();
-    result.stats.busy_lane_ms = dev_.busyLaneMs();
-    result.stats.utilization =
-        result.stats.busy_lane_ms /
-        (result.stats.total_ms * dev_.spec().cuda_cores);
+    result.stats.peak_device_bytes = sr.peak_device_bytes;
+    result.stats.busy_lane_ms = sr.busy_lane_ms;
+    result.stats.utilization = sr.utilization;
 
     double per_ms = dev_.spec().cyclesPerMs() * cores;
-    result.encoder_ms = model.encoder_cycles / per_ms;
-    result.merkle_ms = model.merkle_cycles / per_ms;
-    result.sumcheck_ms = model.sumcheck_cycles / per_ms;
-    result.comm_ms_per_cycle = dev_.copyDurationMs(model.h2d_bytes) +
-                               dev_.copyDurationMs(model.d2h_bytes);
+    result.encoder_ms = ref->cyclesOf(sched::StageKind::Encoder) / per_ms;
+    result.merkle_ms = ref->cyclesOf(sched::StageKind::Merkle) / per_ms;
+    result.sumcheck_ms =
+        ref->cyclesOf(sched::StageKind::Sumcheck) / per_ms;
+    result.comm_ms_per_cycle = dev_.copyDurationMs(h2d_bytes) +
+                               dev_.copyDurationMs(d2h_bytes);
     result.comp_ms_per_cycle = cycle_ms;
     result.cycle_ms = std::max(result.comp_ms_per_cycle,
-                               dev_.copyDurationMs(model.h2d_bytes));
-    result.h2d_bytes_per_cycle = model.h2d_bytes;
+                               dev_.copyDurationMs(h2d_bytes));
+    result.h2d_bytes_per_cycle = h2d_bytes;
 
     if (metrics_) {
         metrics_->counter("bzk_cycles_total", "pipeline cycles run")
-            .add(static_cast<double>(cycles_run));
+            .add(static_cast<double>(sr.cycles_run));
         metrics_->counter("bzk_tasks_total", "proof tasks admitted")
-            .add(static_cast<double>(batch + extra));
+            .add(static_cast<double>(sr.admitted));
         metrics_
             ->counter("bzk_degraded_cycles_total",
                       "cycles run with failed lanes")
@@ -333,8 +282,7 @@ PipelinedZkpSystem::run(size_t batch, unsigned n_vars, Rng &rng)
         metrics_
             ->counter("bzk_h2d_bytes_total",
                       "host-to-device bytes streamed")
-            .add(static_cast<double>(model.h2d_bytes) *
-                 static_cast<double>(batch + extra));
+            .add(static_cast<double>(sr.h2d_bytes_streamed));
         metrics_->gauge("bzk_utilization", "busy-lane fraction of makespan")
             .set(result.stats.utilization);
         metrics_
@@ -353,9 +301,6 @@ PipelinedZkpSystem::run(size_t batch, unsigned n_vars, Rng &rng)
                     "lanes held by the sum-check modules")
             .set(result.lanes_sumcheck);
     }
-
-    dev_.free(device_mem);
-    return result;
 }
 
 SystemRunResult

@@ -24,6 +24,7 @@
 #include "ff/Fields.h"
 #include "gpusim/BatchStats.h"
 #include "gpusim/Device.h"
+#include "sched/PipelineScheduler.h"
 #include "util/Rng.h"
 
 namespace bzk::obs {
@@ -97,6 +98,9 @@ struct SystemRunResult
     size_t retried_tasks = 0;
 
     /// @}
+
+    /** Per-task scheduler accounting, in admission order. */
+    std::vector<sched::TaskStats> task_stats;
 };
 
 /** Per-proof module work in lane-cycles (the system's cost inventory). */
@@ -128,6 +132,19 @@ struct SystemWorkModel
 /** Derive the per-proof work model for tables of 2^n_vars rows. */
 SystemWorkModel systemWorkModel(unsigned n_vars, uint64_t seed);
 
+/**
+ * Lower @p model into the scheduler's stage graph: encoder, Merkle,
+ * Fiat-Shamir and sum-check as first-class stages with lane-cycle
+ * costs, transfer byte budgets, and the Merkle host-staging buffer.
+ * The Fiat-Shamir stage carries no lane-cycles and no pipeline depth
+ * (its transcript hashing is amortized into the module costs).
+ */
+sched::StageGraph systemStageGraph(const SystemWorkModel &model);
+
+/** Build one schedulable proof task for tables of 2^n_vars rows. */
+sched::ProofTask makeProofTask(unsigned n_vars, uint64_t seed,
+                               uint64_t id = 0, int priority = 0);
+
 /** The paper's system: batch proof generation on the simulated GPU. */
 class PipelinedZkpSystem
 {
@@ -156,7 +173,21 @@ class PipelinedZkpSystem
      */
     SystemRunResult run(size_t batch, unsigned n_vars, Rng &rng);
 
+    /**
+     * Run a heterogeneous batch — tasks may mix n_vars (and priority)
+     * freely — through the pipeline scheduler. Simulation only: no
+     * functional proofs are produced (use run() for those). Per-task
+     * admission/completion accounting lands in
+     * SystemRunResult::task_stats; aggregate per-cycle columns report
+     * the costliest task shape, which paces the pipeline.
+     */
+    SystemRunResult runTasks(std::vector<sched::ProofTask> tasks);
+
   private:
+    /** Simulate @p tasks on the scheduler and fill @p result. */
+    void simulate(std::vector<sched::ProofTask> tasks,
+                  SystemRunResult &result);
+
     gpusim::Device &dev_;
     SystemOptions opt_;
     obs::MetricsRegistry *metrics_ = nullptr;

@@ -2,42 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
-#include <queue>
 #include <vector>
 
-#include "gpusim/Calibration.h"
 #include "gpusim/FaultInjector.h"
 #include "obs/Metrics.h"
+#include "sched/AdmissionQueue.h"
+#include "sched/CycleModel.h"
 #include "util/Log.h"
 
 namespace bzk {
-
-namespace {
-
-/** One request waiting for (re-)admission. */
-struct Pending
-{
-    /** Time of this submission (original arrival or re-submission). */
-    double submitted = 0.0;
-    /** Original arrival time; sojourns are measured from here. */
-    double first_arrival = 0.0;
-    /** Re-submissions already made. */
-    size_t attempt = 0;
-};
-
-struct LaterSubmission
-{
-    bool
-    operator()(const Pending &a, const Pending &b) const
-    {
-        if (a.submitted != b.submitted)
-            return a.submitted > b.submitted;
-        return a.first_arrival > b.first_arrival; // deterministic ties
-    }
-};
-
-} // namespace
 
 StreamingResult
 StreamingZkpService::run(const StreamingOptions &workload, Rng &rng) const
@@ -45,19 +18,16 @@ StreamingZkpService::run(const StreamingOptions &workload, Rng &rng) const
     if (workload.arrival_rate_per_ms <= 0 || workload.num_requests == 0)
         fatal("StreamingZkpService: empty workload");
 
-    // Steady-state admission interval from the same work model the
-    // batch system uses: one task enters per cycle, bounded by the
-    // slower of compute and (overlapped) transfer.
-    SystemWorkModel model =
-        systemWorkModel(workload.n_vars, workload.seed);
-    double cores = dev_.spec().cuda_cores;
-    double comp_ms = model.totalCycles() / (cores * dev_.spec().cyclesPerMs()) +
-                     gpusim::kKernelLaunchMs;
-    double comm_ms = dev_.copyDurationMs(model.h2d_bytes);
-    double cycle_ms = system_opt_.overlap_transfers
-                          ? std::max(comp_ms, comm_ms)
-                          : comp_ms + comm_ms;
-    size_t depth = model.totalStages();
+    // Steady-state admission interval from the scheduler's cycle model
+    // over the same stage graph the batch system runs: one task enters
+    // per cycle, bounded by the slower of compute and (overlapped)
+    // transfer.
+    sched::StageGraph graph = systemStageGraph(
+        systemWorkModel(workload.n_vars, workload.seed));
+    sched::CycleModel cycle_model(graph, dev_,
+                                  system_opt_.overlap_transfers);
+    double cycle_ms = cycle_model.cycleMs();
+    size_t depth = cycle_model.depth();
 
     StreamingResult result;
     result.cycle_ms = cycle_ms;
@@ -78,91 +48,52 @@ StreamingZkpService::run(const StreamingOptions &workload, Rng &rng) const
     double backoff_base =
         workload.backoff_ms > 0.0 ? workload.backoff_ms : cycle_ms;
 
-    // Admission: one request per cycle boundary, FIFO. Requests ending
-    // any other way (shed at a full queue, dropped after exhausting
-    // retries) also terminate, so every original request is accounted
-    // for exactly once.
+    // Admission: one request per cycle boundary, FIFO, through the
+    // scheduler's guarded admission queue. Requests ending any other
+    // way (shed at a full queue, dropped after exhausting retries)
+    // also terminate, so every original request is accounted for
+    // exactly once.
     std::vector<double> sojourns;
     sojourns.reserve(workload.num_requests);
-    std::deque<Pending> queue;
-    std::priority_queue<Pending, std::vector<Pending>, LaterSubmission>
-        resubmits;
+    sched::AdmissionQueue queue({workload.timeout_ms,
+                                 workload.max_retries, backoff_base,
+                                 workload.queue_capacity});
     size_t next_arrival = 0;
-    size_t dropped = 0;
     size_t cycle_index = 0;
     double queue_area = 0.0;
     double now = 0.0;
     double last_completion = 0.0;
 
-    auto enqueue = [&](const Pending &p) {
-        if (workload.queue_capacity > 0 &&
-            queue.size() >= workload.queue_capacity) {
-            ++result.shed;
-            return;
-        }
-        queue.push_back(p);
-    };
-
-    while (result.completed + result.shed + dropped <
+    while (result.completed + queue.shed() + queue.dropped() <
            workload.num_requests) {
         // Injected faults stretch this cycle: transfer stalls slow the
         // streamed input, failed lanes slow the compute.
-        double step = cycle_ms;
-        if (inj) {
-            inj->beginCycle(cycle_index);
-            double comp = comp_ms;
-            double failed = inj->failedLaneFraction();
-            if (failed > 0.0)
-                comp /= std::max(0.05, 1.0 - failed);
-            double comm = comm_ms * inj->transferStallMultiplier();
-            step = system_opt_.overlap_transfers ? std::max(comp, comm)
-                                                 : comp + comm;
-        }
+        double step = inj ? cycle_model.stepMs(*inj, cycle_index)
+                          : cycle_ms;
         ++cycle_index;
 
         double next_cycle = now + step;
         while (next_arrival < arrivals.size() &&
                arrivals[next_arrival] <= next_cycle) {
-            enqueue({arrivals[next_arrival], arrivals[next_arrival], 0});
+            queue.submit(arrivals[next_arrival]);
             ++next_arrival;
         }
-        while (!resubmits.empty() &&
-               resubmits.top().submitted <= next_cycle) {
-            enqueue(resubmits.top());
-            resubmits.pop();
-        }
-        queue_area += static_cast<double>(queue.size()) * step;
-        result.max_queue = std::max(result.max_queue, queue.size());
+        queue.pullResubmits(next_cycle);
+        queue_area += static_cast<double>(queue.depth()) * step;
+        result.max_queue = std::max(result.max_queue, queue.depth());
         now = next_cycle;
-        while (!queue.empty()) {
-            Pending p = queue.front();
-            queue.pop_front();
-            if (workload.timeout_ms > 0.0 &&
-                now - p.submitted > workload.timeout_ms) {
-                // Timed out waiting for admission; the slot stays free
-                // for the next queued request.
-                ++result.timed_out;
-                if (p.attempt < workload.max_retries) {
-                    ++result.retried;
-                    double backoff =
-                        backoff_base *
-                        std::ldexp(1.0, static_cast<int>(p.attempt));
-                    resubmits.push(
-                        {now + backoff, p.first_arrival, p.attempt + 1});
-                } else {
-                    ++dropped;
-                }
-                continue;
-            }
+        if (auto p = queue.admitOne(now)) {
             // Admitted this cycle; completes after the pipeline depth.
             double completion =
                 now + static_cast<double>(depth) * cycle_ms;
-            sojourns.push_back(completion - p.first_arrival);
+            sojourns.push_back(completion - p->first_arrival);
             ++result.completed;
             last_completion = std::max(last_completion, completion);
-            break;
         }
     }
+    result.timed_out = queue.timedOut();
+    result.retried = queue.retried();
+    result.shed = queue.shed();
 
     if (!sojourns.empty()) {
         std::sort(sojourns.begin(), sojourns.end());

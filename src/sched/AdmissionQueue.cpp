@@ -1,0 +1,54 @@
+#include "sched/AdmissionQueue.h"
+
+#include <cmath>
+
+namespace bzk::sched {
+
+void
+AdmissionQueue::enqueue(const PendingRequest &p)
+{
+    if (opt_.queue_capacity > 0 && queue_.size() >= opt_.queue_capacity) {
+        ++shed_;
+        return;
+    }
+    queue_.push_back(p);
+}
+
+void
+AdmissionQueue::pullResubmits(double now_ms)
+{
+    while (!resubmits_.empty() && resubmits_.top().submitted <= now_ms) {
+        enqueue(resubmits_.top());
+        resubmits_.pop();
+    }
+}
+
+std::optional<PendingRequest>
+AdmissionQueue::admitOne(double now_ms)
+{
+    while (!queue_.empty()) {
+        PendingRequest p = queue_.front();
+        queue_.pop_front();
+        if (opt_.timeout_ms > 0.0 &&
+            now_ms - p.submitted > opt_.timeout_ms) {
+            // Timed out waiting for admission; the slot stays free for
+            // the next queued request.
+            ++timed_out_;
+            if (p.attempt < opt_.max_retries) {
+                ++retried_;
+                double backoff =
+                    opt_.backoff_base_ms *
+                    std::ldexp(1.0, static_cast<int>(p.attempt));
+                resubmits_.push(
+                    {now_ms + backoff, p.first_arrival, p.attempt + 1});
+            } else {
+                ++dropped_;
+            }
+            continue;
+        }
+        return p;
+    }
+    return std::nullopt;
+}
+
+} // namespace bzk::sched

@@ -1,0 +1,140 @@
+#ifndef BZK_SCHED_ADMISSIONQUEUE_H_
+#define BZK_SCHED_ADMISSIONQUEUE_H_
+
+/**
+ * @file
+ * The scheduler's admission queue with service guard rails, lifted out
+ * of the streaming service: FIFO admission (one request per pipeline
+ * cycle), optional admission timeout, client retry with exponential
+ * backoff, and load shedding at a bounded queue. Every submitted
+ * request terminates exactly one way — admitted, shed, or dropped
+ * after exhausting its retries.
+ */
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <queue>
+#include <vector>
+
+namespace bzk::sched {
+
+/** Guard-rail configuration (zeros disable each mechanism). */
+struct AdmissionOptions
+{
+    /**
+     * A request still queued this long after submission abandons the
+     * queue (counted in timedOut()). 0 disables.
+     */
+    double timeout_ms = 0.0;
+    /** Re-submissions a timed-out request may make before dropping. */
+    size_t max_retries = 0;
+    /** Base back-off before the first re-submission; doubles after. */
+    double backoff_base_ms = 0.0;
+    /** Queue capacity; excess submissions are shed. 0 = unbounded. */
+    size_t queue_capacity = 0;
+};
+
+/** One request waiting for (re-)admission. */
+struct PendingRequest
+{
+    /** Time of this submission (original arrival or re-submission). */
+    double submitted = 0.0;
+    /** Original arrival time; sojourns are measured from here. */
+    double first_arrival = 0.0;
+    /** Re-submissions already made. */
+    size_t attempt = 0;
+};
+
+/** FIFO admission queue with timeout / retry / shed guard rails. */
+class AdmissionQueue
+{
+  public:
+    explicit AdmissionQueue(AdmissionOptions opt) : opt_(opt) {}
+
+    /** Submit a fresh arrival at time @p arrival_ms. */
+    void
+    submit(double arrival_ms)
+    {
+        enqueue({arrival_ms, arrival_ms, 0});
+    }
+
+    /** Move re-submissions due by @p now_ms into the queue. */
+    void pullResubmits(double now_ms);
+
+    /**
+     * Admit one request at time @p now_ms. Requests whose admission
+     * timeout expired are timed out (and re-submitted with backoff or
+     * dropped) until an admissible one is found; returns nullopt when
+     * the queue drains without an admission.
+     */
+    std::optional<PendingRequest> admitOne(double now_ms);
+
+    /** Requests currently queued (excluding pending re-submissions). */
+    size_t
+    depth() const
+    {
+        return queue_.size();
+    }
+
+    /// @name Terminal and guard-rail counters
+    /// @{
+
+    /** Submissions rejected at a full queue. */
+    size_t
+    shed() const
+    {
+        return shed_;
+    }
+
+    /** Timeout events (a request gave up waiting for admission). */
+    size_t
+    timedOut() const
+    {
+        return timed_out_;
+    }
+
+    /** Re-submissions made after timeouts. */
+    size_t
+    retried() const
+    {
+        return retried_;
+    }
+
+    /** Requests dropped after exhausting their retries. */
+    size_t
+    dropped() const
+    {
+        return dropped_;
+    }
+
+    /// @}
+
+  private:
+    struct LaterSubmission
+    {
+        bool
+        operator()(const PendingRequest &a, const PendingRequest &b) const
+        {
+            if (a.submitted != b.submitted)
+                return a.submitted > b.submitted;
+            return a.first_arrival > b.first_arrival; // deterministic
+        }
+    };
+
+    void enqueue(const PendingRequest &p);
+
+    AdmissionOptions opt_;
+    std::deque<PendingRequest> queue_;
+    std::priority_queue<PendingRequest, std::vector<PendingRequest>,
+                        LaterSubmission>
+        resubmits_;
+    size_t shed_ = 0;
+    size_t timed_out_ = 0;
+    size_t retried_ = 0;
+    size_t dropped_ = 0;
+};
+
+} // namespace bzk::sched
+
+#endif // BZK_SCHED_ADMISSIONQUEUE_H_

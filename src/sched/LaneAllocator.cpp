@@ -1,0 +1,55 @@
+#include "sched/LaneAllocator.h"
+
+namespace bzk::sched {
+
+const char *
+stageKindName(StageKind kind)
+{
+    switch (kind) {
+      case StageKind::Encoder:
+        return "encoder";
+      case StageKind::Merkle:
+        return "merkle";
+      case StageKind::FiatShamir:
+        return "fiat-shamir";
+      case StageKind::Sumcheck:
+        return "sumcheck";
+    }
+    return "unknown";
+}
+
+std::vector<double>
+LaneAllocator::proportionalSplit(const StageGraph &graph) const
+{
+    std::vector<double> split;
+    split.reserve(graph.stages().size());
+    double total = graph.totalCycles();
+    for (const Stage &s : graph.stages()) {
+        if (total > 0.0)
+            split.push_back(lanes_ * s.lane_cycles / total);
+        else
+            split.push_back(0.0);
+    }
+    return split;
+}
+
+std::vector<double>
+LaneAllocator::halvingSplit(size_t rounds) const
+{
+    std::vector<double> split(rounds, 0.0);
+    if (rounds == 0)
+        return split;
+    // Weights 2^-(i) normalized: sum of 2^-i for i in [0, rounds) is
+    // 2 - 2^(1-rounds), so the head stage gets just over half the
+    // budget and each later stage half of its predecessor.
+    double weight_sum = 0.0;
+    double w = 1.0;
+    for (size_t i = 0; i < rounds; ++i, w *= 0.5)
+        weight_sum += w;
+    w = 1.0;
+    for (size_t i = 0; i < rounds; ++i, w *= 0.5)
+        split[i] = lanes_ * w / weight_sum;
+    return split;
+}
+
+} // namespace bzk::sched

@@ -1,0 +1,71 @@
+#ifndef BZK_SCHED_LANEALLOCATOR_H_
+#define BZK_SCHED_LANEALLOCATOR_H_
+
+/**
+ * @file
+ * Lane-allocation policies of the paper's Section 4, lifted out of the
+ * pipelined system so every front-end shares one implementation:
+ *
+ *  - proportionalSplit(): the static "35 : 12 : 113"-style partition of
+ *    the device's lanes across module groups, proportional to each
+ *    stage's amortized lane-cycle cost;
+ *  - halvingSplit(): the per-stage 2:1 geometric allocation used inside
+ *    a module whose successive sub-stages halve their work (sum-check
+ *    rounds, Merkle layers);
+ *  - survivorFraction(): graceful-degradation re-allocation — the lane
+ *    fraction left after failures, floored so the pipeline keeps
+ *    draining (the same work re-scaled onto the survivors).
+ */
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "sched/StageGraph.h"
+
+namespace bzk::sched {
+
+/** Static lane-partition policies over a fixed lane budget. */
+class LaneAllocator
+{
+  public:
+    explicit LaneAllocator(double lanes) : lanes_(lanes) {}
+
+    /**
+     * Lanes per stage of @p graph, proportional to each stage's
+     * lane-cycle cost. Stages with zero cost (Fiat-Shamir) get zero
+     * lanes; the split sums to the lane budget.
+     */
+    std::vector<double> proportionalSplit(const StageGraph &graph) const;
+
+    /**
+     * 2:1 geometric split across @p rounds sub-stages: stage i gets
+     * twice the lanes of stage i+1, normalized to sum to the budget.
+     */
+    std::vector<double> halvingSplit(size_t rounds) const;
+
+    /** The lane budget this allocator partitions. */
+    double
+    lanes() const
+    {
+        return lanes_;
+    }
+
+    /**
+     * Fraction of the lane budget still alive when @p failed_frac of
+     * the lanes failed this cycle, floored at 5% so a heavily degraded
+     * pipeline still drains instead of dividing by zero.
+     */
+    static double
+    survivorFraction(double failed_frac)
+    {
+        return std::max(0.05, 1.0 - failed_frac);
+    }
+
+  private:
+    double lanes_;
+};
+
+} // namespace bzk::sched
+
+#endif // BZK_SCHED_LANEALLOCATOR_H_

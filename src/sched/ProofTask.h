@@ -1,0 +1,55 @@
+#ifndef BZK_SCHED_PROOFTASK_H_
+#define BZK_SCHED_PROOFTASK_H_
+
+/**
+ * @file
+ * One schedulable proof task and the per-task accounting the scheduler
+ * returns. Tasks in one PipelineScheduler::run() may have different
+ * shapes (mixed n_vars, the heterogeneous-batch unlock); the scheduler
+ * admits them priority-first, then in submission order.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sched/StageGraph.h"
+
+namespace bzk::sched {
+
+/** One proof request: a task shape plus scheduling attributes. */
+struct ProofTask
+{
+    /** Caller-assigned identity, echoed back in TaskStats. */
+    uint64_t id = 0;
+    /** Constraint-table log-size this task proves. */
+    unsigned n_vars = 0;
+    /** Higher priority is admitted first; ties keep submission order. */
+    int priority = 0;
+    /** The task's pipeline dataflow and cost model. */
+    StageGraph graph;
+};
+
+/** Per-task outcome of a scheduler run, in admission order. */
+struct TaskStats
+{
+    /** ProofTask::id of this task. */
+    uint64_t id = 0;
+    /** ProofTask::n_vars of this task. */
+    unsigned n_vars = 0;
+    /** Lane-cycles of work the task's graph carries. */
+    double work_cycles = 0.0;
+    /** Cycle index at which the task first entered the pipeline. */
+    size_t admit_cycle = 0;
+    /** Cycle index at which the task (last) left the pipeline. */
+    size_t complete_cycle = 0;
+    /** Cycles spent queued before admission, summed over admissions. */
+    size_t queue_wait_cycles = 0;
+    /** Re-runs forced by a failed Merkle root re-check. */
+    size_t retries = 0;
+    /** Device time at which the task's final cycle ended, ms. */
+    double complete_ms = 0.0;
+};
+
+} // namespace bzk::sched
+
+#endif // BZK_SCHED_PROOFTASK_H_

@@ -42,15 +42,20 @@ VerifiableMlService::serveBatch(size_t batch, Rng &rng,
         result.predictions.push_back(model_.predict(image));
     }
 
-    // Proving phase: the pipelined system generates one proof per
-    // prediction at the compiled circuit scale. Functional proving at
-    // VGG scale is out of reach on this host; the tiny-CNN end-to-end
-    // path is exercised in tests/examples instead (see DESIGN.md).
+    // Proving phase: one scheduler task per prediction at the compiled
+    // circuit scale, submitted through the heterogeneous-batch API.
+    // Functional proving at VGG scale is out of reach on this host; the
+    // tiny-CNN end-to-end path is exercised in tests/examples instead
+    // (see DESIGN.md).
     SystemOptions opt = opt_;
     opt.functional = 0;
     PipelinedZkpSystem system(dev_, opt);
     system.setObservability(metrics_, trace_);
-    result.proving = system.run(batch, n_vars_, rng);
+    std::vector<sched::ProofTask> tasks;
+    tasks.reserve(batch);
+    for (size_t i = 0; i < batch; ++i)
+        tasks.push_back(makeProofTask(n_vars_, opt.seed, i));
+    result.proving = system.runTasks(std::move(tasks));
 
     if (metrics_) {
         auto &reg = *metrics_;

@@ -25,7 +25,14 @@
  *       run the batch system healthy and again under a deterministic
  *       fault plan, and print the before/after degradation table.
  *       PLAN is either `random:SEED:INTENSITY` or a comma list of
- *       stall:B-E:M, lanes:B-E:F, corrupt:C[:N] events.
+ *       stall:B-E:M, lanes:B-E:F, corrupt:C[:N] events;
+ *   batchzk sched   [--gpu NAME] [--sizes N,N,...] [--log-gates N]
+ *                   [--batch B]
+ *       run a heterogeneous batch (mixed table log-sizes) through the
+ *       pipeline scheduler and print per-task admission / completion
+ *       accounting plus the aggregate schedule. --sizes takes a comma
+ *       list of per-task log-sizes (e.g. 10,10,12,14); without it the
+ *       batch is uniform at --log-gates.
  */
 
 #include <cstdio>
@@ -90,6 +97,7 @@ struct Args
     size_t batch = 128;
     std::string faults;
     std::string format = "prom"; // metrics output: "prom" or "json"
+    std::string sizes;           // sched: comma list of task log-sizes
 };
 
 bool
@@ -127,6 +135,8 @@ parse(int argc, char **argv, Args &args)
             args.faults = value;
         else if (key == "--format")
             args.format = value;
+        else if (key == "--sizes")
+            args.sizes = value;
         else
             return false;
     }
@@ -488,6 +498,75 @@ cmdChaos(const Args &args)
     return 0;
 }
 
+int
+cmdSched(const Args &args)
+{
+    std::vector<unsigned> sizes;
+    if (!args.sizes.empty()) {
+        size_t pos = 0;
+        while (pos < args.sizes.size()) {
+            size_t comma = args.sizes.find(',', pos);
+            if (comma == std::string::npos)
+                comma = args.sizes.size();
+            try {
+                sizes.push_back(static_cast<unsigned>(
+                    std::stoul(args.sizes.substr(pos, comma - pos))));
+            } catch (...) {
+                fatal("--sizes needs a comma list of log-sizes");
+            }
+            pos = comma + 1;
+        }
+    } else {
+        sizes.assign(args.batch, args.log_gates);
+    }
+    for (unsigned n : sizes)
+        if (n < 8 || n > 24)
+            fatal("task log-size %u out of range [8, 24]", n);
+
+    gpusim::Device dev(specByName(args.gpu));
+    SystemOptions opt;
+    opt.functional = 0;
+    opt.seed = args.seed;
+    PipelinedZkpSystem system(dev, opt);
+    std::vector<sched::ProofTask> tasks;
+    tasks.reserve(sizes.size());
+    for (size_t i = 0; i < sizes.size(); ++i)
+        tasks.push_back(makeProofTask(sizes[i], opt.seed, i));
+    auto result = system.runTasks(std::move(tasks));
+
+    std::printf("device      : %s (%u lanes @ %.2f GHz)\n",
+                dev.spec().name.c_str(), dev.spec().cuda_cores,
+                dev.spec().clock_ghz);
+    std::printf("workload    : %zu tasks, log-sizes %s\n",
+                sizes.size(),
+                args.sizes.empty()
+                    ? ("uniform " + std::to_string(args.log_gates))
+                          .c_str()
+                    : args.sizes.c_str());
+    size_t cycles = 0;
+    for (const auto &ts : result.task_stats)
+        cycles = std::max(cycles, ts.complete_cycle + 1);
+    std::printf("makespan    : %.3f ms over %zu pipeline cycles\n",
+                result.stats.total_ms, cycles);
+    std::printf("throughput  : %.2f proofs/s\n",
+                result.stats.throughput_per_ms * 1e3);
+    std::printf("pacing cycle: %.3f ms (comm %.3f / comp %.3f)\n",
+                result.cycle_ms, result.comm_ms_per_cycle,
+                result.comp_ms_per_cycle);
+
+    TablePrinter table({"task", "log-size", "admit cyc", "complete cyc",
+                        "wait cyc", "turnaround ms"});
+    for (const auto &ts : result.task_stats)
+        table.addRow({std::to_string(ts.id),
+                      std::to_string(ts.n_vars),
+                      std::to_string(ts.admit_cycle),
+                      std::to_string(ts.complete_cycle),
+                      std::to_string(ts.queue_wait_cycles),
+                      formatSig(ts.complete_ms, 4)});
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -498,9 +577,10 @@ main(int argc, char **argv)
         std::fprintf(
             stderr,
             "usage: batchzk <prove|verify|info|simulate|trace|metrics|"
-            "chaos> [--log-gates N] [--seed S] [--system table|full] "
-            "[--in FILE] [--out FILE] [--gpu NAME] [--batch B] "
-            "[--faults PLAN] [--format prom|json]\n");
+            "chaos|sched> [--log-gates N] [--seed S] "
+            "[--system table|full] [--in FILE] [--out FILE] "
+            "[--gpu NAME] [--batch B] [--faults PLAN] "
+            "[--format prom|json] [--sizes N,N,...]\n");
         return 2;
     }
     if (args.command == "prove")
@@ -517,6 +597,8 @@ main(int argc, char **argv)
         return cmdMetrics(args);
     if (args.command == "chaos")
         return cmdChaos(args);
+    if (args.command == "sched")
+        return cmdSched(args);
     std::fprintf(stderr, "unknown command '%s'\n", args.command.c_str());
     return 2;
 }
