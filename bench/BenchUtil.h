@@ -18,11 +18,29 @@
 #include <utility>
 #include <vector>
 
+#include "exec/ExecContext.h"
 #include "obs/Metrics.h"
 #include "util/Log.h"
 #include "util/Stats.h"
 
 namespace bzk::bench {
+
+/**
+ * Consume an optional `--threads <n>` flag and install it as the
+ * process-wide host-thread default (exec::setDefaultThreads), so every
+ * ExecContext the bench creates — directly or deep inside the provers —
+ * resolves to it. Returns the resolved count (with no flag: BZK_THREADS
+ * or hardware concurrency). Call once at the top of main().
+ */
+inline size_t
+applyThreadsFlag(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::string(argv[i]) == "--threads")
+            exec::setDefaultThreads(
+                std::strtoull(argv[i + 1], nullptr, 10));
+    return exec::resolveThreads(0);
+}
 
 /**
  * Machine-readable sidecar for one bench binary. Construct it from

@@ -25,6 +25,7 @@ using namespace bzk::bench;
 int
 main(int argc, char **argv)
 {
+    applyThreadsFlag(argc, argv);
     gpusim::Device dev(gpusim::DeviceSpec::gh200());
     Rng rng(0xab1a);
     JsonBench json("bench_ablation", argc, argv);

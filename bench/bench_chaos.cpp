@@ -81,6 +81,7 @@ corruptionPlan(size_t period, size_t horizon)
 int
 main(int argc, char **argv)
 {
+    applyThreadsFlag(argc, argv);
     const uint64_t seed = 2024;
     JsonBench json("bench_chaos", argc, argv);
     json.meta("device", "GH200");

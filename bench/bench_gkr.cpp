@@ -20,6 +20,7 @@ using namespace bzk::bench;
 int
 main(int argc, char **argv)
 {
+    applyThreadsFlag(argc, argv);
     gpusim::Device dev(gpusim::DeviceSpec::gh200());
     JsonBench json("bench_gkr", argc, argv);
     json.meta("device", dev.spec().name);

@@ -17,6 +17,7 @@ using namespace bzk::bench;
 int
 main(int argc, char **argv)
 {
+    applyThreadsFlag(argc, argv);
     Rng rng(0xdead08);
     const unsigned logs = 20;
     JsonBench json("bench_gpus", argc, argv);

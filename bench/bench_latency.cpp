@@ -18,6 +18,7 @@ using namespace bzk::bench;
 int
 main(int argc, char **argv)
 {
+    applyThreadsFlag(argc, argv);
     gpusim::Device dev(gpusim::DeviceSpec::gh200());
     Rng rng(0xdead06);
     JsonBench json("bench_latency", argc, argv);

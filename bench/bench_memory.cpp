@@ -26,6 +26,7 @@ fmtGb(uint64_t bytes)
 int
 main(int argc, char **argv)
 {
+    applyThreadsFlag(argc, argv);
     gpusim::Device dev(gpusim::DeviceSpec::gh200());
     Rng rng(0xdead10);
     JsonBench json("bench_memory", argc, argv);

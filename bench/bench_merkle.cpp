@@ -19,10 +19,12 @@ using namespace bzk::bench;
 int
 main(int argc, char **argv)
 {
+    size_t threads = applyThreadsFlag(argc, argv);
     gpusim::Device dev(gpusim::DeviceSpec::gh200());
     Rng rng(0xdead01);
     JsonBench json("bench_merkle", argc, argv);
     json.meta("device", dev.spec().name);
+    json.meta("threads", std::to_string(threads));
 
     TablePrinter table({"Size", "Orion(CPU) t/ms", "Simon(GPU) t/ms",
                         "Ours(GPU) t/ms", "vs CPU", "vs GPU"});
@@ -57,7 +59,9 @@ main(int argc, char **argv)
 
     printTable("Table 3: throughput of Merkle tree modules (GH200 spec)",
                table,
-               "CPU column measured on this host (single thread); GPU "
-               "columns from the calibrated simulator.");
+               "CPU column measured on this host (" +
+                   std::to_string(threads) +
+                   " thread(s), --threads / BZK_THREADS); GPU "
+                   "columns from the calibrated simulator.");
     return 0;
 }

@@ -7,11 +7,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "core/TensorPcs.h"
 #include "curve/Msm.h"
+#include "exec/ExecContext.h"
 #include "encoder/SpielmanCode.h"
 #include "ff/Fields.h"
 #include "ff/Ntt.h"
@@ -34,6 +36,72 @@ BM_Sha256Compress(benchmark::State &state)
     }
 }
 BENCHMARK(BM_Sha256Compress);
+
+void
+BM_Sha256Compress4(benchmark::State &state)
+{
+    uint8_t blocks[4 * 64] = {1, 2, 3};
+    Digest out[4];
+    for (auto _ : state) {
+        Sha256::compressBlocks4(blocks, out);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_Sha256Compress4);
+
+void
+BM_Sha256Compress8(benchmark::State &state)
+{
+    uint8_t blocks[8 * 64] = {1, 2, 3};
+    Digest out[8];
+    for (auto _ : state) {
+        Sha256::compressBlocks8(blocks, out);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_Sha256Compress8);
+
+/**
+ * One Merkle layer via hashPair (per-node schedule setup + digest
+ * staging copies) vs. hashPairs (in-place multi-way compression) —
+ * the hot-loop hoisting this layer's build path now uses.
+ */
+void
+BM_MerkleLayerHashPair(benchmark::State &state)
+{
+    size_t pairs = static_cast<size_t>(state.range(0));
+    std::vector<Digest> below(2 * pairs);
+    std::vector<Digest> above(pairs);
+    for (size_t i = 0; i < below.size(); ++i)
+        below[i].bytes[0] = static_cast<uint8_t>(i);
+    for (auto _ : state) {
+        for (size_t i = 0; i < pairs; ++i)
+            above[i] = Sha256::hashPair(below[2 * i], below[2 * i + 1]);
+        benchmark::DoNotOptimize(above.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(pairs));
+}
+BENCHMARK(BM_MerkleLayerHashPair)->Range(1 << 8, 1 << 12);
+
+void
+BM_MerkleLayerHashPairs(benchmark::State &state)
+{
+    size_t pairs = static_cast<size_t>(state.range(0));
+    std::vector<Digest> below(2 * pairs);
+    std::vector<Digest> above(pairs);
+    for (size_t i = 0; i < below.size(); ++i)
+        below[i].bytes[0] = static_cast<uint8_t>(i);
+    for (auto _ : state) {
+        Sha256::hashPairs(below.data(), pairs, above.data());
+        benchmark::DoNotOptimize(above.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(pairs));
+}
+BENCHMARK(BM_MerkleLayerHashPairs)->Range(1 << 8, 1 << 12);
 
 void
 BM_Sha256Digest1K(benchmark::State &state)
@@ -213,7 +281,8 @@ BENCHMARK(BM_GkrProveLayer)->DenseRange(6, 10, 2);
 
 // Custom main so `--json <path>` works like the table benches: it is
 // translated into google-benchmark's JSON reporter flags before
-// Initialize() consumes argv.
+// Initialize() consumes argv. `--threads <n>` is consumed the same way
+// and installed as the process-wide host-thread default.
 int
 main(int argc, char **argv)
 {
@@ -223,6 +292,12 @@ main(int argc, char **argv)
         if (std::string(argv[i]) == "--json" && i + 1 < argc) {
             out_flag = "--benchmark_out=" + std::string(argv[i + 1]);
             fmt_flag = "--benchmark_out_format=json";
+            ++i;
+            continue;
+        }
+        if (std::string(argv[i]) == "--threads" && i + 1 < argc) {
+            bzk::exec::setDefaultThreads(
+                std::strtoull(argv[i + 1], nullptr, 10));
             ++i;
             continue;
         }

@@ -16,6 +16,7 @@ using namespace bzk::bench;
 int
 main(int argc, char **argv)
 {
+    applyThreadsFlag(argc, argv);
     Rng rng(0xdead09);
     const unsigned logs = 20;
     JsonBench json("bench_overlap", argc, argv);

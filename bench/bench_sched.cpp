@@ -52,6 +52,7 @@ runTasks(std::vector<sched::ProofTask> tasks)
 int
 main(int argc, char **argv)
 {
+    applyThreadsFlag(argc, argv);
     const unsigned small_vars = 16, large_vars = 20;
     const size_t batch = 64;
     const uint64_t seed = 2024;

@@ -18,10 +18,12 @@ using namespace bzk::bench;
 int
 main(int argc, char **argv)
 {
+    size_t threads = applyThreadsFlag(argc, argv);
     gpusim::Device dev(gpusim::DeviceSpec::gh200());
     Rng rng(0xdead02);
     JsonBench json("bench_sumcheck", argc, argv);
     json.meta("device", dev.spec().name);
+    json.meta("threads", std::to_string(threads));
 
     TablePrinter table({"Size", "Arkworks(CPU) p/ms", "Icicle(GPU) p/ms",
                         "Ours(GPU) p/ms", "vs CPU", "vs GPU"});
@@ -53,8 +55,10 @@ main(int argc, char **argv)
 
     printTable("Table 4: throughput of sum-check modules (GH200 spec)",
                table,
-               "CPU column measured on this host (single thread, like the "
-               "arkworks sumcheck crate); both GPU drivers stream tables "
-               "from host memory as the paper's module does.");
+               "CPU column measured on this host (" +
+                   std::to_string(threads) +
+                   " thread(s), like arkworks with rayon); both GPU "
+                   "drivers stream tables from host memory as the "
+                   "paper's module does.");
     return 0;
 }

@@ -21,6 +21,7 @@ using namespace bzk::bench;
 int
 main(int argc, char **argv)
 {
+    applyThreadsFlag(argc, argv);
     gpusim::Device dev(gpusim::DeviceSpec::gh200());
     Rng rng(0xdead07);
     JsonBench json("bench_system", argc, argv);

@@ -48,6 +48,7 @@ printTrace(const std::string &label, gpusim::Device &dev)
 int
 main(int argc, char **argv)
 {
+    applyThreadsFlag(argc, argv);
     Rng rng(0xdead12);
     JsonBench json("bench_utilization", argc, argv);
     json.meta("device", "3090Ti");

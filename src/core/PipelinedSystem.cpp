@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "encoder/GpuEncoder.h"
+#include "exec/ExecContext.h"
 #include "gpusim/Calibration.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
@@ -142,16 +143,43 @@ PipelinedZkpSystem::run(size_t batch, unsigned n_vars, Rng &rng)
 {
     SystemRunResult result;
 
-    // Functional proofs on the real prover, then verified.
+    // Functional proofs on the real prover (multi-core host), then
+    // verified.
     if (n_vars <= opt_.max_functional_vars) {
         size_t count = std::min(batch, opt_.functional);
+        exec::ExecConfig exec_cfg;
+        exec_cfg.threads = opt_.threads;
+        exec::ExecContext exec(exec_cfg);
         Snark<Fr> snark(n_vars, opt_.seed, opt_.column_openings);
+        snark.setExec(&exec);
         for (size_t i = 0; i < count; ++i) {
             auto tables = randomInstance(n_vars, rng);
             auto proof = snark.prove(tables, {});
             result.verified =
                 result.verified && snark.verify(proof, {});
             result.proofs.push_back(std::move(proof));
+        }
+        if (metrics_ && count > 0) {
+            metrics_
+                ->gauge("bzk_host_threads",
+                        "host threads used by the functional prover")
+                .set(static_cast<double>(exec.threads()));
+            metrics_
+                ->gauge("bzk_host_parallel_efficiency",
+                        "busy / (wall * threads) over host regions")
+                .set(exec.parallelEfficiency());
+            metrics_
+                ->gauge("bzk_host_encoder_ms",
+                        "host wall ms in encoder regions")
+                .set(exec.stats("encoder").wall_ms);
+            metrics_
+                ->gauge("bzk_host_merkle_ms",
+                        "host wall ms in Merkle regions")
+                .set(exec.stats("merkle").wall_ms);
+            metrics_
+                ->gauge("bzk_host_sumcheck_ms",
+                        "host wall ms in sum-check regions")
+                .set(exec.stats("sumcheck").wall_ms);
         }
     }
 
@@ -315,36 +343,51 @@ SameModulesCpuBaseline::run(size_t batch, unsigned n_vars, Rng &rng)
     size_t k, m;
     pcsShape(nm, k, m);
 
-    // Encoder phase, measured: 3k real row encodings.
+    // Multi-core host baseline, like the Orion/Arkworks provers the
+    // paper measures; thread count from opt_.threads / BZK_THREADS.
+    exec::ExecConfig exec_cfg;
+    exec_cfg.threads = opt_.threads;
+    exec::ExecContext exec(exec_cfg);
+
+    // Encoder phase, measured: 3k real row encodings split across rows.
     SpielmanCode<Fr> code(m, opt_.seed);
-    std::vector<std::vector<Fr>> encoded;
-    encoded.reserve(3 * k);
+    std::vector<std::vector<Fr>> encoded(3 * k);
     Timer enc_timer;
-    for (const std::vector<Fr> *table : {&tables.a, &tables.b, &tables.c}) {
-        for (size_t row = 0; row < k; ++row) {
-            std::span<const Fr> msg(table->data() + row * m, m);
-            encoded.push_back(code.encode(msg));
-        }
+    {
+        const std::vector<Fr> *table_of[3] = {&tables.a, &tables.b,
+                                              &tables.c};
+        auto encode_rows = [&](size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i) {
+                const std::vector<Fr> &table = *table_of[i / k];
+                std::span<const Fr> msg(table.data() + (i % k) * m, m);
+                encoded[i] = code.encode(msg);
+            }
+        };
+        exec.parallelFor(3 * k, /*serial_cutoff=*/2, encode_rows);
     }
     double enc_ms = enc_timer.milliseconds();
 
     // Merkle phase, measured: column hashing + trees for the 3 tables.
     Timer merkle_timer;
-    std::vector<uint8_t> buf(k * Fr::kNumBytes);
     for (size_t t = 0; t < 3; ++t) {
         std::vector<Digest> leaves(2 * m);
-        for (size_t col = 0; col < 2 * m; ++col) {
-            for (size_t row = 0; row < k; ++row)
-                encoded[t * k + row][col].toBytes(buf.data() +
-                                                  row * Fr::kNumBytes);
-            leaves[col] = Sha256::digest(buf);
-        }
-        MerkleTree::buildFromLeaves(std::move(leaves));
+        auto hash_cols = [&](size_t begin, size_t end) {
+            std::vector<uint8_t> buf(k * Fr::kNumBytes);
+            for (size_t col = begin; col < end; ++col) {
+                for (size_t row = 0; row < k; ++row)
+                    encoded[t * k + row][col].toBytes(
+                        buf.data() + row * Fr::kNumBytes);
+                leaves[col] = Sha256::digest(buf);
+            }
+        };
+        exec.parallelFor(2 * m, /*serial_cutoff=*/2, hash_cols);
+        MerkleTree::buildFromLeaves(std::move(leaves), &exec);
     }
     double merkle_ms = merkle_timer.milliseconds();
 
     // Full prover, measured; sum-check time = total - enc - merkle.
     Snark<Fr> snark(nm, opt_.seed, opt_.column_openings);
+    snark.setExec(&exec);
     Timer total_timer;
     auto proof = snark.prove(tables, {});
     double total_ms = total_timer.milliseconds();

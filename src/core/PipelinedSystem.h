@@ -46,6 +46,12 @@ struct SystemOptions
     /** Public encoder seed. */
     uint64_t seed = 2024;
     /**
+     * Host threads for the functional provers (0 = resolve from the
+     * --threads override, BZK_THREADS, then hardware concurrency; see
+     * exec::resolveThreads). Proofs are bit-identical for any value.
+     */
+    size_t threads = 0;
+    /**
      * Ablation: overlap host transfers with compute via multi-stream
      * (the paper's technique). When false, each cycle's input transfer
      * serializes with its computation.

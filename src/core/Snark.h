@@ -22,6 +22,7 @@
  * and soundness parameters are test-sized by default).
  */
 
+#include <array>
 #include <span>
 #include <vector>
 
@@ -87,6 +88,13 @@ class Snark
     /** The PCS instance (exposed for cost accounting). */
     const TensorPcs<F> &pcs() const { return pcs_; }
 
+    /**
+     * Attach a host execution context: commits, sum-check rounds, and
+     * openings run across its thread pool. The context must outlive the
+     * prover calls; proofs are bit-identical for any thread count.
+     */
+    void setExec(const exec::ExecContext *exec) { exec_ = exec; }
+
     /** Prove that the tables satisfy a*b = c row-wise. */
     SnarkProof<F>
     prove(const ConstraintTables<F> &tables,
@@ -100,9 +108,9 @@ class Snark
         absorbStatement(transcript, public_inputs);
 
         // 1. Commit (encoder + Merkle modules).
-        auto st_a = pcs_.commit(tables.a);
-        auto st_b = pcs_.commit(tables.b);
-        auto st_c = pcs_.commit(tables.c);
+        auto st_a = pcs_.commit(tables.a, exec_);
+        auto st_b = pcs_.commit(tables.b, exec_);
+        auto st_c = pcs_.commit(tables.c, exec_);
         transcript.absorbDigest("com.a", st_a.commitment.root);
         transcript.absorbDigest("com.b", st_b.commitment.root);
         transcript.absorbDigest("com.c", st_c.commitment.root);
@@ -126,9 +134,9 @@ class Snark
         transcript.absorbField("open.vb", proof.vb);
         transcript.absorbField("open.vc", proof.vc);
 
-        proof.open_a = pcs_.open(st_a, point, transcript);
-        proof.open_b = pcs_.open(st_b, point, transcript);
-        proof.open_c = pcs_.open(st_c, point, transcript);
+        proof.open_a = pcs_.open(st_a, point, transcript, exec_);
+        proof.open_b = pcs_.open(st_b, point, transcript, exec_);
+        proof.open_c = pcs_.open(st_c, point, transcript, exec_);
 
         proof.commit_a = st_a.commitment;
         proof.commit_b = st_b.commitment;
@@ -212,7 +220,9 @@ class Snark
 
     /**
      * Prover for sum_x eq(tau,x)(a(x)b(x) - c(x)) = 0; round polynomials
-     * are cubic, transmitted as evaluations at 0..3.
+     * are cubic, transmitted as evaluations at 0..3. Round sums use the
+     * fixed-shape chunked reduction, so the transcript (and hence the
+     * whole proof) is bit-identical for any thread count.
      */
     ProductSumcheckProof<F>
     proveConstraintSumcheck(const ConstraintTables<F> &tables,
@@ -224,43 +234,63 @@ class Snark
         std::vector<F> a = tables.a;
         std::vector<F> b = tables.b;
         std::vector<F> c = tables.c;
+        if (exec_)
+            exec_->setRegion("sumcheck");
 
         ProductSumcheckProof<F> proof;
         proof.rounds.reserve(n_vars_);
         const F two = F::fromUint(2);
         const F three = F::fromUint(3);
+        using Sums = std::array<F, 4>;
         for (unsigned round = 0; round < n_vars_; ++round) {
             size_t half = a.size() / 2;
-            std::vector<F> g(4, F::zero());
-            for (size_t x = 0; x < half; ++x) {
-                // Evaluate each factor's restriction at t = 0,1,2,3 via
-                // the affine form lo + t*(hi - lo).
-                F d_eq = eq[x + half] - eq[x];
-                F d_a = a[x + half] - a[x];
-                F d_b = b[x + half] - b[x];
-                F d_c = c[x + half] - c[x];
-                auto term = [&](const F &t) {
-                    F eq_t = eq[x] + t * d_eq;
-                    F a_t = a[x] + t * d_a;
-                    F b_t = b[x] + t * d_b;
-                    F c_t = c[x] + t * d_c;
-                    return eq_t * (a_t * b_t - c_t);
-                };
-                g[0] += eq[x] * (a[x] * b[x] - c[x]);
-                g[1] += eq[x + half] *
-                        (a[x + half] * b[x + half] - c[x + half]);
-                g[2] += term(two);
-                g[3] += term(three);
-            }
+            auto chunk_sums = [&](size_t begin, size_t end) {
+                Sums s{F::zero(), F::zero(), F::zero(), F::zero()};
+                for (size_t x = begin; x < end; ++x) {
+                    // Evaluate each factor's restriction at t = 0,1,2,3
+                    // via the affine form lo + t*(hi - lo).
+                    F d_eq = eq[x + half] - eq[x];
+                    F d_a = a[x + half] - a[x];
+                    F d_b = b[x + half] - b[x];
+                    F d_c = c[x + half] - c[x];
+                    auto term = [&](const F &t) {
+                        F eq_t = eq[x] + t * d_eq;
+                        F a_t = a[x] + t * d_a;
+                        F b_t = b[x] + t * d_b;
+                        F c_t = c[x] + t * d_c;
+                        return eq_t * (a_t * b_t - c_t);
+                    };
+                    s[0] += eq[x] * (a[x] * b[x] - c[x]);
+                    s[1] += eq[x + half] *
+                            (a[x + half] * b[x + half] - c[x + half]);
+                    s[2] += term(two);
+                    s[3] += term(three);
+                }
+                return s;
+            };
+            Sums sums = exec::reduceChunked<Sums>(
+                exec_, half,
+                Sums{F::zero(), F::zero(), F::zero(), F::zero()},
+                chunk_sums, [](const Sums &l, const Sums &r) {
+                    return Sums{l[0] + r[0], l[1] + r[1], l[2] + r[2],
+                                l[3] + r[3]};
+                });
+            std::vector<F> g(sums.begin(), sums.end());
             for (const F &gi : g)
                 transcript.absorbField("csc.g", gi);
             F r = transcript.template challengeField<F>("csc.r");
-            for (size_t x = 0; x < half; ++x) {
-                eq[x] = eq[x] + r * (eq[x + half] - eq[x]);
-                a[x] = a[x] + r * (a[x + half] - a[x]);
-                b[x] = b[x] + r * (b[x + half] - b[x]);
-                c[x] = c[x] + r * (c[x + half] - c[x]);
-            }
+            auto fold = [&](size_t begin, size_t end) {
+                for (size_t x = begin; x < end; ++x) {
+                    eq[x] = eq[x] + r * (eq[x + half] - eq[x]);
+                    a[x] = a[x] + r * (a[x + half] - a[x]);
+                    b[x] = b[x] + r * (b[x + half] - b[x]);
+                    c[x] = c[x] + r * (c[x + half] - c[x]);
+                }
+            };
+            if (exec_)
+                exec_->parallelFor(half, fold);
+            else
+                fold(0, half);
             eq.resize(half);
             a.resize(half);
             b.resize(half);
@@ -273,6 +303,7 @@ class Snark
 
     unsigned n_vars_;
     TensorPcs<F> pcs_;
+    const exec::ExecContext *exec_ = nullptr;
 };
 
 } // namespace bzk

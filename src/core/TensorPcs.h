@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "encoder/SpielmanCode.h"
+#include "exec/ExecContext.h"
 #include "hash/Sha256.h"
 #include "hash/Transcript.h"
 #include "merkle/MerkleTree.h"
@@ -98,9 +99,15 @@ class TensorPcs
     /** The underlying code (exposed for cost accounting). */
     const SpielmanCode<F> &code() const { return code_; }
 
-    /** Commit to a 2^n_vars evaluation table. */
+    /**
+     * Commit to a 2^n_vars evaluation table. With a non-null @p exec
+     * the k row encodings, the 2m column hashes, and every Merkle
+     * layer run across host threads; the commitment is bit-identical
+     * for any thread count.
+     */
     PcsProverState<F>
-    commit(std::vector<F> poly) const
+    commit(std::vector<F> poly, const exec::ExecContext *exec = nullptr)
+        const
     {
         size_t k = size_t{1} << row_vars_;
         size_t m = size_t{1} << col_vars_;
@@ -108,23 +115,43 @@ class TensorPcs
             panic("TensorPcs::commit: table size %zu != 2^%u", poly.size(),
                   n_vars_);
 
+        // Rows are independent messages: parallelize across rows with
+        // serial per-row encodes (the outer loop has enough slots; a
+        // nested parallel encode would only add scheduling overhead).
         PcsProverState<F> state;
-        state.encoded_rows.reserve(k);
-        for (size_t row = 0; row < k; ++row) {
-            std::span<const F> message(poly.data() + row * m, m);
-            state.encoded_rows.push_back(code_.encode(message));
-        }
+        state.encoded_rows.resize(k);
+        if (exec)
+            exec->setRegion("encoder");
+        auto encode_rows = [&](size_t begin, size_t end) {
+            for (size_t row = begin; row < end; ++row) {
+                std::span<const F> message(poly.data() + row * m, m);
+                state.encoded_rows[row] = code_.encode(message);
+            }
+        };
+        if (exec)
+            exec->parallelFor(k, /*serial_cutoff=*/2, encode_rows);
+        else
+            encode_rows(0, k);
 
-        // Hash each of the 2m codeword columns into a leaf.
+        // Hash each of the 2m codeword columns into a leaf; one
+        // serialization scratch buffer per worker chunk.
         std::vector<Digest> leaves(2 * m);
-        std::vector<uint8_t> buf(k * F::kNumBytes);
-        for (size_t col = 0; col < 2 * m; ++col) {
-            for (size_t row = 0; row < k; ++row)
-                state.encoded_rows[row][col].toBytes(
-                    buf.data() + row * F::kNumBytes);
-            leaves[col] = Sha256::digest(buf);
-        }
-        state.tree = MerkleTree::buildFromLeaves(std::move(leaves));
+        if (exec)
+            exec->setRegion("merkle");
+        auto hash_cols = [&](size_t begin, size_t end) {
+            std::vector<uint8_t> buf(k * F::kNumBytes);
+            for (size_t col = begin; col < end; ++col) {
+                for (size_t row = 0; row < k; ++row)
+                    state.encoded_rows[row][col].toBytes(
+                        buf.data() + row * F::kNumBytes);
+                leaves[col] = Sha256::digest(buf);
+            }
+        };
+        if (exec)
+            exec->parallelFor(2 * m, /*serial_cutoff=*/2, hash_cols);
+        else
+            hash_cols(0, 2 * m);
+        state.tree = MerkleTree::buildFromLeaves(std::move(leaves), exec);
         state.commitment.root = state.tree.root();
         state.commitment.n_vars = n_vars_;
         state.poly = std::move(poly);
@@ -143,10 +170,16 @@ class TensorPcs
         return ml.evaluate(point);
     }
 
-    /** Produce an opening proof for @p point. */
+    /**
+     * Produce an opening proof for @p point. @p exec parallelizes the
+     * two row-combination passes across columns; each output column
+     * accumulates its rows in the same ascending order as the serial
+     * pass, so the proof is bit-identical.
+     */
     PcsEvalProof<F>
     open(const PcsProverState<F> &state, const std::vector<F> &point,
-         Transcript &transcript) const
+         Transcript &transcript,
+         const exec::ExecContext *exec = nullptr) const
     {
         if (point.size() != n_vars_)
             panic("TensorPcs::open: point size %zu != %u", point.size(),
@@ -156,24 +189,46 @@ class TensorPcs
 
         std::vector<F> r_row(point.begin(), point.begin() + row_vars_);
         auto eq_row = eqTable(r_row);
+        if (exec)
+            exec->setRegion("sumcheck");
 
         PcsEvalProof<F> proof;
         proof.eval_row.assign(m, F::zero());
-        for (size_t row = 0; row < k; ++row)
-            for (size_t col = 0; col < m; ++col)
-                proof.eval_row[col] +=
-                    eq_row[row] * state.poly[row * m + col];
+        auto eval_cols = [&](size_t begin, size_t end) {
+            for (size_t col = begin; col < end; ++col) {
+                F acc = F::zero();
+                for (size_t row = 0; row < k; ++row)
+                    acc += eq_row[row] * state.poly[row * m + col];
+                proof.eval_row[col] = acc;
+            }
+        };
+        if (exec)
+            exec->parallelFor(m, /*serial_cutoff=*/8, eval_cols);
+        else
+            eval_cols(0, m);
 
         // Proximity combination with gamma powers, gamma derived after
         // the commitment was absorbed by the caller.
         F gamma = transcript.template challengeField<F>("pcs.gamma");
-        proof.proximity_row.assign(m, F::zero());
+        std::vector<F> gamma_pow(k);
         F g = F::one();
         for (size_t row = 0; row < k; ++row) {
-            for (size_t col = 0; col < m; ++col)
-                proof.proximity_row[col] += g * state.poly[row * m + col];
+            gamma_pow[row] = g;
             g *= gamma;
         }
+        proof.proximity_row.assign(m, F::zero());
+        auto prox_cols = [&](size_t begin, size_t end) {
+            for (size_t col = begin; col < end; ++col) {
+                F acc = F::zero();
+                for (size_t row = 0; row < k; ++row)
+                    acc += gamma_pow[row] * state.poly[row * m + col];
+                proof.proximity_row[col] = acc;
+            }
+        };
+        if (exec)
+            exec->parallelFor(m, /*serial_cutoff=*/8, prox_cols);
+        else
+            prox_cols(0, m);
 
         for (const F &v : proof.eval_row)
             transcript.absorbField("pcs.eval_row", v);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "encoder/SpielmanCode.h"
+#include "exec/ExecContext.h"
 #include "gpusim/Calibration.h"
 #include "util/Timer.h"
 
@@ -65,11 +66,12 @@ encodeFunctional(size_t count, size_t k, Rng &rng)
     if (count == 0)
         return out;
     SpielmanCode<Fr> code(k, /*seed=*/0xbadc0de5 + k);
+    exec::ExecContext exec;
     for (size_t i = 0; i < count; ++i) {
         std::vector<Fr> message(k);
         for (auto &m : message)
             m = Fr::random(rng);
-        out.push_back(code.encode(message));
+        out.push_back(code.encode(message, &exec));
     }
     return out;
 }
@@ -335,9 +337,12 @@ CpuEncoderBaseline::run(size_t batch, size_t k, Rng &rng,
             x = Fr::random(rng);
     }
 
+    // Multi-core host baseline, like the Orion encoder the paper
+    // measures; thread count from --threads / BZK_THREADS.
+    exec::ExecContext exec;
     Timer timer;
     for (size_t i = 0; i < samples; ++i) {
-        auto cw = code.encode(messages[i]);
+        auto cw = code.encode(messages[i], &exec);
         if (codewords)
             codewords->push_back(std::move(cw));
     }

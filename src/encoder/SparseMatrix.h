@@ -13,10 +13,12 @@
  * megabytes instead of gigabytes while preserving exact linearity.
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "exec/ExecContext.h"
 #include "util/Log.h"
 #include "util/Rng.h"
 
@@ -69,18 +71,57 @@ class SparseMatrix
     void
     mulVec(std::span<const F> x, std::span<F> out) const
     {
+        mulVec(x, out, nullptr);
+    }
+
+    /**
+     * mulVec with optional host parallelism: rows are partitioned into
+     * groups of roughly equal non-zero count (the host analogue of the
+     * GPU's bucket-sorted warps — workers finish together instead of
+     * straggling on a run of long rows) and the groups run across the
+     * pool. Rows write disjoint outputs, so the result is bit-identical
+     * to the serial pass.
+     */
+    void
+    mulVec(std::span<const F> x, std::span<F> out,
+           const exec::ExecContext *exec) const
+    {
         if (x.size() != cols_ || out.size() != rows())
             panic("SparseMatrix::mulVec: shape mismatch "
                   "(%zu x %zu vs in %zu out %zu)",
                   rows(), cols_, x.size(), out.size());
-        for (size_t r = 0; r < rows(); ++r) {
-            F acc = F::zero();
-            for (size_t e = offsets_[r]; e < offsets_[r + 1]; ++e) {
-                acc += x[entries_[e].col] *
-                       F::fromUint(entries_[e].coeff);
+        auto run_rows = [&](size_t begin, size_t end) {
+            for (size_t r = begin; r < end; ++r) {
+                F acc = F::zero();
+                for (size_t e = offsets_[r]; e < offsets_[r + 1]; ++e) {
+                    acc += x[entries_[e].col] *
+                           F::fromUint(entries_[e].coeff);
+                }
+                out[r] = acc;
             }
-            out[r] = acc;
+        };
+        if (!exec || exec->threads() <= 1 ||
+            nnz() < exec->serialCutoff()) {
+            run_rows(0, rows());
+            return;
         }
+        // Group boundaries balanced on nnz via the CSR offsets, then
+        // one pool item per group.
+        size_t groups = std::min(rows(), exec->threads() * 4);
+        std::vector<size_t> bounds(groups + 1, rows());
+        bounds[0] = 0;
+        for (size_t g = 1; g < groups; ++g) {
+            size_t target = g * nnz() / groups;
+            bounds[g] = static_cast<size_t>(
+                std::lower_bound(offsets_.begin(), offsets_.end(),
+                                 target) -
+                offsets_.begin());
+        }
+        exec->parallelFor(groups, /*serial_cutoff=*/2,
+                          [&](size_t g_begin, size_t g_end) {
+                              for (size_t g = g_begin; g < g_end; ++g)
+                                  run_rows(bounds[g], bounds[g + 1]);
+                          });
     }
 
   private:

@@ -55,14 +55,19 @@ class SpielmanCode
 
     /**
      * Encode @p message (length k) into a codeword of length 2k.
-     * Linear in the message by construction.
+     * Linear in the message by construction. With a non-null @p exec
+     * every sparse stage (and the dense base case) splits its rows
+     * across host threads; codewords are bit-identical either way.
      */
     std::vector<F>
-    encode(std::span<const F> message) const
+    encode(std::span<const F> message,
+           const exec::ExecContext *exec = nullptr) const
     {
         if (message.size() != messageLength())
             panic("SpielmanCode::encode: message length %zu != %zu",
                   message.size(), messageLength());
+        if (exec)
+            exec->setRegion("encoder");
 
         size_t depth = a_.size();
         // Forward pass: x_{l+1} = A_l x_l (first multiplications).
@@ -70,7 +75,7 @@ class SpielmanCode
         xs[0].assign(message.begin(), message.end());
         for (size_t l = 0; l < depth; ++l) {
             xs[l + 1].resize(a_[l].rows());
-            a_[l].mulVec(xs[l], xs[l + 1]);
+            a_[l].mulVec(xs[l], xs[l + 1], exec);
         }
 
         // Base case: z = [x | M x].
@@ -78,12 +83,18 @@ class SpielmanCode
         std::vector<F> z(2 * bk);
         for (size_t i = 0; i < bk; ++i)
             z[i] = xs[depth][i];
-        for (size_t r = 0; r < bk; ++r) {
-            F acc = F::zero();
-            for (size_t c = 0; c < bk; ++c)
-                acc += xs[depth][c] * F::fromUint(base_[r * bk + c]);
-            z[bk + r] = acc;
-        }
+        auto base_rows = [&](size_t begin, size_t end) {
+            for (size_t r = begin; r < end; ++r) {
+                F acc = F::zero();
+                for (size_t c = 0; c < bk; ++c)
+                    acc += xs[depth][c] * F::fromUint(base_[r * bk + c]);
+                z[bk + r] = acc;
+            }
+        };
+        if (exec)
+            exec->parallelFor(bk, /*serial_cutoff=*/64, base_rows);
+        else
+            base_rows(0, bk);
 
         // Reverse pass: z_l = [x_l | z_{l+1} | B_l z_{l+1}] (second
         // multiplications, smallest stage first — Figure 6).
@@ -93,7 +104,7 @@ class SpielmanCode
             std::copy(xs[l].begin(), xs[l].end(), out.begin());
             std::copy(z.begin(), z.end(), out.begin() + k_l);
             std::span<F> v(out.data() + k_l + z.size(), k_l / 2);
-            b_[l].mulVec(z, v);
+            b_[l].mulVec(z, v, exec);
             z = std::move(out);
         }
         return z;

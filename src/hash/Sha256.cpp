@@ -33,6 +33,75 @@ rotr(uint32_t x, int n)
     return (x >> n) | (x << (32 - n));
 }
 
+static_assert(sizeof(Digest) == 32,
+              "hashPairs reads adjacent digests as one 64-byte block");
+
+/**
+ * N independent compressions with interleaved message schedules: every
+ * per-round value is an N-lane array with the lane index innermost, so
+ * the rotate/add/select chains vectorize across the independent blocks
+ * instead of serializing on one block's dependency chain.
+ */
+template <int N>
+void
+compressNBlocks(const uint8_t *blocks, Digest *out)
+{
+    uint32_t w[64][N];
+    for (int i = 0; i < 16; ++i) {
+        for (int lane = 0; lane < N; ++lane) {
+            const uint8_t *b = blocks + 64 * lane + 4 * i;
+            w[i][lane] = (static_cast<uint32_t>(b[0]) << 24) |
+                         (static_cast<uint32_t>(b[1]) << 16) |
+                         (static_cast<uint32_t>(b[2]) << 8) |
+                         static_cast<uint32_t>(b[3]);
+        }
+    }
+    for (int i = 16; i < 64; ++i) {
+        for (int lane = 0; lane < N; ++lane) {
+            uint32_t x = w[i - 15][lane];
+            uint32_t y = w[i - 2][lane];
+            uint32_t s0 = rotr(x, 7) ^ rotr(x, 18) ^ (x >> 3);
+            uint32_t s1 = rotr(y, 17) ^ rotr(y, 19) ^ (y >> 10);
+            w[i][lane] = w[i - 16][lane] + s0 + w[i - 7][lane] + s1;
+        }
+    }
+
+    uint32_t v[8][N];
+    for (int i = 0; i < 8; ++i)
+        for (int lane = 0; lane < N; ++lane)
+            v[i][lane] = kInit[i];
+    for (int i = 0; i < 64; ++i) {
+        for (int lane = 0; lane < N; ++lane) {
+            uint32_t e = v[4][lane];
+            uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+            uint32_t ch = (e & v[5][lane]) ^ (~e & v[6][lane]);
+            uint32_t t1 =
+                v[7][lane] + s1 + ch + kRound[i] + w[i][lane];
+            uint32_t a = v[0][lane];
+            uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+            uint32_t maj = (a & v[1][lane]) ^ (a & v[2][lane]) ^
+                           (v[1][lane] & v[2][lane]);
+            uint32_t t2 = s0 + maj;
+            v[7][lane] = v[6][lane];
+            v[6][lane] = v[5][lane];
+            v[5][lane] = v[4][lane];
+            v[4][lane] = v[3][lane] + t1;
+            v[3][lane] = v[2][lane];
+            v[2][lane] = v[1][lane];
+            v[1][lane] = v[0][lane];
+            v[0][lane] = t1 + t2;
+        }
+    }
+    for (int lane = 0; lane < N; ++lane) {
+        for (int i = 0; i < 8; ++i) {
+            uint32_t s = kInit[i] + v[i][lane];
+            for (int j = 0; j < 4; ++j)
+                out[lane].bytes[i * 4 + j] =
+                    static_cast<uint8_t>(s >> (24 - 8 * j));
+        }
+    }
+}
+
 } // namespace
 
 std::string
@@ -125,6 +194,34 @@ Sha256::hashPair(const Digest &left, const Digest &right)
     std::memcpy(block, left.bytes.data(), 32);
     std::memcpy(block + 32, right.bytes.data(), 32);
     return compressBlock(std::span<const uint8_t, 64>(block, 64));
+}
+
+void
+Sha256::compressBlocks4(const uint8_t *blocks, Digest *out)
+{
+    compressNBlocks<4>(blocks, out);
+}
+
+void
+Sha256::compressBlocks8(const uint8_t *blocks, Digest *out)
+{
+    compressNBlocks<8>(blocks, out);
+}
+
+void
+Sha256::hashPairs(const Digest *children, size_t n_pairs, Digest *out)
+{
+    const uint8_t *blocks = reinterpret_cast<const uint8_t *>(children);
+    size_t i = 0;
+    for (; i + 8 <= n_pairs; i += 8)
+        compressBlocks8(blocks + 64 * i, out + i);
+    if (i + 4 <= n_pairs) {
+        compressBlocks4(blocks + 64 * i, out + i);
+        i += 4;
+    }
+    for (; i < n_pairs; ++i)
+        out[i] = compressBlock(
+            std::span<const uint8_t, 64>(blocks + 64 * i, 64));
 }
 
 void

@@ -60,6 +60,28 @@ class Sha256
     /** compressBlock over the concatenation of two digests. */
     static Digest hashPair(const Digest &left, const Digest &right);
 
+    /**
+     * Compress 4 independent 512-bit blocks with interleaved message
+     * schedules — the scalar analogue of the paper's one-thread-per-
+     * node Merkle kernel, laid out so the compiler can vectorize
+     * across the lanes. Bit-identical to 4 compressBlock calls.
+     * @p blocks holds 4 consecutive 64-byte blocks.
+     */
+    static void compressBlocks4(const uint8_t *blocks, Digest *out);
+
+    /** compressBlocks4, 8 lanes wide. */
+    static void compressBlocks8(const uint8_t *blocks, Digest *out);
+
+    /**
+     * Hash @p n_pairs sibling pairs: out[i] = hashPair(children[2i],
+     * children[2i+1]). Adjacent digests are read in place as one
+     * 64-byte block (no per-node staging copies) and compressed with
+     * the widest multi-way kernel that fits — the Merkle layer hot
+     * loop. @p out may not alias @p children.
+     */
+    static void hashPairs(const Digest *children, size_t n_pairs,
+                          Digest *out);
+
   private:
     static void compress(uint32_t state[8], const uint8_t block[64]);
 

@@ -50,9 +50,10 @@ void
 buildFunctionalTrees(size_t count, size_t n_blocks, Rng &rng,
                      std::vector<Digest> *roots)
 {
+    exec::ExecContext exec;
     for (size_t i = 0; i < count; ++i) {
         auto blocks = randomBlocks(n_blocks, rng);
-        MerkleTree tree = MerkleTree::build(blocks);
+        MerkleTree tree = MerkleTree::build(blocks, &exec);
         if (roots)
             roots->push_back(tree.root());
     }
@@ -273,9 +274,12 @@ CpuMerkleBaseline::run(size_t batch, size_t n_blocks, Rng &rng,
     for (size_t i = 0; i < samples; ++i)
         inputs.push_back(randomBlocks(n_blocks, rng));
 
+    // Multi-core host baseline, like the Orion hasher the paper
+    // measures; thread count from --threads / BZK_THREADS.
+    exec::ExecContext exec;
     Timer timer;
     for (size_t i = 0; i < samples; ++i) {
-        MerkleTree tree = MerkleTree::build(inputs[i]);
+        MerkleTree tree = MerkleTree::build(inputs[i], &exec);
         if (roots)
             roots->push_back(tree.root());
     }

@@ -19,7 +19,8 @@ nextPow2(size_t n)
 
 } // namespace
 
-MerkleTree::MerkleTree(std::vector<Digest> leaves, size_t data_compressions)
+MerkleTree::MerkleTree(std::vector<Digest> leaves, size_t data_compressions,
+                       const exec::ExecContext *exec)
 {
     if (leaves.empty())
         panic("MerkleTree: no leaves");
@@ -27,42 +28,75 @@ MerkleTree::MerkleTree(std::vector<Digest> leaves, size_t data_compressions)
     leaves.resize(padded); // zero digests pad the tail
     compressions_ = data_compressions;
 
+    if (exec)
+        exec->setRegion("merkle");
     layers_.push_back(std::move(leaves));
     while (layers_.back().size() > 1) {
         const auto &below = layers_.back();
         std::vector<Digest> above(below.size() / 2);
-        for (size_t i = 0; i < above.size(); ++i) {
-            above[i] = Sha256::hashPair(below[2 * i], below[2 * i + 1]);
-            ++compressions_;
-        }
+        // The layer hot loop: sibling pairs are read in place and
+        // compressed with the multi-way kernel; layers split across
+        // host threads when an ExecContext is supplied.
+        auto hash_range = [&](size_t begin, size_t end) {
+            Sha256::hashPairs(below.data() + 2 * begin, end - begin,
+                              above.data() + begin);
+        };
+        if (exec)
+            exec->parallelFor(above.size(), hash_range);
+        else
+            hash_range(0, above.size());
+        compressions_ += above.size();
         layers_.push_back(std::move(above));
     }
 }
 
 MerkleTree
-MerkleTree::build(std::span<const uint8_t> data)
+MerkleTree::build(std::span<const uint8_t> data,
+                  const exec::ExecContext *exec)
 {
     size_t blocks = (data.size() + 63) / 64;
     if (blocks == 0)
         blocks = 1;
+    if (exec)
+        exec->setRegion("merkle");
     std::vector<Digest> leaves(blocks);
-    for (size_t i = 0; i < blocks; ++i) {
-        uint8_t block[64] = {0};
-        size_t offset = i * 64;
-        size_t len = offset < data.size()
-                         ? std::min<size_t>(64, data.size() - offset)
-                         : 0;
-        if (len > 0)
-            std::memcpy(block, data.data() + offset, len);
-        leaves[i] = Sha256::compressBlock(std::span<const uint8_t, 64>(block));
-    }
-    return MerkleTree(std::move(leaves), blocks);
+    auto leaf_range = [&](size_t begin, size_t end) {
+        size_t i = begin;
+        // Whole blocks compress straight out of the input buffer,
+        // 8 interleaved schedules at a time.
+        size_t full = std::min(end, data.size() / 64);
+        for (; i + 8 <= full; i += 8)
+            Sha256::compressBlocks8(data.data() + 64 * i,
+                                    leaves.data() + i);
+        for (; i < full; ++i)
+            leaves[i] = Sha256::compressBlock(
+                std::span<const uint8_t, 64>(data.data() + 64 * i, 64));
+        // A ragged tail block is zero-padded into a stack staging
+        // buffer (at most one per build).
+        for (; i < end; ++i) {
+            uint8_t block[64] = {0};
+            size_t offset = i * 64;
+            size_t len = offset < data.size()
+                             ? std::min<size_t>(64, data.size() - offset)
+                             : 0;
+            if (len > 0)
+                std::memcpy(block, data.data() + offset, len);
+            leaves[i] =
+                Sha256::compressBlock(std::span<const uint8_t, 64>(block));
+        }
+    };
+    if (exec)
+        exec->parallelFor(blocks, leaf_range);
+    else
+        leaf_range(0, blocks);
+    return MerkleTree(std::move(leaves), blocks, exec);
 }
 
 MerkleTree
-MerkleTree::buildFromLeaves(std::vector<Digest> leaves)
+MerkleTree::buildFromLeaves(std::vector<Digest> leaves,
+                            const exec::ExecContext *exec)
 {
-    return MerkleTree(std::move(leaves), 0);
+    return MerkleTree(std::move(leaves), 0, exec);
 }
 
 const Digest &

@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "exec/ExecContext.h"
 #include "hash/Sha256.h"
 
 namespace bzk {
@@ -37,15 +38,21 @@ class MerkleTree
     /**
      * Build a tree over @p data interpreted as 64-byte blocks. The block
      * count is padded with zero blocks up to the next power of two.
+     * With a non-null @p exec, leaf compression and each tree layer are
+     * hashed in parallel across host threads; the root is bit-identical
+     * for any thread count (pinned by test_merkle).
      */
-    static MerkleTree build(std::span<const uint8_t> data);
+    static MerkleTree build(std::span<const uint8_t> data,
+                            const exec::ExecContext *exec = nullptr);
 
     /**
      * Build a tree whose leaves are the given digests (e.g. column
      * hashes from the polynomial commitment). Padded with zero digests
-     * to a power of two.
+     * to a power of two. @p exec as in build().
      */
-    static MerkleTree buildFromLeaves(std::vector<Digest> leaves);
+    static MerkleTree buildFromLeaves(std::vector<Digest> leaves,
+                                      const exec::ExecContext *exec =
+                                          nullptr);
 
     /** The Merkle root. */
     const Digest &root() const { return layers_.back()[0]; }
@@ -73,7 +80,8 @@ class MerkleTree
                            const MerklePath &path);
 
   private:
-    explicit MerkleTree(std::vector<Digest> leaves, size_t data_compressions);
+    MerkleTree(std::vector<Digest> leaves, size_t data_compressions,
+               const exec::ExecContext *exec);
 
     std::vector<std::vector<Digest>> layers_;
     size_t compressions_ = 0;

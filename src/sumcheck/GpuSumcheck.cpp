@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/ExecContext.h"
 #include "gpusim/Calibration.h"
 #include "util/Timer.h"
 
@@ -39,11 +40,12 @@ void
 buildFunctionalProofs(size_t count, unsigned n, Rng &rng,
                       std::vector<SumcheckProof<Fr>> *proofs)
 {
+    exec::ExecContext exec;
     for (size_t i = 0; i < count; ++i) {
         auto poly = Multilinear<Fr>::random(n, rng);
         Transcript transcript("batchzk.sumcheck.module");
         transcript.absorbField("sum", poly.sumOverHypercube());
-        auto fs = proveSumcheckFs(poly, transcript);
+        auto fs = proveSumcheckFs(poly, transcript, &exec);
         if (proofs)
             proofs->push_back(std::move(fs.proof));
     }
@@ -226,11 +228,14 @@ CpuSumcheckBaseline::run(size_t batch, unsigned n, Rng &rng,
     for (size_t i = 0; i < samples; ++i)
         polys.push_back(Multilinear<Fr>::random(n, rng));
 
+    // Multi-core host baseline, like the Arkworks prover the paper
+    // measures; thread count from --threads / BZK_THREADS.
+    exec::ExecContext exec;
     Timer timer;
     for (size_t i = 0; i < samples; ++i) {
         Transcript transcript("batchzk.sumcheck.module");
         transcript.absorbField("sum", polys[i].sumOverHypercube());
-        auto fs = proveSumcheckFs(polys[i], transcript);
+        auto fs = proveSumcheckFs(polys[i], transcript, &exec);
         if (proofs)
             proofs->push_back(std::move(fs.proof));
     }

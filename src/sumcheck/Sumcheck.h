@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "exec/ExecContext.h"
 #include "hash/Transcript.h"
 #include "poly/Multilinear.h"
 #include "util/Log.h"
@@ -117,30 +118,50 @@ struct FsSumcheck
 /**
  * Non-interactive Algorithm 1: challenges come from @p transcript, which
  * must already have absorbed the statement (commitment, claimed sum).
+ * With a non-null @p exec each round's half-table sums run in parallel
+ * chunks under a fixed-shape tree reduction and the fold splits across
+ * host threads; proof bytes are bit-identical for any thread count.
  */
 template <typename F>
 FsSumcheck<F>
-proveSumcheckFs(const Multilinear<F> &poly, Transcript &transcript)
+proveSumcheckFs(const Multilinear<F> &poly, Transcript &transcript,
+                const exec::ExecContext *exec = nullptr)
 {
     unsigned n = poly.numVars();
     FsSumcheck<F> out;
     out.proof.rounds.reserve(n);
     std::vector<F> table = poly.evals();
+    if (exec)
+        exec->setRegion("sumcheck");
+    using Pair = std::array<F, 2>;
     for (unsigned i = 0; i < n; ++i) {
         size_t half = table.size() / 2;
-        F pi1 = F::zero();
-        F pi2 = F::zero();
-        for (size_t b = 0; b < half; ++b) {
-            pi1 += table[b];
-            pi2 += table[b + half];
-        }
-        transcript.absorbField("sc.pi1", pi1);
-        transcript.absorbField("sc.pi2", pi2);
+        Pair sums = exec::reduceChunked<Pair>(
+            exec, half, Pair{F::zero(), F::zero()},
+            [&table, half](size_t begin, size_t end) {
+                Pair acc{F::zero(), F::zero()};
+                for (size_t b = begin; b < end; ++b) {
+                    acc[0] += table[b];
+                    acc[1] += table[b + half];
+                }
+                return acc;
+            },
+            [](const Pair &x, const Pair &y) {
+                return Pair{x[0] + y[0], x[1] + y[1]};
+            });
+        transcript.absorbField("sc.pi1", sums[0]);
+        transcript.absorbField("sc.pi2", sums[1]);
         F r = transcript.template challengeField<F>("sc.r");
-        for (size_t b = 0; b < half; ++b)
-            table[b] = table[b] + r * (table[b + half] - table[b]);
+        auto fold = [&table, half, &r](size_t begin, size_t end) {
+            for (size_t b = begin; b < end; ++b)
+                table[b] = table[b] + r * (table[b + half] - table[b]);
+        };
+        if (exec)
+            exec->parallelFor(half, fold);
+        else
+            fold(0, half);
         table.resize(half);
-        out.proof.rounds.push_back({pi1, pi2});
+        out.proof.rounds.push_back({sums[0], sums[1]});
         out.challenges.push_back(r);
     }
     return out;
@@ -186,7 +207,8 @@ template <typename F>
 ProductSumcheckProof<F>
 proveProductSumcheckFs(std::vector<Multilinear<F>> &factors,
                        Transcript &transcript,
-                       std::vector<F> *point_out = nullptr)
+                       std::vector<F> *point_out = nullptr,
+                       const exec::ExecContext *exec = nullptr)
 {
     if (factors.empty())
         panic("proveProductSumcheckFs: no factors");
@@ -196,32 +218,53 @@ proveProductSumcheckFs(std::vector<Multilinear<F>> &factors,
             panic("proveProductSumcheckFs: mismatched factor sizes");
     size_t degree = factors.size();
 
+    if (exec)
+        exec->setRegion("sumcheck");
     ProductSumcheckProof<F> proof;
     proof.rounds.reserve(n);
     for (unsigned i = 0; i < n; ++i) {
         size_t half = factors[0].evals().size() / 2;
         // g(t) for t = 0 .. degree: evaluate each factor at
-        // (1-t)*lo + t*hi and accumulate the product.
-        std::vector<F> g(degree + 1, F::zero());
-        for (size_t b = 0; b < half; ++b) {
-            for (size_t t = 0; t <= degree; ++t) {
-                F t_f = F::fromUint(t);
-                F term = F::one();
-                for (const auto &f : factors) {
-                    const F &lo = f.evals()[b];
-                    const F &hi = f.evals()[b + half];
-                    term *= lo + t_f * (hi - lo);
+        // (1-t)*lo + t*hi and accumulate the product. Fixed-shape
+        // chunk reduction keeps the sums thread-count independent.
+        std::vector<F> identity(degree + 1, F::zero());
+        std::vector<F> g = exec::reduceChunked<std::vector<F>>(
+            exec, half, identity,
+            [&factors, &identity, half, degree](size_t begin, size_t end) {
+                std::vector<F> acc = identity;
+                for (size_t b = begin; b < end; ++b) {
+                    for (size_t t = 0; t <= degree; ++t) {
+                        F t_f = F::fromUint(t);
+                        F term = F::one();
+                        for (const auto &f : factors) {
+                            const F &lo = f.evals()[b];
+                            const F &hi = f.evals()[b + half];
+                            term *= lo + t_f * (hi - lo);
+                        }
+                        acc[t] += term;
+                    }
                 }
-                g[t] += term;
-            }
-        }
+                return acc;
+            },
+            [degree](const std::vector<F> &x, const std::vector<F> &y) {
+                std::vector<F> sum(degree + 1);
+                for (size_t t = 0; t <= degree; ++t)
+                    sum[t] = x[t] + y[t];
+                return sum;
+            });
         for (size_t t = 0; t <= degree; ++t)
             transcript.absorbField("psc.g", g[t]);
         F r = transcript.template challengeField<F>("psc.r");
         for (auto &f : factors) {
             auto &tab = f.evals();
-            for (size_t b = 0; b < half; ++b)
-                tab[b] = tab[b] + r * (tab[b + half] - tab[b]);
+            auto fold = [&tab, half, &r](size_t begin, size_t end) {
+                for (size_t b = begin; b < end; ++b)
+                    tab[b] = tab[b] + r * (tab[b + half] - tab[b]);
+            };
+            if (exec)
+                exec->parallelFor(half, fold);
+            else
+                fold(0, half);
             tab.resize(half);
             // Rewrap keeps the invariant table-size == power of two.
             f = Multilinear<F>(std::move(tab));

@@ -1,6 +1,7 @@
 #include "util/ThreadPool.h"
 
 #include <algorithm>
+#include <exception>
 
 namespace bzk {
 
@@ -51,11 +52,26 @@ ThreadPool::parallelFor(size_t n,
         return;
     size_t chunks = std::min(n, workers_.size() * 4);
     size_t chunk = (n + chunks - 1) / chunks;
+    // An exception escaping workerLoop() would std::terminate the
+    // process, so every chunk is fenced here and the first failure is
+    // rethrown on the caller once all chunks have drained.
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
     for (size_t begin = 0; begin < n; begin += chunk) {
         size_t end = std::min(n, begin + chunk);
-        submit([&body, begin, end] { body(begin, end); });
+        submit([&body, &first_error, &error_mutex, begin, end] {
+            try {
+                body(begin, end);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        });
     }
     wait();
+    if (first_error)
+        std::rethrow_exception(first_error);
 }
 
 void

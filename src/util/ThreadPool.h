@@ -41,7 +41,9 @@ class ThreadPool
 
     /**
      * Split [0, n) into contiguous chunks and run @p body(begin, end) on the
-     * pool, blocking until all chunks finish.
+     * pool, blocking until all chunks finish. If any chunk throws, the
+     * first exception (in completion order) is rethrown on the calling
+     * thread after every chunk has finished; the pool stays usable.
      */
     void parallelFor(size_t n,
                      const std::function<void(size_t, size_t)> &body);

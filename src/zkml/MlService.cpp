@@ -1,6 +1,7 @@
 #include "zkml/MlService.h"
 
 #include "core/Snark.h"
+#include "exec/ExecContext.h"
 #include "obs/Metrics.h"
 #include "util/Log.h"
 #include "zkml/CircuitCompiler.h"
@@ -14,7 +15,10 @@ VerifiableMlService::VerifiableMlService(gpusim::Device &dev, Rng &rng,
     // Preprocessing (Sec. 5): Merkle-commit the model parameters. The
     // root binds the provider: every proof's circuit includes the
     // committed weights, so substituting a model changes the root.
-    MerkleTree tree = MerkleTree::build(model_.weightBytes());
+    exec::ExecConfig exec_cfg;
+    exec_cfg.threads = opt_.threads;
+    exec::ExecContext exec(exec_cfg);
+    MerkleTree tree = MerkleTree::build(model_.weightBytes(), &exec);
     model_root_ = tree.root();
 
     size_t gates = model_.proofGateCount();
@@ -73,6 +77,9 @@ VerifiableMlService::serveBatch(size_t batch, Rng &rng,
         CnnModel tiny(CnnConfig::tiny(), rng);
         auto compiled = compileCnn<Fr>(tiny);
         auto witness = witnessFromModel<Fr>(tiny);
+        exec::ExecConfig exec_cfg;
+        exec_cfg.threads = opt_.threads;
+        exec::ExecContext exec(exec_cfg);
         for (size_t i = 0; i < functional_proofs; ++i) {
             Tensor image(tiny.config().in_channels,
                          tiny.config().in_height, tiny.config().in_width);
@@ -83,6 +90,7 @@ VerifiableMlService::serveBatch(size_t batch, Rng &rng,
             auto tables = compiled.circuit.buildTables(assignment);
             Snark<Fr> snark(tables.n_vars, opt_.seed,
                             opt_.column_openings);
+            snark.setExec(&exec);
             auto proof = snark.prove(tables, inputs);
             result.functional_verified =
                 result.functional_verified &&

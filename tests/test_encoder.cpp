@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "encoder/GpuEncoder.h"
 #include "encoder/SparseMatrix.h"
 #include "encoder/SpielmanCode.h"
@@ -179,6 +181,53 @@ TYPED_TEST(SpielmanT, Deterministic)
     for (auto &m : msg)
         m = F::random(rng);
     EXPECT_EQ(c1.encode(msg), c2.encode(msg));
+}
+
+TYPED_TEST(SpielmanT, CodewordBitIdenticalAcrossThreadCounts)
+{
+    // The row-grouped parallel sparse stages write disjoint outputs,
+    // so the codeword must not depend on the thread count — including
+    // small codes that fall under the serial cutoff.
+    using F = TypeParam;
+    Rng rng(91);
+    size_t hw = std::thread::hardware_concurrency();
+    for (size_t k : {size_t{64}, size_t{1024}}) {
+        SpielmanCode<F> code(k, 23);
+        std::vector<F> msg(k);
+        for (auto &m : msg)
+            m = F::random(rng);
+        auto serial = code.encode(msg);
+        for (size_t threads :
+             {size_t{1}, size_t{2}, hw ? hw : size_t{4}}) {
+            exec::ExecConfig cfg;
+            cfg.threads = threads;
+            exec::ExecContext exec(cfg);
+            EXPECT_EQ(code.encode(msg, &exec), serial)
+                << "k=" << k << " threads=" << threads;
+        }
+    }
+}
+
+TEST(SparseMatrix, MulVecParallelMatchesSerial)
+{
+    Rng rng(92);
+    std::vector<uint8_t> degrees(301);
+    for (auto &d : degrees)
+        d = static_cast<uint8_t>(1 + rng.nextBounded(9));
+    SparseMatrix<Fr> m(degrees, /*cols=*/257, rng);
+    std::vector<Fr> x(257);
+    for (auto &v : x)
+        v = Fr::random(rng);
+    std::vector<Fr> serial(m.rows());
+    m.mulVec(x, serial);
+
+    exec::ExecConfig cfg;
+    cfg.threads = 4;
+    cfg.serial_cutoff = 1; // force the grouped parallel path
+    exec::ExecContext exec(cfg);
+    std::vector<Fr> parallel(m.rows());
+    m.mulVec(x, parallel, &exec);
+    EXPECT_EQ(parallel, serial);
 }
 
 TYPED_TEST(SpielmanT, DistinctMessagesDistinctCodewords)

@@ -8,6 +8,7 @@
 
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "ff/Fields.h"
 #include "hash/Sha256.h"
@@ -100,6 +101,66 @@ TEST(Sha256, HashPairDeterministicAndOrderSensitive)
     Digest b = digestOfString("right");
     EXPECT_EQ(Sha256::hashPair(a, b), Sha256::hashPair(a, b));
     EXPECT_NE(Sha256::hashPair(a, b), Sha256::hashPair(b, a));
+}
+
+TEST(Sha256, CompressBlocks4MatchesScalar)
+{
+    uint8_t blocks[4 * 64];
+    for (size_t i = 0; i < sizeof(blocks); ++i)
+        blocks[i] = static_cast<uint8_t>(i * 31 + 7);
+    Digest out[4];
+    Sha256::compressBlocks4(blocks, out);
+    for (size_t lane = 0; lane < 4; ++lane) {
+        Digest ref = Sha256::compressBlock(
+            std::span<const uint8_t, 64>(blocks + 64 * lane, 64));
+        EXPECT_EQ(out[lane], ref) << "lane " << lane;
+    }
+}
+
+TEST(Sha256, CompressBlocks8MatchesScalar)
+{
+    uint8_t blocks[8 * 64];
+    for (size_t i = 0; i < sizeof(blocks); ++i)
+        blocks[i] = static_cast<uint8_t>(i * 131 + 17);
+    Digest out[8];
+    Sha256::compressBlocks8(blocks, out);
+    for (size_t lane = 0; lane < 8; ++lane) {
+        Digest ref = Sha256::compressBlock(
+            std::span<const uint8_t, 64>(blocks + 64 * lane, 64));
+        EXPECT_EQ(out[lane], ref) << "lane " << lane;
+    }
+}
+
+TEST(Sha256, CompressBlocks4KnownAnswer)
+{
+    // Lane 0 carries the FIPS 180-4 one-block padded message for "abc";
+    // the multi-way path must reproduce the canonical digest exactly.
+    uint8_t blocks[4 * 64] = {0};
+    blocks[0] = 'a';
+    blocks[1] = 'b';
+    blocks[2] = 'c';
+    blocks[3] = 0x80;
+    blocks[63] = 24; // bit length
+    Digest out[4];
+    Sha256::compressBlocks4(blocks, out);
+    EXPECT_EQ(out[0].toHex(),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, HashPairsMatchesHashPairForAllLaneWidths)
+{
+    // 21 pairs = two 8-wide groups, one 4-wide group, one scalar pair:
+    // every code path in the multi-way layer hasher.
+    std::vector<Digest> children(42);
+    for (size_t i = 0; i < children.size(); ++i)
+        children[i] = digestOfString("child" + std::to_string(i));
+    std::vector<Digest> out(21);
+    Sha256::hashPairs(children.data(), out.size(), out.data());
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], Sha256::hashPair(children[2 * i],
+                                           children[2 * i + 1]))
+            << "pair " << i;
 }
 
 TEST(Transcript, DeterministicReplay)

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
+#include "exec/ExecContext.h"
 #include "gpusim/Device.h"
 #include "merkle/GpuMerkle.h"
 #include "merkle/MerkleTree.h"
@@ -131,6 +134,41 @@ TEST(MerkleTree, BuildFromLeaves)
     Digest l = Sha256::hashPair(leaves[0], leaves[1]);
     Digest r = Sha256::hashPair(leaves[2], leaves[3]);
     EXPECT_EQ(t.root(), Sha256::hashPair(l, r));
+}
+
+TEST(MerkleTree, RootBitIdenticalAcrossThreadCounts)
+{
+    // 1000 blocks: not a power of two, so the build path exercises
+    // padding, the multi-way leaf hasher's ragged tail, and every
+    // parallel layer. The root must not depend on the thread count.
+    std::vector<uint8_t> data(1000 * 64);
+    for (size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<uint8_t>(i * 37 + 11);
+    Digest serial_root = MerkleTree::build(data).root();
+
+    size_t hw = std::thread::hardware_concurrency();
+    for (size_t threads : {size_t{1}, size_t{2}, hw ? hw : size_t{4}}) {
+        exec::ExecConfig cfg;
+        cfg.threads = threads;
+        exec::ExecContext exec(cfg);
+        MerkleTree t = MerkleTree::build(data, &exec);
+        EXPECT_EQ(t.root(), serial_root) << "threads=" << threads;
+        EXPECT_EQ(t.compressions(), MerkleTree::build(data).compressions())
+            << "threads=" << threads;
+    }
+}
+
+TEST(MerkleTree, PathsVerifyOnParallelBuild)
+{
+    std::vector<uint8_t> data(64 * 64, 0x3c);
+    exec::ExecConfig cfg;
+    cfg.threads = 4;
+    exec::ExecContext exec(cfg);
+    MerkleTree t = MerkleTree::build(data, &exec);
+    for (size_t leaf : {size_t{0}, size_t{17}, size_t{63}}) {
+        MerklePath p = t.path(leaf);
+        EXPECT_TRUE(MerkleTree::verifyPath(t.root(), t.leaf(leaf), p));
+    }
 }
 
 class GpuMerkleTest : public ::testing::Test

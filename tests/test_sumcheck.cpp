@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
+#include "exec/ExecContext.h"
 #include "ff/Fields.h"
 #include "gpusim/Device.h"
 #include "sumcheck/GpuSumcheck.h"
@@ -151,6 +154,60 @@ TYPED_TEST(SumcheckT, FiatShamirBindsStatement)
     bool caught =
         !verdict.ok || verdict.final_claim != poly.evaluate(verdict.point);
     EXPECT_TRUE(caught);
+}
+
+TYPED_TEST(SumcheckT, FsProofBitIdenticalAcrossThreadCounts)
+{
+    // The fixed-shape chunked reduction must make round polynomials —
+    // and hence challenges and the whole proof — independent of the
+    // thread count, including n below the serial cutoff.
+    using F = TypeParam;
+    Rng rng(61);
+    for (unsigned n : {3u, 9u, 12u}) {
+        auto poly = Multilinear<F>::random(n, rng);
+        Transcript st("fs-threads");
+        auto serial = proveSumcheckFs(poly, st);
+
+        size_t hw = std::thread::hardware_concurrency();
+        for (size_t threads :
+             {size_t{1}, size_t{2}, hw ? hw : size_t{4}}) {
+            exec::ExecConfig cfg;
+            cfg.threads = threads;
+            exec::ExecContext exec(cfg);
+            Transcript pt("fs-threads");
+            auto fs = proveSumcheckFs(poly, pt, &exec);
+            ASSERT_EQ(fs.proof.rounds, serial.proof.rounds)
+                << "n=" << n << " threads=" << threads;
+            EXPECT_EQ(fs.challenges, serial.challenges);
+        }
+    }
+}
+
+TYPED_TEST(SumcheckT, ProductFsProofBitIdenticalAcrossThreadCounts)
+{
+    using F = TypeParam;
+    Rng rng(62);
+    std::vector<Multilinear<F>> factors{Multilinear<F>::random(8, rng),
+                                        Multilinear<F>::random(8, rng),
+                                        Multilinear<F>::random(8, rng)};
+    auto serial_factors = factors;
+    Transcript st("psc-threads");
+    std::vector<F> serial_point;
+    auto serial =
+        proveProductSumcheckFs(serial_factors, st, &serial_point);
+
+    for (size_t threads : {size_t{2}, size_t{5}}) {
+        exec::ExecConfig cfg;
+        cfg.threads = threads;
+        exec::ExecContext exec(cfg);
+        auto par_factors = factors;
+        Transcript pt("psc-threads");
+        std::vector<F> point;
+        auto proof =
+            proveProductSumcheckFs(par_factors, pt, &point, &exec);
+        ASSERT_EQ(proof.rounds, serial.rounds) << "threads=" << threads;
+        EXPECT_EQ(point, serial_point);
+    }
 }
 
 TYPED_TEST(SumcheckT, ProductSumcheckCompleteness)

@@ -6,8 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "baseline/OldProtocol.h"
 #include "core/PipelinedSystem.h"
+#include "core/Serialize.h"
 #include "gpusim/Device.h"
 
 namespace bzk {
@@ -28,6 +31,28 @@ TEST_F(SystemTest, FunctionalProofsVerify)
     auto result = system.run(4, 10, rng);
     EXPECT_EQ(result.proofs.size(), 2u);
     EXPECT_TRUE(result.verified);
+}
+
+TEST_F(SystemTest, ProofBytesBitIdenticalAcrossThreadCounts)
+{
+    // End-to-end pin of the host-parallel prover: the serialized proof
+    // bytes (commitments, every sum-check round, every opening) must
+    // not depend on SystemOptions::threads.
+    auto proofBytes = [&](size_t threads) {
+        SystemOptions opt;
+        opt.functional = 1;
+        opt.threads = threads;
+        Rng rng(42);
+        PipelinedZkpSystem system(dev_, opt);
+        auto result = system.run(1, 10, rng);
+        EXPECT_TRUE(result.verified) << "threads=" << threads;
+        EXPECT_EQ(result.proofs.size(), 1u);
+        return serializeProof(result.proofs.at(0));
+    };
+    auto reference = proofBytes(1);
+    EXPECT_EQ(proofBytes(2), reference);
+    size_t hw = std::thread::hardware_concurrency();
+    EXPECT_EQ(proofBytes(hw ? hw : 4), reference);
 }
 
 TEST_F(SystemTest, WorkModelComponentsPositive)

@@ -13,6 +13,8 @@
 #include "util/Hex.h"
 #include "util/Rng.h"
 #include "util/Stats.h"
+#include <stdexcept>
+
 #include "util/ThreadPool.h"
 
 namespace bzk {
@@ -257,6 +259,36 @@ TEST(ThreadPool, WaitWithNoJobsReturns)
     ThreadPool pool(2);
     pool.wait();
     SUCCEED();
+}
+
+TEST(ThreadPool, ParallelForPropagatesWorkerException)
+{
+    // Regression: a throwing body used to escape the worker loop and
+    // std::terminate the process; now the first exception is rethrown
+    // on the caller after all chunks finish.
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(100,
+                                  [](size_t b, size_t) {
+                                      if (b == 0)
+                                          throw std::runtime_error("x");
+                                  }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, UsableAfterParallelForException)
+{
+    ThreadPool pool(3);
+    try {
+        pool.parallelFor(100, [](size_t, size_t) {
+            throw std::runtime_error("x");
+        });
+    } catch (const std::runtime_error &) {
+    }
+    std::atomic<int> counter{0};
+    pool.parallelFor(50, [&counter](size_t b, size_t e) {
+        counter.fetch_add(static_cast<int>(e - b));
+    });
+    EXPECT_EQ(counter.load(), 50);
 }
 
 } // namespace

@@ -44,6 +44,7 @@
 #include "core/PipelinedSystem.h"
 #include "core/Serialize.h"
 #include "core/Snark.h"
+#include "exec/ExecContext.h"
 #include "gpusim/Device.h"
 #include "gpusim/FaultInjector.h"
 #include "obs/Metrics.h"
@@ -98,6 +99,7 @@ struct Args
     std::string faults;
     std::string format = "prom"; // metrics output: "prom" or "json"
     std::string sizes;           // sched: comma list of task log-sizes
+    size_t threads = 0;          // host threads (0 = env/hardware)
 };
 
 bool
@@ -137,6 +139,8 @@ parse(int argc, char **argv, Args &args)
             args.format = value;
         else if (key == "--sizes")
             args.sizes = value;
+        else if (key == "--threads")
+            args.threads = std::stoull(value);
         else
             return false;
     }
@@ -200,6 +204,8 @@ cmdProve(const Args &args)
     } else if (args.system == "table") {
         auto tables = circuit.buildTables(assignment);
         Snark<Fr> snark(tables.n_vars, args.seed);
+        exec::ExecContext exec;
+        snark.setExec(&exec);
         auto proof = snark.prove(tables, inputs);
         std::printf("proved in %.1f ms (%zu-byte proof)\n",
                     timer.milliseconds(), proof.sizeBytes());
@@ -380,8 +386,11 @@ cmdMetrics(const Args &args)
     gpusim::Device dev(specByName(args.gpu));
     obs::MetricsRegistry metrics;
     SystemOptions opt;
-    opt.functional = 0;
+    // Prove one task for real so the bzk_host_* gauges report actual
+    // host-execution timing alongside the simulated counters.
+    opt.functional = 1;
     opt.seed = args.seed;
+    opt.threads = args.threads;
     PipelinedZkpSystem system(dev, opt);
     system.setObservability(&metrics, nullptr);
     Rng rng(args.seed);
@@ -580,9 +589,12 @@ main(int argc, char **argv)
             "chaos|sched> [--log-gates N] [--seed S] "
             "[--system table|full] [--in FILE] [--out FILE] "
             "[--gpu NAME] [--batch B] [--faults PLAN] "
-            "[--format prom|json] [--sizes N,N,...]\n");
+            "[--format prom|json] [--sizes N,N,...] [--threads T]\n");
         return 2;
     }
+    // One process-wide default: every ExecContext resolved with
+    // threads = 0 (prove, simulate, baselines) picks this up.
+    exec::setDefaultThreads(args.threads);
     if (args.command == "prove")
         return cmdProve(args);
     if (args.command == "verify")
