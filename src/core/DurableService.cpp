@@ -1,0 +1,207 @@
+#include "core/DurableService.h"
+
+#include <algorithm>
+
+#include "core/Serialize.h"
+#include "exec/ExecContext.h"
+#include "obs/Metrics.h"
+#include "util/Log.h"
+#include "util/Timer.h"
+
+namespace bzk {
+
+namespace {
+
+/** Instance derivation: the idempotency key and the public seed pin
+ *  the witness stream, so a re-proved task is bit-identical. */
+Rng
+taskRng(const journal::TaskRecord &task)
+{
+    uint64_t mix = task.seed ^ (task.task_id * 0x9e3779b97f4a7c15ULL);
+    return Rng(mix ^ (uint64_t{task.n_vars} << 56));
+}
+
+} // namespace
+
+DurableProofService::DurableProofService(
+    gpusim::Device &dev, journal::JournalOptions journal_opt,
+    SystemOptions opt, obs::MetricsRegistry *metrics)
+    : dev_(dev), opt_(opt), metrics_(metrics)
+{
+    Timer timer;
+    auto replayed = journal::replayJournal(journal_opt.dir, metrics_);
+    journal_ = std::make_unique<journal::Journal>(
+        std::move(journal_opt), metrics_);
+    journal_->adoptReplayed(replayed);
+
+    for (auto &[id, completion] : replayed.completions)
+        proofs_.emplace(id, std::move(completion));
+    pending_ = std::move(replayed.pending);
+
+    recovery_.records_replayed = replayed.records_replayed;
+    recovery_.proofs_restored = proofs_.size();
+    recovery_.tasks_resubmitted = pending_.size();
+    recovery_.torn_records = replayed.torn_records;
+    recovery_.torn = replayed.torn;
+    recovery_.duplicates = replayed.duplicate_tasks;
+
+    // Re-submit unfinished work into the pipeline scheduler now so the
+    // admission accounting reflects the recovered queue.
+    if (!pending_.empty())
+        scheduleAccounting();
+    recovery_.recovery_wall_ms = timer.milliseconds();
+
+    if (metrics_) {
+        metrics_
+            ->gauge("bzk_journal_recovery_ms",
+                    "replay + re-submission wall time of the last "
+                    "recovery")
+            .set(recovery_.recovery_wall_ms);
+        metrics_
+            ->counter("bzk_journal_resubmitted_total",
+                      "unfinished tasks re-submitted by recovery")
+            .add(static_cast<double>(recovery_.tasks_resubmitted));
+    }
+}
+
+bool
+DurableProofService::submit(const DurableTaskSpec &spec)
+{
+    bool known = proofs_.count(spec.id) ||
+                 std::any_of(pending_.begin(), pending_.end(),
+                             [&](const journal::TaskRecord &t) {
+                                 return t.task_id == spec.id;
+                             });
+    if (known) {
+        if (metrics_)
+            metrics_
+                ->counter("bzk_journal_duplicates_total",
+                          "duplicate task submissions absorbed")
+                .add(1.0);
+        return false;
+    }
+    journal::TaskRecord record;
+    record.task_id = spec.id;
+    record.n_vars = spec.n_vars;
+    record.priority = spec.priority;
+    record.seed = spec.seed;
+    // Journal first, admit second: once append() returns the task is
+    // on disk and can no longer be lost.
+    journal_->append(record);
+    pending_.push_back(record);
+    return true;
+}
+
+SnarkProof<Fr>
+DurableProofService::proveTask(const journal::TaskRecord &task,
+                               const CrashHook &crash, bool &crashed)
+{
+    Rng rng = taskRng(task);
+    auto tables = randomInstance(task.n_vars, rng);
+    Snark<Fr> snark(task.n_vars, task.seed, opt_.column_openings);
+    exec::ExecContext exec(
+        exec::ExecConfig{.threads = opt_.threads});
+    snark.setExec(&exec);
+    ProveStageHook hook;
+    if (crash)
+        hook = [&](ProveStage stage) {
+            return crash(task.task_id, stage);
+        };
+    auto proof = snark.proveInterruptible(tables, {}, hook);
+    crashed = !proof.has_value();
+    return crashed ? SnarkProof<Fr>{} : std::move(*proof);
+}
+
+size_t
+DurableProofService::processAll(const CrashHook &crash)
+{
+    // Priority-first, ties in admission order — the AdmissionQueue's
+    // policy, applied to the durable queue.
+    std::stable_sort(pending_.begin(), pending_.end(),
+                     [](const journal::TaskRecord &a,
+                        const journal::TaskRecord &b) {
+                         return a.priority > b.priority;
+                     });
+
+    size_t completed = 0;
+    std::vector<uint64_t> done;
+    for (const auto &task : pending_) {
+        bool crashed = false;
+        SnarkProof<Fr> proof = proveTask(task, crash, crashed);
+        if (crashed)
+            break; // power cut: nothing below is journaled
+
+        Snark<Fr> verifier(task.n_vars, task.seed,
+                           opt_.column_openings);
+        if (!verifier.verify(proof, {}))
+            panic("DurableProofService: task %llu produced an invalid "
+                  "proof",
+                  static_cast<unsigned long long>(task.task_id));
+
+        journal::CompletionRecord completion;
+        completion.task_id = task.task_id;
+        completion.n_vars = task.n_vars;
+        completion.seed = task.seed;
+        completion.proof = serializeProof(proof);
+        // Completion is durable before the proof counts as done.
+        journal_->append(completion);
+        proofs_[task.task_id] = std::move(completion);
+        done.push_back(task.task_id);
+        ++completed;
+        if (metrics_)
+            metrics_
+                ->counter("bzk_journal_proofs_completed_total",
+                          "proofs completed and journaled")
+                .add(1.0);
+    }
+
+    pending_.erase(
+        std::remove_if(pending_.begin(), pending_.end(),
+                       [&](const journal::TaskRecord &t) {
+                           return std::find(done.begin(), done.end(),
+                                            t.task_id) != done.end();
+                       }),
+        pending_.end());
+    return completed;
+}
+
+sched::SchedulerResult
+DurableProofService::scheduleAccounting()
+{
+    if (pending_.empty())
+        return {};
+    std::vector<sched::ProofTask> tasks;
+    tasks.reserve(pending_.size());
+    for (const auto &t : pending_)
+        tasks.push_back(makeProofTask(t.n_vars, t.seed, t.task_id,
+                                      t.priority));
+    sched::SchedulerOptions sched_opt;
+    sched_opt.seed = opt_.seed;
+    sched_opt.overlap_transfers = opt_.overlap_transfers;
+    sched_opt.dynamic_loading = opt_.dynamic_loading;
+    sched::PipelineScheduler scheduler(dev_, sched_opt);
+    scheduler.setObservability(metrics_, nullptr);
+    return scheduler.run(std::move(tasks));
+}
+
+bool
+DurableProofService::verifyAll() const
+{
+    for (const auto &[id, completion] : proofs_) {
+        // Ack-only completions (empty proof) record that the task
+        // finished but store the artifact elsewhere — the streaming
+        // service and the CLI journal this way. Nothing to re-check.
+        if (completion.proof.empty())
+            continue;
+        auto proof = deserializeProof<Fr>(completion.proof);
+        if (!proof)
+            return false;
+        Snark<Fr> verifier(completion.n_vars, completion.seed,
+                           opt_.column_openings);
+        if (!verifier.verify(*proof, {}))
+            return false;
+    }
+    return true;
+}
+
+} // namespace bzk

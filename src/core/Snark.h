@@ -23,6 +23,8 @@
  */
 
 #include <array>
+#include <functional>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -32,6 +34,31 @@
 #include "sumcheck/Sumcheck.h"
 
 namespace bzk {
+
+/**
+ * Stage boundaries the interruptible prover reports, matching the
+ * pipeline's module groups. The encoder and Merkle modules are fused
+ * inside TensorPcs::commit, so their boundary is observed at commit
+ * granularity: Encode fires once the first table is committed, Merkle
+ * once all three are.
+ */
+enum class ProveStage : uint8_t {
+    /** First table committed (encoder module has run). */
+    Encode,
+    /** All tables committed (Merkle module has run). */
+    Merkle,
+    /** Constraint challenge derived from the transcript. */
+    FiatShamir,
+    /** Constraint sum-check finished (openings still outstanding). */
+    Sumcheck,
+};
+
+/**
+ * Called at each ProveStage boundary of an interruptible prove. Return
+ * false to abandon the proof there — the crash/recovery harness uses
+ * this to model a process dying between pipeline stages.
+ */
+using ProveStageHook = std::function<bool(ProveStage)>;
 
 /** A complete BatchZK proof. */
 template <typename F>
@@ -100,6 +127,21 @@ class Snark
     prove(const ConstraintTables<F> &tables,
           std::span<const F> public_inputs) const
     {
+        return *proveInterruptible(tables, public_inputs, {});
+    }
+
+    /**
+     * prove() with a stage-boundary hook: @p keep_going is called at
+     * each ProveStage boundary and may return false to abandon the
+     * proof there (nullopt). With an empty hook this IS prove() — the
+     * same statements in the same order — so completed proofs are
+     * bit-identical either way.
+     */
+    std::optional<SnarkProof<F>>
+    proveInterruptible(const ConstraintTables<F> &tables,
+                       std::span<const F> public_inputs,
+                       const ProveStageHook &keep_going) const
+    {
         if (tables.n_vars != n_vars_)
             panic("Snark::prove: tables have %u vars, system built for %u",
                   tables.n_vars, n_vars_);
@@ -109,8 +151,12 @@ class Snark
 
         // 1. Commit (encoder + Merkle modules).
         auto st_a = pcs_.commit(tables.a, exec_);
+        if (keep_going && !keep_going(ProveStage::Encode))
+            return std::nullopt;
         auto st_b = pcs_.commit(tables.b, exec_);
         auto st_c = pcs_.commit(tables.c, exec_);
+        if (keep_going && !keep_going(ProveStage::Merkle))
+            return std::nullopt;
         transcript.absorbDigest("com.a", st_a.commitment.root);
         transcript.absorbDigest("com.b", st_b.commitment.root);
         transcript.absorbDigest("com.c", st_c.commitment.root);
@@ -119,12 +165,16 @@ class Snark
         std::vector<F> tau(n_vars_);
         for (auto &t : tau)
             t = transcript.template challengeField<F>("tau");
+        if (keep_going && !keep_going(ProveStage::FiatShamir))
+            return std::nullopt;
 
         // 3. Cubic sum-check over eq*(a*b - c).
         SnarkProof<F> proof;
         std::vector<F> point;
         proof.constraint_sc = proveConstraintSumcheck(
             tables, tau, transcript, point);
+        if (keep_going && !keep_going(ProveStage::Sumcheck))
+            return std::nullopt;
 
         // 4. Open the tables at the final point.
         proof.va = pcs_.evaluate(st_a, point);

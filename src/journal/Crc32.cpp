@@ -1,0 +1,34 @@
+#include "journal/Crc32.h"
+
+#include <array>
+
+namespace bzk::journal {
+
+namespace {
+
+std::array<uint32_t, 256>
+buildTable()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+uint32_t
+crc32(std::span<const uint8_t> data, uint32_t seed)
+{
+    static const std::array<uint32_t, 256> table = buildTable();
+    uint32_t c = seed ^ 0xffffffffu;
+    for (uint8_t byte : data)
+        c = table[(c ^ byte) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+} // namespace bzk::journal

@@ -1,0 +1,27 @@
+#ifndef BZK_JOURNAL_CRC32_H_
+#define BZK_JOURNAL_CRC32_H_
+
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for journal
+ * record checksums. A torn write — the tail of a record missing after a
+ * crash — or a bit flip on disk must be detected before a record is
+ * replayed, so every record carries the CRC of its body. The
+ * implementation is the standard byte-at-a-time table walk; speed is
+ * irrelevant next to the fsync the record is about to pay for.
+ */
+
+#include <cstdint>
+#include <span>
+
+namespace bzk::journal {
+
+/**
+ * CRC-32 of @p data, continuing from @p seed (pass the previous return
+ * value to checksum a buffer in pieces; 0 starts a fresh checksum).
+ */
+uint32_t crc32(std::span<const uint8_t> data, uint32_t seed = 0);
+
+} // namespace bzk::journal
+
+#endif // BZK_JOURNAL_CRC32_H_

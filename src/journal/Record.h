@@ -1,0 +1,129 @@
+#ifndef BZK_JOURNAL_RECORD_H_
+#define BZK_JOURNAL_RECORD_H_
+
+/**
+ * @file
+ * On-disk record formats for the durable task journal.
+ *
+ * A journal segment is a fixed header followed by a sequence of framed
+ * records:
+ *
+ *   segment header (17 bytes):
+ *     magic "BZKJ" | version u8 | segment index u64 LE | crc32 u32
+ *     (the CRC covers the preceding 13 bytes)
+ *
+ *   record frame:
+ *     body length u32 LE | crc32(body) u32 LE | body
+ *
+ *   record body:
+ *     type u8 | version u8 | payload
+ *
+ * Everything is little-endian via core/Bytes.h. The frame CRC is what
+ * makes a torn tail write (crash mid-append) or a flipped payload bit
+ * detectable: replay verifies the CRC before decoding a body, and a
+ * decoder additionally rejects unknown types and versions, so a
+ * corrupted record is never replayed as work.
+ */
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace bzk::journal {
+
+/** Format version written into every record body (and the header). */
+constexpr uint8_t kJournalVersion = 1;
+
+/** Segment header size on disk, bytes. */
+constexpr size_t kSegmentHeaderBytes = 17;
+
+/** Per-record frame overhead (length + CRC), bytes. */
+constexpr size_t kRecordFrameBytes = 8;
+
+/** Largest record body replay will accept (caps hostile lengths). */
+constexpr size_t kMaxRecordBytes = size_t{1} << 26;
+
+/** Kinds of journal record. */
+enum class RecordType : uint8_t {
+    /** A task was admitted and must eventually complete. */
+    Task = 1,
+    /** A task's proof was produced (and verified) — the ack. */
+    Completion = 2,
+};
+
+/** Fixed per-segment preamble. */
+struct SegmentHeader
+{
+    /** Monotonic segment index; replay scans in index order. */
+    uint64_t index = 0;
+
+    bool operator==(const SegmentHeader &o) const = default;
+};
+
+/** An admitted proof task: everything needed to re-prove it. */
+struct TaskRecord
+{
+    /** Caller-assigned idempotency key. */
+    uint64_t task_id = 0;
+    /** Constraint-table log-size. */
+    uint32_t n_vars = 0;
+    /** Scheduling priority (sched::ProofTask::priority). */
+    int32_t priority = 0;
+    /** Public encoder seed; with task_id it pins the instance. */
+    uint64_t seed = 0;
+
+    bool operator==(const TaskRecord &o) const = default;
+};
+
+/** A completed proof for a journaled task. */
+struct CompletionRecord
+{
+    /** TaskRecord::task_id this completes. */
+    uint64_t task_id = 0;
+    /** Constraint-table log-size (self-contained verification). */
+    uint32_t n_vars = 0;
+    /** Encoder seed the proof verifies under. */
+    uint64_t seed = 0;
+    /** Serialized proof (may be empty for simulation-only services). */
+    std::vector<uint8_t> proof;
+
+    bool operator==(const CompletionRecord &o) const = default;
+};
+
+/** Encode the segment preamble (kSegmentHeaderBytes bytes). */
+std::array<uint8_t, kSegmentHeaderBytes>
+encodeSegmentHeader(const SegmentHeader &header);
+
+/**
+ * Decode and validate a segment preamble; nullopt when the magic,
+ * version, or CRC does not check out.
+ */
+std::optional<SegmentHeader>
+decodeSegmentHeader(std::span<const uint8_t> bytes);
+
+/** Encode a task record body (type + version + payload, no frame). */
+std::vector<uint8_t> encodeTaskRecord(const TaskRecord &record);
+
+/** Decode a task record body; nullopt on bad type/version/shape. */
+std::optional<TaskRecord>
+decodeTaskRecord(std::span<const uint8_t> body);
+
+/** Encode a completion record body. */
+std::vector<uint8_t>
+encodeCompletionRecord(const CompletionRecord &record);
+
+/** Decode a completion record body; nullopt on bad type/version/shape. */
+std::optional<CompletionRecord>
+decodeCompletionRecord(std::span<const uint8_t> body);
+
+/** Peek a body's record type without decoding; nullopt if unknown. */
+std::optional<RecordType> recordType(std::span<const uint8_t> body);
+
+/** Frame a record body for disk: length, CRC, body. */
+std::vector<uint8_t> frameRecord(std::span<const uint8_t> body);
+
+} // namespace bzk::journal
+
+#endif // BZK_JOURNAL_RECORD_H_

@@ -1,0 +1,86 @@
+#ifndef BZK_JOURNAL_REPLAY_H_
+#define BZK_JOURNAL_REPLAY_H_
+
+/**
+ * @file
+ * Startup scan of a journal directory.
+ *
+ * Replay walks the segments in index order, validates every header and
+ * record frame (length bound, CRC, type, version), and folds the valid
+ * prefix into task / completion sets. At the FIRST invalid byte — a
+ * torn tail from a crash mid-append, a flipped bit, a zeroed header —
+ * the scan stops cleanly and reports where and why; nothing at or past
+ * the tear is replayed. Tasks without a completion in the valid prefix
+ * are the pending set the service must re-submit (at-least-once
+ * delivery; task IDs are idempotency keys, so re-proving a task that
+ * actually completed just beyond the tear yields the same proof).
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "journal/Record.h"
+
+namespace bzk::obs {
+class MetricsRegistry;
+} // namespace bzk::obs
+
+namespace bzk::journal {
+
+/** Where and why a scan stopped early. */
+struct TornInfo
+{
+    /** True when the scan hit an invalid header or record. */
+    bool torn = false;
+    /** Segment index of the tear. */
+    uint64_t segment_index = 0;
+    /** Byte offset of the first invalid byte within that segment. */
+    size_t offset = 0;
+    /** Human-readable cause ("bad crc", "torn tail", ...). */
+    std::string reason;
+};
+
+/** One scanned segment (valid-prefix view). */
+struct ReplaySegment
+{
+    uint64_t index = 0;
+    std::string path;
+    /** Task IDs admitted by this segment's valid records. */
+    std::vector<uint64_t> admitted;
+};
+
+/** Everything recovery needs from a journal directory. */
+struct ReplayResult
+{
+    /** Tasks admitted without a completion, in first-admission order. */
+    std::vector<TaskRecord> pending;
+    /** Completed task -> its journaled completion record. */
+    std::map<uint64_t, CompletionRecord> completions;
+    /** Segments scanned, in index order (the valid prefix only). */
+    std::vector<ReplaySegment> segments;
+    /** All valid records folded in. */
+    size_t records_replayed = 0;
+    size_t task_records = 0;
+    size_t completion_records = 0;
+    /** Task records whose ID was already admitted. */
+    size_t duplicate_tasks = 0;
+    /** Invalid headers/records encountered (scan stops at the first). */
+    size_t torn_records = 0;
+    TornInfo torn;
+    /** Wall time of the scan, ms. */
+    double scan_ms = 0.0;
+};
+
+/**
+ * Scan @p dir (missing or empty directories replay to an empty
+ * result). @p metrics (not owned, may be nullptr) receives the
+ * bzk_journal_replayed/torn/duplicates counters and the replay gauges.
+ */
+ReplayResult replayJournal(const std::string &dir,
+                           obs::MetricsRegistry *metrics = nullptr);
+
+} // namespace bzk::journal
+
+#endif // BZK_JOURNAL_REPLAY_H_

@@ -1,0 +1,277 @@
+// Kill/restart crash matrix for the durable proof service: processing
+// is killed at every ProveStage boundary of every task (a simulated
+// power cut between pipeline stages), the service is restarted on the
+// same journal directory, replay re-submits the unfinished tasks, and
+// every admitted task must end with exactly one proof whose bytes are
+// bit-identical to the proof of an uninterrupted run. Also composes
+// the kill points with the GPU-sim fault injector: degraded devices
+// change the simulated schedule, never the proof bytes.
+//
+// Labeled `slow` in ctest: the matrix re-proves real (small) instances
+// under every kill point, which is minutes under sanitizers.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/DurableService.h"
+#include "gpusim/Device.h"
+#include "gpusim/FaultInjector.h"
+#include "journal/Journal.h"
+#include "obs/Metrics.h"
+
+using namespace bzk;
+
+namespace {
+
+struct TempDir
+{
+    std::string path;
+
+    TempDir()
+    {
+        char tmpl[] = "/tmp/bzk_crash_XXXXXX";
+        path = ::mkdtemp(tmpl);
+    }
+
+    ~TempDir()
+    {
+        for (uint64_t i = 1; i <= 64; ++i)
+            ::unlink(
+                journal::Journal::segmentPath(path, i).c_str());
+        ::rmdir(path.c_str());
+    }
+};
+
+/** The workload every scenario runs: mixed sizes and priorities. */
+std::vector<DurableTaskSpec>
+matrixTasks()
+{
+    return {
+        {.id = 101, .n_vars = 8, .seed = 77, .priority = 0},
+        {.id = 102, .n_vars = 9, .seed = 77, .priority = 2},
+        {.id = 103, .n_vars = 8, .seed = 77, .priority = 1},
+    };
+}
+
+constexpr ProveStage kStages[] = {ProveStage::Encode,
+                                  ProveStage::Merkle,
+                                  ProveStage::FiatShamir,
+                                  ProveStage::Sumcheck};
+
+const char *
+stageName(ProveStage stage)
+{
+    switch (stage) {
+    case ProveStage::Encode:
+        return "encode";
+    case ProveStage::Merkle:
+        return "merkle";
+    case ProveStage::FiatShamir:
+        return "fiat-shamir";
+    case ProveStage::Sumcheck:
+        return "sumcheck";
+    }
+    return "?";
+}
+
+/** Uninterrupted run: the reference proof bytes per task. */
+std::map<uint64_t, std::vector<uint8_t>>
+baselineProofs()
+{
+    static std::map<uint64_t, std::vector<uint8_t>> cached = [] {
+        TempDir dir;
+        gpusim::Device dev(gpusim::DeviceSpec::gh200());
+        DurableProofService service(dev, {dir.path});
+        for (const auto &spec : matrixTasks())
+            EXPECT_TRUE(service.submit(spec));
+        EXPECT_EQ(service.processAll(), matrixTasks().size());
+        EXPECT_TRUE(service.verifyAll());
+        std::map<uint64_t, std::vector<uint8_t>> proofs;
+        for (const auto &[id, completion] : service.proofs())
+            proofs[id] = completion.proof;
+        return proofs;
+    }();
+    return cached;
+}
+
+} // namespace
+
+TEST(CrashMatrix, EveryStageOfEveryTaskRecoversBitIdentically)
+{
+    auto baseline = baselineProofs();
+    ASSERT_EQ(baseline.size(), matrixTasks().size());
+
+    for (const auto &victim : matrixTasks()) {
+        for (ProveStage stage : kStages) {
+            SCOPED_TRACE(std::string("kill task ") +
+                         std::to_string(victim.id) + " at " +
+                         stageName(stage));
+            TempDir dir;
+            gpusim::Device dev(gpusim::DeviceSpec::gh200());
+            size_t completed_before_crash = 0;
+            {
+                DurableProofService service(dev, {dir.path});
+                for (const auto &spec : matrixTasks())
+                    ASSERT_TRUE(service.submit(spec));
+                completed_before_crash = service.processAll(
+                    [&](uint64_t task_id, ProveStage at) {
+                        return !(task_id == victim.id &&
+                                 at == stage);
+                    });
+                // The victim dies mid-prove, so it and everything
+                // after it in process order stay pending.
+                EXPECT_LT(completed_before_crash,
+                          matrixTasks().size());
+                EXPECT_EQ(service.pendingCount(),
+                          matrixTasks().size() -
+                              completed_before_crash);
+                // The service is destroyed here without any shutdown
+                // protocol: the journal is all that survives.
+            }
+
+            obs::MetricsRegistry metrics;
+            DurableProofService restarted(dev, {dir.path}, {},
+                                          &metrics);
+            EXPECT_EQ(restarted.recovery().proofs_restored,
+                      completed_before_crash);
+            EXPECT_EQ(restarted.recovery().tasks_resubmitted,
+                      matrixTasks().size() - completed_before_crash);
+            EXPECT_EQ(restarted.recovery().torn_records, 0u);
+            EXPECT_EQ(restarted.processAll(),
+                      matrixTasks().size() - completed_before_crash);
+            EXPECT_TRUE(restarted.verifyAll());
+
+            // Exactly one proof per admitted task, and each is
+            // bit-identical to the uninterrupted run's proof.
+            ASSERT_EQ(restarted.proofs().size(), baseline.size());
+            for (const auto &[id, completion] : restarted.proofs())
+                EXPECT_EQ(completion.proof, baseline.at(id))
+                    << "task " << id;
+            EXPECT_EQ(
+                metrics.counter("bzk_journal_resubmitted_total")
+                    .value(),
+                static_cast<double>(matrixTasks().size() -
+                                    completed_before_crash));
+        }
+    }
+}
+
+TEST(CrashMatrix, RepeatedCrashesAcrossRestartsStillConverge)
+{
+    auto baseline = baselineProofs();
+    TempDir dir;
+    gpusim::Device dev(gpusim::DeviceSpec::gh200());
+    {
+        DurableProofService service(dev, {dir.path});
+        for (const auto &spec : matrixTasks())
+            ASSERT_TRUE(service.submit(spec));
+    }
+    // No single incarnation survives to the end: the first dies before
+    // finishing anything, the second after one task. Each delivered
+    // proof is captured when its incarnation delivers it — segment
+    // retirement is free to drop completion records once delivered, so
+    // a later replay need not resurface them.
+    std::map<uint64_t, std::vector<uint8_t>> delivered;
+    auto capture = [&](const DurableProofService &service) {
+        for (const auto &[id, completion] : service.proofs()) {
+            if (delivered.count(id)) {
+                EXPECT_EQ(delivered[id], completion.proof)
+                    << "task " << id << " re-proved differently";
+            }
+            delivered[id] = completion.proof;
+        }
+    };
+    for (size_t allowed : {size_t{0}, size_t{1}}) {
+        DurableProofService service(dev, {dir.path});
+        size_t started = 0;
+        uint64_t current = 0;
+        size_t completed = service.processAll(
+            [&](uint64_t task_id, ProveStage stage) {
+                if (task_id != current) {
+                    current = task_id;
+                    ++started;
+                }
+                return !(started > allowed &&
+                         stage == ProveStage::Encode);
+            });
+        EXPECT_EQ(completed, allowed);
+        EXPECT_GT(service.pendingCount(), 0u);
+        capture(service);
+    }
+
+    DurableProofService final_run(dev, {dir.path});
+    final_run.processAll();
+    EXPECT_EQ(final_run.pendingCount(), 0u);
+    capture(final_run);
+
+    // Exactly one proof per admitted task, every one bit-identical to
+    // the uninterrupted run, no matter which incarnation produced it.
+    ASSERT_EQ(delivered.size(), baseline.size());
+    for (const auto &[id, proof] : delivered)
+        EXPECT_EQ(proof, baseline.at(id)) << "task " << id;
+}
+
+TEST(CrashMatrix, DoubleReplayIsIdempotent)
+{
+    TempDir dir;
+    gpusim::Device dev(gpusim::DeviceSpec::gh200());
+    {
+        DurableProofService service(dev, {dir.path});
+        for (const auto &spec : matrixTasks())
+            ASSERT_TRUE(service.submit(spec));
+        service.processAll([](uint64_t, ProveStage) { return false; });
+    }
+    // Two replays with no processing in between: the pending set must
+    // not grow — replay is at-least-once, proving is exactly-once.
+    {
+        DurableProofService service(dev, {dir.path});
+        EXPECT_EQ(service.pendingCount(), matrixTasks().size());
+    }
+    DurableProofService service(dev, {dir.path});
+    EXPECT_EQ(service.pendingCount(), matrixTasks().size());
+    EXPECT_EQ(service.processAll(), matrixTasks().size());
+    EXPECT_TRUE(service.verifyAll());
+}
+
+TEST(CrashMatrix, FaultInjectedDeviceChangesScheduleNotProofs)
+{
+    auto baseline = baselineProofs();
+    TempDir dir;
+    // A degraded device: transfer stalls and failed lanes throughout.
+    gpusim::FaultInjector injector(
+        gpusim::FaultPlan::random(/*seed=*/9, /*horizon=*/256,
+                                  /*intensity=*/0.8),
+        /*seed=*/9);
+    gpusim::Device dev(gpusim::DeviceSpec::v100());
+    dev.setFaultInjector(&injector);
+
+    {
+        DurableProofService service(dev, {dir.path});
+        for (const auto &spec : matrixTasks())
+            ASSERT_TRUE(service.submit(spec));
+        // Kill the highest-priority task at the Merkle boundary while
+        // the device is also faulted.
+        service.processAll([](uint64_t task_id, ProveStage stage) {
+            return !(task_id == 102 &&
+                     stage == ProveStage::Merkle);
+        });
+    }
+
+    DurableProofService restarted(dev, {dir.path});
+    // Recovery re-submission runs through the pipeline scheduler on
+    // the faulted device: the accounting must still cover every
+    // pending task (faults degrade, they do not drop work).
+    auto schedule = restarted.scheduleAccounting();
+    EXPECT_EQ(schedule.tasks.size(), restarted.pendingCount());
+    restarted.processAll();
+    EXPECT_TRUE(restarted.verifyAll());
+    ASSERT_EQ(restarted.proofs().size(), baseline.size());
+    for (const auto &[id, completion] : restarted.proofs())
+        EXPECT_EQ(completion.proof, baseline.at(id)) << "task " << id;
+}

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "../tools/BatchzkCli.h"
 #include "circuit/Circuit.h"
 #include "encoder/SpielmanCode.h"
 #include "ff/Fields.h"
@@ -147,6 +150,102 @@ TEST(DeathTest, FaultPlanRejectsEmptySpec)
 {
     EXPECT_EXIT({ (void)gpusim::FaultPlan::parse(""); },
                 ::testing::ExitedWithCode(1), "fault plan");
+}
+
+// Regression tests for the batchzk shell contract: unknown subcommands
+// and flags must be rejected with a diagnostic (the binary then exits
+// nonzero with usage), never fall through to a half-configured run.
+// The CLI used to silently ignore a trailing flag with no value.
+
+cli::ParseResult
+parseArgv(std::vector<const char *> argv, cli::Args &args)
+{
+    return cli::parse(static_cast<int>(argv.size()),
+                      const_cast<char **>(argv.data()), args);
+}
+
+TEST(CliParse, RejectsMissingCommand)
+{
+    cli::Args args;
+    auto result = parseArgv({"batchzk"}, args);
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.error, "missing command");
+}
+
+TEST(CliParse, RejectsUnknownCommand)
+{
+    cli::Args args;
+    auto result = parseArgv({"batchzk", "bogus"}, args);
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.error, "unknown command 'bogus'");
+}
+
+TEST(CliParse, RejectsUnknownFlag)
+{
+    cli::Args args;
+    auto result =
+        parseArgv({"batchzk", "prove", "--frobnicate", "1"}, args);
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.error, "unknown flag '--frobnicate'");
+}
+
+TEST(CliParse, RejectsTrailingFlagWithoutValue)
+{
+    // The historical bug: `--seed` at the end of argv was dropped on
+    // the floor and the run proceeded with the default seed.
+    cli::Args args;
+    auto result = parseArgv({"batchzk", "prove", "--seed"}, args);
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.error, "flag '--seed' is missing a value");
+}
+
+TEST(CliParse, RejectsNonNumericNumbers)
+{
+    cli::Args args;
+    auto result =
+        parseArgv({"batchzk", "prove", "--log-gates", "twelve"}, args);
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.error,
+              "flag '--log-gates' needs a non-negative integer, got "
+              "'twelve'");
+    result = parseArgv({"batchzk", "prove", "--seed", "-3"}, args);
+    EXPECT_FALSE(result.ok);
+}
+
+TEST(CliParse, RejectsStrayPositionalArgument)
+{
+    cli::Args args;
+    auto result = parseArgv({"batchzk", "prove", "stray"}, args);
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.error, "unexpected argument 'stray'");
+}
+
+TEST(CliParse, AcceptsEveryCommandAndFlag)
+{
+    cli::Args args;
+    auto result = parseArgv(
+        {"batchzk", "recover", "--journal-dir", "/tmp/j", "--gpu",
+         "H100", "--seed", "7", "--threads", "4"},
+        args);
+    EXPECT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(args.command, "recover");
+    EXPECT_EQ(args.journal_dir, "/tmp/j");
+    EXPECT_EQ(args.gpu, "H100");
+    EXPECT_EQ(args.seed, 7u);
+    EXPECT_EQ(args.threads, 4u);
+}
+
+TEST(CliParse, TraceAndMetricsTakePositionalOutput)
+{
+    cli::Args args;
+    auto result = parseArgv({"batchzk", "trace", "/tmp/t.json"}, args);
+    EXPECT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(args.out, "/tmp/t.json");
+    // But a second positional is still an error.
+    cli::Args more;
+    result = parseArgv({"batchzk", "trace", "a.json", "b.json"}, more);
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.error, "unexpected argument 'b.json'");
 }
 
 } // namespace

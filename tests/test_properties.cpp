@@ -9,8 +9,13 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <string>
 
+#include <unistd.h>
+
+#include "core/DurableService.h"
 #include "core/TensorPcs.h"
+#include "obs/Metrics.h"
 #include "encoder/SpielmanCode.h"
 #include "ff/Fields.h"
 #include "gpusim/Device.h"
@@ -261,6 +266,88 @@ TEST_P(PipelineDominance, SumcheckThroughputOrdering)
 
 INSTANTIATE_TEST_SUITE_P(Sizes, PipelineDominance,
                          ::testing::Values(10u, 12u, 14u, 16u, 18u, 20u));
+
+/**
+ * Idempotency of the durable proof service: for random task mixes with
+ * duplicate submissions, a crash, and a double replay, every unique
+ * task id ends with exactly one proof, and every absorbed duplicate is
+ * counted in bzk_journal_duplicates_total.
+ */
+class DurableIdempotency : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(DurableIdempotency, DuplicatesAndDoubleReplayYieldOneProof)
+{
+    uint64_t seed = GetParam();
+    Rng rng(seed);
+    char tmpl[] = "/tmp/bzk_idem_XXXXXX";
+    std::string dir = ::mkdtemp(tmpl);
+
+    // Random mix: 3-5 unique tasks, sizes 8-9, random priorities.
+    size_t unique = 3 + rng.nextBounded(3);
+    std::vector<DurableTaskSpec> specs;
+    for (size_t i = 0; i < unique; ++i) {
+        DurableTaskSpec spec;
+        spec.id = 500 + i;
+        spec.n_vars = 8 + static_cast<unsigned>(rng.nextBounded(2));
+        spec.seed = seed;
+        spec.priority = static_cast<int>(rng.nextBounded(4));
+        specs.push_back(spec);
+    }
+    // Interleave duplicates: every submission after the first of an id
+    // must be absorbed, not journaled as new work.
+    std::vector<DurableTaskSpec> submissions = specs;
+    size_t duplicates = 1 + rng.nextBounded(4);
+    for (size_t i = 0; i < duplicates; ++i)
+        submissions.push_back(specs[rng.nextBounded(specs.size())]);
+    for (size_t i = submissions.size(); i > 1; --i)
+        std::swap(submissions[i - 1],
+                  submissions[rng.nextBounded(i)]);
+
+    gpusim::Device dev(gpusim::DeviceSpec::gh200());
+    obs::MetricsRegistry metrics;
+    size_t absorbed_at_submit = 0;
+    {
+        DurableProofService service(dev, {dir}, {}, &metrics);
+        for (const auto &spec : submissions)
+            if (!service.submit(spec))
+                ++absorbed_at_submit;
+        EXPECT_EQ(service.pendingCount(), unique);
+        EXPECT_EQ(absorbed_at_submit, submissions.size() - unique);
+        EXPECT_EQ(
+            metrics.counter("bzk_journal_duplicates_total").value(),
+            static_cast<double>(absorbed_at_submit));
+        // Crash at a random stage boundary of a random victim task.
+        uint64_t victim = specs[rng.nextBounded(specs.size())].id;
+        auto stage = static_cast<ProveStage>(rng.nextBounded(4));
+        service.processAll([&](uint64_t task_id, ProveStage at) {
+            return !(task_id == victim && at == stage);
+        });
+    }
+
+    // Double replay: restart once, re-submit the same mix (every one
+    // is now a duplicate of a pending or completed task), restart
+    // again without processing in between.
+    {
+        DurableProofService service(dev, {dir});
+        for (const auto &spec : submissions)
+            EXPECT_FALSE(service.submit(spec));
+    }
+    DurableProofService service(dev, {dir});
+    EXPECT_EQ(service.pendingCount() + service.proofs().size(), unique);
+    service.processAll();
+    EXPECT_EQ(service.pendingCount(), 0u);
+    EXPECT_EQ(service.proofs().size(), unique);
+    EXPECT_TRUE(service.verifyAll());
+
+    for (uint64_t i = 1; i <= 16; ++i)
+        ::unlink(journal::Journal::segmentPath(dir, i).c_str());
+    ::rmdir(dir.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DurableIdempotency,
+                         ::testing::Range<uint64_t>(1, 5));
 
 } // namespace
 } // namespace bzk

@@ -13,6 +13,7 @@
 #include "core/Snark.h"
 #include "ff/Fields.h"
 #include "gkr/LayeredCircuit.h"
+#include "journal/Record.h"
 
 namespace bzk {
 namespace {
@@ -316,6 +317,131 @@ TEST_P(RandomBlobFuzz, NeverAccepted)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomBlobFuzz,
                          ::testing::Range<uint64_t>(100, 130));
+
+// --- journal record wire formats ------------------------------------
+
+TEST(JournalRecords, SegmentHeaderRoundTrip)
+{
+    journal::SegmentHeader header{0x0123456789ABCDEFull};
+    auto bytes = journal::encodeSegmentHeader(header);
+    ASSERT_EQ(bytes.size(), journal::kSegmentHeaderBytes);
+    auto decoded = journal::decodeSegmentHeader(bytes);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, header);
+}
+
+TEST(JournalRecords, SegmentHeaderRejectsBadMagicVersionCrc)
+{
+    auto bytes = journal::encodeSegmentHeader({42});
+    auto corrupt = bytes;
+    corrupt[0] ^= 0xFF; // magic
+    EXPECT_FALSE(journal::decodeSegmentHeader(corrupt).has_value());
+    corrupt = bytes;
+    corrupt[4] = journal::kJournalVersion + 1; // version
+    EXPECT_FALSE(journal::decodeSegmentHeader(corrupt).has_value());
+    corrupt = bytes;
+    corrupt[8] ^= 0x01; // index byte, breaks the CRC
+    EXPECT_FALSE(journal::decodeSegmentHeader(corrupt).has_value());
+    // Short reads never decode.
+    EXPECT_FALSE(journal::decodeSegmentHeader(
+                     std::span<const uint8_t>(bytes.data(),
+                                              bytes.size() - 1))
+                     .has_value());
+}
+
+TEST(JournalRecords, TaskRecordRoundTrip)
+{
+    journal::TaskRecord task;
+    task.task_id = 0xFEDCBA9876543210ull;
+    task.n_vars = 18;
+    task.priority = -5; // negative priorities must survive the trip
+    task.seed = 2024;
+    auto body = journal::encodeTaskRecord(task);
+    EXPECT_EQ(journal::recordType(body), journal::RecordType::Task);
+    auto decoded = journal::decodeTaskRecord(body);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, task);
+}
+
+TEST(JournalRecords, CompletionRecordRoundTrip)
+{
+    journal::CompletionRecord completion;
+    completion.task_id = 7;
+    completion.n_vars = 10;
+    completion.seed = 99;
+    completion.proof.resize(4097);
+    Rng rng(3);
+    for (auto &b : completion.proof)
+        b = static_cast<uint8_t>(rng.next());
+    auto body = journal::encodeCompletionRecord(completion);
+    EXPECT_EQ(journal::recordType(body),
+              journal::RecordType::Completion);
+    auto decoded = journal::decodeCompletionRecord(body);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, completion);
+
+    // Empty proofs (ack-only completions) round-trip too.
+    completion.proof.clear();
+    decoded = journal::decodeCompletionRecord(
+        journal::encodeCompletionRecord(completion));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, completion);
+}
+
+TEST(JournalRecords, DecodersRejectBadVersionAndType)
+{
+    auto task_body = journal::encodeTaskRecord({1, 10, 0, 2});
+    auto completion_body =
+        journal::encodeCompletionRecord({1, 10, 2, {0xAB}});
+
+    // A future format version must not decode as the current one.
+    auto bumped = task_body;
+    bumped[1] = journal::kJournalVersion + 1;
+    EXPECT_FALSE(journal::decodeTaskRecord(bumped).has_value());
+    bumped = completion_body;
+    bumped[1] = journal::kJournalVersion + 1;
+    EXPECT_FALSE(journal::decodeCompletionRecord(bumped).has_value());
+
+    // Cross-typed decodes fail: a task body is not a completion.
+    EXPECT_FALSE(journal::decodeCompletionRecord(task_body).has_value());
+    EXPECT_FALSE(journal::decodeTaskRecord(completion_body).has_value());
+    EXPECT_FALSE(
+        journal::recordType(std::vector<uint8_t>{0x7F}).has_value());
+    EXPECT_FALSE(
+        journal::recordType(std::span<const uint8_t>{}).has_value());
+}
+
+TEST(JournalRecords, DecodersRejectTruncationAndTrailingBytes)
+{
+    auto body = journal::encodeTaskRecord({9, 12, 1, 7});
+    for (size_t len = 0; len < body.size(); ++len)
+        EXPECT_FALSE(journal::decodeTaskRecord(
+                         std::span<const uint8_t>(body.data(), len))
+                         .has_value())
+            << "prefix " << len;
+    auto padded = body;
+    padded.push_back(0);
+    EXPECT_FALSE(journal::decodeTaskRecord(padded).has_value());
+
+    // Completion whose declared proof length overruns the body.
+    journal::CompletionRecord completion{3, 10, 5, {1, 2, 3, 4}};
+    auto cbody = journal::encodeCompletionRecord(completion);
+    cbody.resize(cbody.size() - 2);
+    EXPECT_FALSE(journal::decodeCompletionRecord(cbody).has_value());
+}
+
+TEST(JournalRecords, FrameCarriesLengthAndCrc)
+{
+    auto body = journal::encodeTaskRecord({4, 10, 0, 6});
+    auto frame = journal::frameRecord(body);
+    ASSERT_EQ(frame.size(), journal::kRecordFrameBytes + body.size());
+    uint32_t length = 0;
+    for (int i = 0; i < 4; ++i)
+        length |= static_cast<uint32_t>(frame[i]) << (8 * i);
+    EXPECT_EQ(length, body.size());
+    EXPECT_TRUE(std::equal(body.begin(), body.end(),
+                           frame.begin() + journal::kRecordFrameBytes));
+}
 
 } // namespace
 } // namespace bzk
