@@ -3,18 +3,27 @@
  * Google-benchmark microbenchmarks of the cryptographic primitives the
  * modules are built from. These are the real host-side costs behind the
  * measured CPU baseline columns in Tables 3-5 and 7.
+ *
+ * Before the google-benchmark suite runs, a scalar-vs-SIMD sweep of
+ * the packed Goldilocks field kernels is measured and printed; with
+ * `--json <path>` it is dumped in the JsonBench schema that
+ * tools/check_bench.py gates in the perf-smoke CI job (the checked-in
+ * baseline pins the packed-vs-scalar mul speedup).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "bench/BenchUtil.h"
 #include "core/TensorPcs.h"
 #include "curve/Msm.h"
 #include "exec/ExecContext.h"
 #include "encoder/SpielmanCode.h"
+#include "ff/FieldBackend.h"
 #include "ff/Fields.h"
 #include "ff/Ntt.h"
 #include "gkr/Gkr.h"
@@ -22,6 +31,7 @@
 #include "merkle/MerkleTree.h"
 #include "poly/Multilinear.h"
 #include "sumcheck/Sumcheck.h"
+#include "util/Timer.h"
 
 namespace bzk {
 namespace {
@@ -166,6 +176,86 @@ BM_GoldilocksMul(benchmark::State &state)
 BENCHMARK(BM_GoldilocksMul);
 
 void
+BM_GlMulLanes(benchmark::State &state)
+{
+    Rng rng(11);
+    size_t n = static_cast<size_t>(state.range(0));
+    std::vector<Gl64> a(n), b(n), out(n);
+    for (size_t i = 0; i < n; ++i) {
+        a[i] = Gl64::random(rng);
+        b[i] = Gl64::random(rng);
+    }
+    for (auto _ : state) {
+        ff::mulLanes(a.data(), b.data(), out.data(), n);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(n));
+    state.SetLabel(ff::backendName(ff::activeBackend()));
+}
+BENCHMARK(BM_GlMulLanes)->Range(1 << 10, 1 << 14);
+
+void
+BM_GlFoldLanes(benchmark::State &state)
+{
+    Rng rng(12);
+    size_t n = static_cast<size_t>(state.range(0));
+    std::vector<Gl64> lo(n), hi(n);
+    for (size_t i = 0; i < n; ++i) {
+        lo[i] = Gl64::random(rng);
+        hi[i] = Gl64::random(rng);
+    }
+    Gl64 r = Gl64::random(rng);
+    for (auto _ : state) {
+        ff::foldLanes(lo.data(), hi.data(), r, n);
+        benchmark::DoNotOptimize(lo.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(n));
+    state.SetLabel(ff::backendName(ff::activeBackend()));
+}
+BENCHMARK(BM_GlFoldLanes)->Range(1 << 10, 1 << 14);
+
+void
+BM_GlDotLanes(benchmark::State &state)
+{
+    Rng rng(13);
+    size_t n = static_cast<size_t>(state.range(0));
+    std::vector<Gl64> a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+        a[i] = Gl64::random(rng);
+        b[i] = Gl64::random(rng);
+    }
+    for (auto _ : state) {
+        Gl64 d = ff::dotLanes(a.data(), b.data(), n);
+        benchmark::DoNotOptimize(d);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(n));
+    state.SetLabel(ff::backendName(ff::activeBackend()));
+}
+BENCHMARK(BM_GlDotLanes)->Range(1 << 10, 1 << 14);
+
+void
+BM_GlBatchInverse(benchmark::State &state)
+{
+    Rng rng(14);
+    size_t n = static_cast<size_t>(state.range(0));
+    std::vector<Gl64> x(n);
+    for (auto &v : x)
+        v = Gl64::random(rng);
+    std::vector<Gl64> scratch(n);
+    for (auto _ : state) {
+        std::copy(x.begin(), x.end(), scratch.begin());
+        ff::batchInverse(scratch.data(), n);
+        benchmark::DoNotOptimize(scratch.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(n));
+}
+BENCHMARK(BM_GlBatchInverse)->Range(1 << 10, 1 << 12);
+
+void
 BM_Ntt(benchmark::State &state)
 {
     Rng rng(5);
@@ -276,22 +366,160 @@ BM_GkrProveLayer(benchmark::State &state)
 }
 BENCHMARK(BM_GkrProveLayer)->DenseRange(6, 10, 2);
 
+/**
+ * Median wall ms of @p fn over five runs (first run doubles as
+ * warmup and is measured like the rest; the median is robust to it).
+ */
+template <typename Fn>
+double
+medianMs(Fn &&fn)
+{
+    double t[5];
+    for (double &ms : t) {
+        Timer timer;
+        fn();
+        ms = timer.milliseconds();
+    }
+    std::sort(t, t + 5);
+    return t[2];
+}
+
+/**
+ * Scalar-vs-SIMD sweep of the packed Goldilocks kernels. Each kernel
+ * runs the identical call sites under the forced scalar backend and
+ * the host's best backend; outputs are cross-checked (they must be
+ * bit-identical) and throughput goes to the table and the JSON dump.
+ */
+void
+runFieldSweep(bench::JsonBench &json)
+{
+    using bzk::ff::Backend;
+    constexpr size_t kN = size_t{1} << 14;
+    constexpr size_t kIters = 64;
+    constexpr size_t kInvN = size_t{1} << 12;
+
+    Rng rng(0xf1e1d);
+    std::vector<Gl64> a(kN), b(kN), out(kN), scratch(kN);
+    for (size_t i = 0; i < kN; ++i) {
+        a[i] = Gl64::random(rng);
+        b[i] = Gl64::random(rng);
+    }
+    Gl64 r = Gl64::random(rng);
+
+    Backend best = ff::detectBackend();
+    json.meta("field_backend", ff::backendName(best));
+    json.meta("field_lanes",
+              std::to_string(ff::backendLanes(best)));
+
+    struct Kernel
+    {
+        const char *label;
+        void (*run)(std::vector<Gl64> &, std::vector<Gl64> &,
+                    std::vector<Gl64> &, const Gl64 &);
+    };
+    const Kernel kernels[] = {
+        {"field_add",
+         [](std::vector<Gl64> &x, std::vector<Gl64> &y,
+            std::vector<Gl64> &o, const Gl64 &) {
+             for (size_t it = 0; it < kIters; ++it)
+                 ff::addLanes(x.data(), y.data(), o.data(), x.size());
+         }},
+        {"field_mul",
+         [](std::vector<Gl64> &x, std::vector<Gl64> &y,
+            std::vector<Gl64> &o, const Gl64 &) {
+             for (size_t it = 0; it < kIters; ++it)
+                 ff::mulLanes(x.data(), y.data(), o.data(), x.size());
+         }},
+        {"field_fold",
+         [](std::vector<Gl64> &x, std::vector<Gl64> &y,
+            std::vector<Gl64> &o, const Gl64 &rr) {
+             for (size_t it = 0; it < kIters; ++it) {
+                 std::copy(x.begin(), x.end(), o.begin());
+                 ff::foldLanes(o.data(), y.data(), rr, x.size());
+             }
+         }},
+        {"field_dot",
+         [](std::vector<Gl64> &x, std::vector<Gl64> &y,
+            std::vector<Gl64> &o, const Gl64 &) {
+             for (size_t it = 0; it < kIters; ++it)
+                 o[0] = ff::dotLanes(x.data(), y.data(), x.size());
+         }},
+    };
+
+    TablePrinter table({"Kernel", "scalar Melem/s",
+                        std::string(ff::backendName(best)) + " Melem/s",
+                        "speedup"});
+    double total_elems = static_cast<double>(kN) * kIters;
+    for (const Kernel &k : kernels) {
+        ff::forceBackend(Backend::kScalar);
+        double scalar_ms = medianMs([&] { k.run(a, b, out, r); });
+        std::vector<Gl64> scalar_out = out;
+        ff::forceBackend(best);
+        double simd_ms = medianMs([&] { k.run(a, b, out, r); });
+        if (out != scalar_out)
+            fatal("bench_micro: %s diverged between backends", k.label);
+        double scalar_tp = total_elems / scalar_ms / 1e3;
+        double simd_tp = total_elems / simd_ms / 1e3;
+        double speedup = scalar_ms / simd_ms;
+        table.addRow({k.label, formatSig(scalar_tp, 4),
+                      formatSig(simd_tp, 4), bench::fmtSpeedup(speedup)});
+        json.addRow(k.label, {{"scalar_elems_per_ms", scalar_tp * 1e3},
+                              {"simd_elems_per_ms", simd_tp * 1e3},
+                              {"simd_speedup", speedup}});
+    }
+    ff::clearForcedBackend();
+
+    // Batch inversion vs. per-element Fermat inversions (the win is
+    // algorithmic — one inversion plus 3n muls — not lane packing).
+    std::vector<Gl64> inv_in(a.begin(), a.begin() + kInvN);
+    double fermat_ms = medianMs([&] {
+        std::copy(inv_in.begin(), inv_in.end(), scratch.begin());
+        for (size_t i = 0; i < kInvN; ++i)
+            scratch[i] = scratch[i].inverse();
+    });
+    std::vector<Gl64> fermat_out(scratch.begin(),
+                                 scratch.begin() + kInvN);
+    double batch_ms = medianMs([&] {
+        std::copy(inv_in.begin(), inv_in.end(), scratch.begin());
+        ff::batchInverse(scratch.data(), kInvN);
+    });
+    if (!std::equal(fermat_out.begin(), fermat_out.end(),
+                    scratch.begin()))
+        fatal("bench_micro: batchInverse diverged from Fermat");
+    double batch_tp = kInvN / batch_ms;
+    table.addRow({"field_batch_inverse", formatSig(kInvN / fermat_ms / 1e3, 4),
+                  formatSig(batch_tp / 1e3, 4),
+                  bench::fmtSpeedup(fermat_ms / batch_ms)});
+    json.addRow("field_batch_inverse",
+                {{"elems_per_ms", batch_tp},
+                 {"speedup_vs_fermat", fermat_ms / batch_ms}});
+
+    bench::printTable(
+        "Packed Goldilocks field kernels (scalar vs " +
+            std::string(ff::backendName(best)) + ")",
+        table,
+        "Single-threaded; outputs verified bit-identical across "
+        "backends. batch_inverse compares against per-element Fermat "
+        "inversion on the same backend.");
+}
+
 } // namespace
 } // namespace bzk
 
-// Custom main so `--json <path>` works like the table benches: it is
-// translated into google-benchmark's JSON reporter flags before
-// Initialize() consumes argv. `--threads <n>` is consumed the same way
-// and installed as the process-wide host-thread default.
+// Custom main: `--json <path>` feeds the JsonBench dump of the field
+// sweep (the perf-smoke CI gate), `--threads <n>` installs the
+// process-wide host-thread default, and everything else passes through
+// to google-benchmark.
 int
 main(int argc, char **argv)
 {
+    bzk::bench::JsonBench json("bench_micro", argc, argv);
+    bzk::runFieldSweep(json);
+    json.write();
+
     std::vector<std::string> opts;
-    std::string out_flag, fmt_flag;
     for (int i = 0; i < argc; ++i) {
         if (std::string(argv[i]) == "--json" && i + 1 < argc) {
-            out_flag = "--benchmark_out=" + std::string(argv[i + 1]);
-            fmt_flag = "--benchmark_out_format=json";
             ++i;
             continue;
         }
@@ -302,10 +530,6 @@ main(int argc, char **argv)
             continue;
         }
         opts.push_back(argv[i]);
-    }
-    if (!out_flag.empty()) {
-        opts.push_back(out_flag);
-        opts.push_back(fmt_flag);
     }
     std::vector<char *> cargs;
     for (auto &s : opts)

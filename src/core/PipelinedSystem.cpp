@@ -5,6 +5,7 @@
 
 #include "encoder/GpuEncoder.h"
 #include "exec/ExecContext.h"
+#include "ff/FieldBackend.h"
 #include "gpusim/Calibration.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
@@ -180,6 +181,51 @@ PipelinedZkpSystem::run(size_t batch, unsigned n_vars, Rng &rng)
                 ->gauge("bzk_host_sumcheck_ms",
                         "host wall ms in sum-check regions")
                 .set(exec.stats("sumcheck").wall_ms);
+            ff::KernelCounters fc = ff::kernelCounters();
+            metrics_
+                ->gauge("bzk_field_backend",
+                        "active packed field backend "
+                        "(0=scalar 1=avx2 2=avx512 3=neon)")
+                .set(static_cast<double>(
+                    static_cast<int>(ff::activeBackend())));
+            metrics_
+                ->gauge("bzk_field_lanes",
+                        "field elements per packed op on the active "
+                        "backend")
+                .set(static_cast<double>(
+                    ff::backendLanes(ff::activeBackend())));
+            metrics_
+                ->gauge("bzk_field_add_calls",
+                        "packed field addLanes kernel calls")
+                .set(static_cast<double>(fc.add_lanes));
+            metrics_
+                ->gauge("bzk_field_sub_calls",
+                        "packed field subLanes kernel calls")
+                .set(static_cast<double>(fc.sub_lanes));
+            metrics_
+                ->gauge("bzk_field_mul_calls",
+                        "packed field mulLanes kernel calls")
+                .set(static_cast<double>(fc.mul_lanes));
+            metrics_
+                ->gauge("bzk_field_fold_calls",
+                        "packed field foldLanes kernel calls")
+                .set(static_cast<double>(fc.fold_lanes));
+            metrics_
+                ->gauge("bzk_field_axpy_calls",
+                        "packed field axpyLanes kernel calls")
+                .set(static_cast<double>(fc.axpy_lanes));
+            metrics_
+                ->gauge("bzk_field_sum_calls",
+                        "packed field sumLanes kernel calls")
+                .set(static_cast<double>(fc.sum_lanes));
+            metrics_
+                ->gauge("bzk_field_dot_calls",
+                        "packed field dotLanes kernel calls")
+                .set(static_cast<double>(fc.dot_lanes));
+            metrics_
+                ->gauge("bzk_field_batch_inverse_calls",
+                        "field batchInverse calls")
+                .set(static_cast<double>(fc.batch_inverse));
         }
     }
 

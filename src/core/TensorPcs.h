@@ -25,6 +25,7 @@
 
 #include "encoder/SpielmanCode.h"
 #include "exec/ExecContext.h"
+#include "ff/FieldBackend.h"
 #include "hash/Sha256.h"
 #include "hash/Transcript.h"
 #include "merkle/MerkleTree.h"
@@ -194,13 +195,15 @@ class TensorPcs
 
         PcsEvalProof<F> proof;
         proof.eval_row.assign(m, F::zero());
+        // Row-outer axpy over each column chunk: the contiguous poly
+        // rows feed the packed kernels, and every column still
+        // accumulates its rows in the same ascending order as the
+        // serial column-major pass, so the proof is bit-identical.
         auto eval_cols = [&](size_t begin, size_t end) {
-            for (size_t col = begin; col < end; ++col) {
-                F acc = F::zero();
-                for (size_t row = 0; row < k; ++row)
-                    acc += eq_row[row] * state.poly[row * m + col];
-                proof.eval_row[col] = acc;
-            }
+            for (size_t row = 0; row < k; ++row)
+                ff::axpyLanes(proof.eval_row.data() + begin,
+                              state.poly.data() + row * m + begin,
+                              eq_row[row], end - begin);
         };
         if (exec)
             exec->parallelFor(m, /*serial_cutoff=*/8, eval_cols);
@@ -218,12 +221,10 @@ class TensorPcs
         }
         proof.proximity_row.assign(m, F::zero());
         auto prox_cols = [&](size_t begin, size_t end) {
-            for (size_t col = begin; col < end; ++col) {
-                F acc = F::zero();
-                for (size_t row = 0; row < k; ++row)
-                    acc += gamma_pow[row] * state.poly[row * m + col];
-                proof.proximity_row[col] = acc;
-            }
+            for (size_t row = 0; row < k; ++row)
+                ff::axpyLanes(proof.proximity_row.data() + begin,
+                              state.poly.data() + row * m + begin,
+                              gamma_pow[row], end - begin);
         };
         if (exec)
             exec->parallelFor(m, /*serial_cutoff=*/8, prox_cols);
@@ -285,6 +286,13 @@ class TensorPcs
         std::vector<F> r_row(point.begin(), point.begin() + row_vars_);
         auto eq_row = eqTable(r_row);
 
+        std::vector<F> gamma_pow(k);
+        F g = F::one();
+        for (size_t row = 0; row < k; ++row) {
+            gamma_pow[row] = g;
+            g *= gamma;
+        }
+
         std::vector<uint8_t> buf(k * F::kNumBytes);
         for (size_t i = 0; i < cols.size(); ++i) {
             uint64_t col = cols[i];
@@ -302,30 +310,21 @@ class TensorPcs
                 return false;
 
             // Consistency with the evaluation row.
-            F eq_combo = F::zero();
-            for (size_t row = 0; row < k; ++row)
-                eq_combo += eq_row[row] * column[row];
-            if (eq_combo != eval_code[col])
+            if (ff::dotLanes(eq_row.data(), column.data(), k) !=
+                eval_code[col])
                 return false;
 
             // Consistency with the proximity row.
-            F g = F::one();
-            F gamma_combo = F::zero();
-            for (size_t row = 0; row < k; ++row) {
-                gamma_combo += g * column[row];
-                g *= gamma;
-            }
-            if (gamma_combo != prox_code[col])
+            if (ff::dotLanes(gamma_pow.data(), column.data(), k) !=
+                prox_code[col])
                 return false;
         }
 
         // The evaluation itself: <eval_row, eq(r_col)>.
         std::vector<F> r_col(point.begin() + row_vars_, point.end());
         auto eq_col = eqTable(r_col);
-        F expect = F::zero();
-        for (size_t col = 0; col < m; ++col)
-            expect += proof.eval_row[col] * eq_col[col];
-        return expect == value;
+        return ff::dotLanes(proof.eval_row.data(), eq_col.data(), m) ==
+               value;
     }
 
   private:

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "exec/ExecContext.h"
+#include "ff/FieldBackend.h"
 #include "util/Log.h"
 #include "util/Rng.h"
 
@@ -91,11 +92,25 @@ class SparseMatrix
                   "(%zu x %zu vs in %zu out %zu)",
                   rows(), cols_, x.size(), out.size());
         auto run_rows = [&](size_t begin, size_t end) {
+            // Gather each row's operands into contiguous scratch so
+            // the packed field kernels can run over full lanes; the
+            // row sum is exact-field associative, so the lane
+            // reordering leaves the result (and proof bytes)
+            // unchanged.
+            constexpr size_t kGather = 64;
+            F xs[kGather], cs[kGather];
             for (size_t r = begin; r < end; ++r) {
                 F acc = F::zero();
-                for (size_t e = offsets_[r]; e < offsets_[r + 1]; ++e) {
-                    acc += x[entries_[e].col] *
-                           F::fromUint(entries_[e].coeff);
+                size_t e = offsets_[r];
+                const size_t row_end = offsets_[r + 1];
+                while (e < row_end) {
+                    size_t m = std::min(row_end - e, kGather);
+                    for (size_t k = 0; k < m; ++k) {
+                        xs[k] = x[entries_[e + k].col];
+                        cs[k] = F::fromUint(entries_[e + k].coeff);
+                    }
+                    acc += ff::dotLanes(xs, cs, m);
+                    e += m;
                 }
                 out[r] = acc;
             }

@@ -17,6 +17,7 @@
 
 #include "encoder/SparseMatrix.h"
 #include "encoder/Topology.h"
+#include "ff/FieldBackend.h"
 #include "util/Log.h"
 
 namespace bzk {
@@ -84,11 +85,15 @@ class SpielmanCode
         for (size_t i = 0; i < bk; ++i)
             z[i] = xs[depth][i];
         auto base_rows = [&](size_t begin, size_t end) {
+            // Lift one dense row at a time into field scratch so the
+            // packed dot kernel runs over full lanes; the row sum is
+            // exact-field associative, so the result is unchanged.
+            std::vector<F> coeffs(bk);
             for (size_t r = begin; r < end; ++r) {
-                F acc = F::zero();
                 for (size_t c = 0; c < bk; ++c)
-                    acc += xs[depth][c] * F::fromUint(base_[r * bk + c]);
-                z[bk + r] = acc;
+                    coeffs[c] = F::fromUint(base_[r * bk + c]);
+                z[bk + r] =
+                    ff::dotLanes(xs[depth].data(), coeffs.data(), bk);
             }
         };
         if (exec)

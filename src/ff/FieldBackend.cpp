@@ -1,0 +1,367 @@
+/**
+ * @file
+ * Backend resolution (CPUID, env override, test forcing), kernel call
+ * counters, the portable scalar kernel table, and the Goldilocks
+ * specializations that route the public packed API through whichever
+ * table is active.
+ */
+
+#include "ff/FieldBackend.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "ff/GoldilocksKernels.h"
+#include "util/Log.h"
+
+namespace bzk::ff {
+
+namespace detail {
+namespace {
+
+std::atomic<uint64_t>
+    g_counters[static_cast<size_t>(Kernel::kCount_)] = {};
+
+} // namespace
+
+void
+countKernel(Kernel kernel)
+{
+    g_counters[static_cast<size_t>(kernel)].fetch_add(
+        1, std::memory_order_relaxed);
+}
+
+namespace {
+
+void
+scalarAdd(const uint64_t *a, const uint64_t *b, uint64_t *out, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        out[i] = glAdd(a[i], b[i]);
+}
+
+void
+scalarSub(const uint64_t *a, const uint64_t *b, uint64_t *out, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        out[i] = glSub(a[i], b[i]);
+}
+
+void
+scalarMul(const uint64_t *a, const uint64_t *b, uint64_t *out, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        out[i] = glMul(a[i], b[i]);
+}
+
+void
+scalarFold(uint64_t *lo, const uint64_t *hi, uint64_t r, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        lo[i] = glAdd(lo[i], glMul(r, glSub(hi[i], lo[i])));
+}
+
+void
+scalarAxpy(uint64_t *acc, const uint64_t *x, uint64_t s, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        acc[i] = glAdd(acc[i], glMul(s, x[i]));
+}
+
+uint64_t
+scalarSum(const uint64_t *a, size_t n)
+{
+    uint64_t acc = 0;
+    for (size_t i = 0; i < n; ++i)
+        acc = glAdd(acc, a[i]);
+    return acc;
+}
+
+uint64_t
+scalarDot(const uint64_t *a, const uint64_t *b, size_t n)
+{
+    uint64_t acc = 0;
+    for (size_t i = 0; i < n; ++i)
+        acc = glAdd(acc, glMul(a[i], b[i]));
+    return acc;
+}
+
+} // namespace
+
+const GlKernelTable &
+glScalarKernels()
+{
+    static const GlKernelTable table{scalarAdd, scalarSub, scalarMul,
+                                     scalarFold, scalarAxpy, scalarSum,
+                                     scalarDot};
+    return table;
+}
+
+} // namespace detail
+
+namespace {
+
+// -1 = unresolved; otherwise a Backend value. forceBackend stores
+// directly; the first activeBackend() call resolves env then CPUID.
+std::atomic<int> g_active{-1};
+
+Backend
+parseBackendName(const char *name)
+{
+    if (std::strcmp(name, "scalar") == 0)
+        return Backend::kScalar;
+    if (std::strcmp(name, "avx2") == 0)
+        return Backend::kAvx2;
+    if (std::strcmp(name, "avx512") == 0)
+        return Backend::kAvx512;
+    if (std::strcmp(name, "neon") == 0)
+        return Backend::kNeon;
+    fatal("BZK_FIELD_BACKEND: unknown backend '%s' "
+          "(want scalar|avx2|avx512|neon)",
+          name);
+}
+
+Backend
+resolveBackend()
+{
+    if (const char *env = std::getenv("BZK_FIELD_BACKEND");
+        env && *env) {
+        Backend requested = parseBackendName(env);
+        if (!backendAvailable(requested))
+            fatal("BZK_FIELD_BACKEND=%s requested but this host does "
+                  "not support it",
+                  env);
+        return requested;
+    }
+    return detectBackend();
+}
+
+const detail::GlKernelTable &
+tableFor(Backend backend)
+{
+    switch (backend) {
+#if defined(__x86_64__) || defined(_M_X64)
+      case Backend::kAvx2:
+        return detail::glAvx2Kernels();
+      case Backend::kAvx512:
+        return detail::glAvx512Kernels();
+#endif
+#if defined(__aarch64__)
+      case Backend::kNeon:
+        return detail::glNeonKernels();
+#endif
+      default:
+        return detail::glScalarKernels();
+    }
+}
+
+/** The active table; resolves and caches the backend on first use. */
+const detail::GlKernelTable &
+activeTable()
+{
+    return tableFor(activeBackend());
+}
+
+static_assert(sizeof(Goldilocks) == sizeof(uint64_t),
+              "packed kernels view Goldilocks arrays as limb arrays");
+
+const uint64_t *
+limbs(const Goldilocks *p)
+{
+    return reinterpret_cast<const uint64_t *>(p);
+}
+
+uint64_t *
+limbs(Goldilocks *p)
+{
+    return reinterpret_cast<uint64_t *>(p);
+}
+
+} // namespace
+
+const char *
+backendName(Backend backend)
+{
+    switch (backend) {
+      case Backend::kScalar:
+        return "scalar";
+      case Backend::kAvx2:
+        return "avx2";
+      case Backend::kAvx512:
+        return "avx512";
+      case Backend::kNeon:
+        return "neon";
+    }
+    return "unknown";
+}
+
+bool
+backendAvailable(Backend backend)
+{
+    switch (backend) {
+      case Backend::kScalar:
+        return true;
+#if defined(__x86_64__) || defined(_M_X64)
+      case Backend::kAvx2:
+        return __builtin_cpu_supports("avx2");
+      case Backend::kAvx512:
+        return __builtin_cpu_supports("avx512f");
+#endif
+#if defined(__aarch64__)
+      case Backend::kNeon:
+        return true;
+#endif
+      default:
+        return false;
+    }
+}
+
+Backend
+detectBackend()
+{
+    if (backendAvailable(Backend::kAvx512))
+        return Backend::kAvx512;
+    if (backendAvailable(Backend::kAvx2))
+        return Backend::kAvx2;
+    if (backendAvailable(Backend::kNeon))
+        return Backend::kNeon;
+    return Backend::kScalar;
+}
+
+Backend
+activeBackend()
+{
+    int cached = g_active.load(std::memory_order_acquire);
+    if (cached >= 0)
+        return static_cast<Backend>(cached);
+    Backend resolved = resolveBackend();
+    int expected = -1;
+    g_active.compare_exchange_strong(expected,
+                                     static_cast<int>(resolved),
+                                     std::memory_order_acq_rel);
+    // On a lost race another thread resolved the same way (resolution
+    // is deterministic), so either value is correct.
+    return resolved;
+}
+
+void
+forceBackend(Backend backend)
+{
+    if (!backendAvailable(backend))
+        fatal("forceBackend: %s unavailable on this host",
+              backendName(backend));
+    g_active.store(static_cast<int>(backend),
+                   std::memory_order_release);
+}
+
+void
+clearForcedBackend()
+{
+    g_active.store(-1, std::memory_order_release);
+}
+
+size_t
+backendLanes(Backend backend)
+{
+    switch (backend) {
+      case Backend::kAvx2:
+        return 4;
+      case Backend::kAvx512:
+        return 8;
+      case Backend::kNeon:
+        return 2;
+      default:
+        return 1;
+    }
+}
+
+KernelCounters
+kernelCounters()
+{
+    using detail::Kernel;
+    auto load = [](Kernel k) {
+        return detail::g_counters[static_cast<size_t>(k)].load(
+            std::memory_order_relaxed);
+    };
+    KernelCounters c;
+    c.add_lanes = load(Kernel::kAdd);
+    c.sub_lanes = load(Kernel::kSub);
+    c.mul_lanes = load(Kernel::kMul);
+    c.fold_lanes = load(Kernel::kFold);
+    c.axpy_lanes = load(Kernel::kAxpy);
+    c.sum_lanes = load(Kernel::kSum);
+    c.dot_lanes = load(Kernel::kDot);
+    c.batch_inverse = load(Kernel::kBatchInverse);
+    return c;
+}
+
+void
+resetKernelCounters()
+{
+    for (auto &counter : detail::g_counters)
+        counter.store(0, std::memory_order_relaxed);
+}
+
+template <>
+void
+addLanes<Goldilocks>(const Goldilocks *a, const Goldilocks *b,
+                     Goldilocks *out, size_t n)
+{
+    detail::countKernel(detail::Kernel::kAdd);
+    activeTable().add(limbs(a), limbs(b), limbs(out), n);
+}
+
+template <>
+void
+subLanes<Goldilocks>(const Goldilocks *a, const Goldilocks *b,
+                     Goldilocks *out, size_t n)
+{
+    detail::countKernel(detail::Kernel::kSub);
+    activeTable().sub(limbs(a), limbs(b), limbs(out), n);
+}
+
+template <>
+void
+mulLanes<Goldilocks>(const Goldilocks *a, const Goldilocks *b,
+                     Goldilocks *out, size_t n)
+{
+    detail::countKernel(detail::Kernel::kMul);
+    activeTable().mul(limbs(a), limbs(b), limbs(out), n);
+}
+
+template <>
+void
+foldLanes<Goldilocks>(Goldilocks *lo, const Goldilocks *hi,
+                      const Goldilocks &r, size_t n)
+{
+    detail::countKernel(detail::Kernel::kFold);
+    activeTable().fold(limbs(lo), limbs(hi), r.toUint(), n);
+}
+
+template <>
+void
+axpyLanes<Goldilocks>(Goldilocks *acc, const Goldilocks *x,
+                      const Goldilocks &s, size_t n)
+{
+    detail::countKernel(detail::Kernel::kAxpy);
+    activeTable().axpy(limbs(acc), limbs(x), s.toUint(), n);
+}
+
+template <>
+Goldilocks
+sumLanes<Goldilocks>(const Goldilocks *a, size_t n)
+{
+    detail::countKernel(detail::Kernel::kSum);
+    return Goldilocks::fromRaw(activeTable().sum(limbs(a), n));
+}
+
+template <>
+Goldilocks
+dotLanes<Goldilocks>(const Goldilocks *a, const Goldilocks *b, size_t n)
+{
+    detail::countKernel(detail::Kernel::kDot);
+    return Goldilocks::fromRaw(activeTable().dot(limbs(a), limbs(b), n));
+}
+
+} // namespace bzk::ff

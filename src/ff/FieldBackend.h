@@ -1,0 +1,262 @@
+#ifndef BZK_FF_FIELDBACKEND_H_
+#define BZK_FF_FIELDBACKEND_H_
+
+/**
+ * @file
+ * Runtime-dispatched packed field kernels.
+ *
+ * The module hot loops (sum-check round sums and folds, Spielman
+ * encoder SpMV, tensor-PCS row combines) all reduce to long chains of
+ * field mul/add over contiguous element arrays. This header is the one
+ * place those loops go for N-way packed versions of that work: add,
+ * sub, mul, fold and dot/sum/axpy kernels over lanes, plus Montgomery
+ * batch inversion.
+ *
+ * A portable scalar backend is always available. On x86-64, AVX2
+ * (4-way) and AVX-512 (8-way) Goldilocks backends are compiled in and
+ * selected via CPUID at startup; on AArch64 a NEON (2-way) backend
+ * takes their place. The choice can be forced with the
+ * BZK_FIELD_BACKEND=scalar|avx2|avx512|neon environment variable (CI
+ * pins `scalar` for a dispatch-off determinism leg) or, in tests, with
+ * forceBackend().
+ *
+ * Every kernel computes exactly the same field elements as the obvious
+ * scalar loop: lane packing only reorders independent lane work, and
+ * where a kernel folds lanes into one value (sumLanes, dotLanes) the
+ * reordering is invisible because field addition is exactly
+ * associative and commutative — unlike floats there is no rounding.
+ * Proof bytes therefore do not depend on the selected backend (pinned
+ * by test_ff_kat and the system goldens).
+ *
+ * The generic templates below run the portable loop for any field
+ * type; Goldilocks (the only field whose element fits a SIMD lane) has
+ * specializations that route through the dispatched backend. The
+ * 256-bit Montgomery fields stay on the scalar path — CIOS carry
+ * chains do not map onto 64-bit lanes without IFMA-class hardware (see
+ * docs/PERFORMANCE.md).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ff/Goldilocks.h"
+
+namespace bzk::ff {
+
+/** Packed-kernel implementations, in preference order. */
+enum class Backend {
+    kScalar = 0,
+    kAvx2 = 1,
+    kAvx512 = 2,
+    kNeon = 3,
+};
+
+/** Stable lower-case name ("scalar", "avx2", "avx512", "neon"). */
+const char *backendName(Backend backend);
+
+/** True when @p backend can run on this host (kScalar always can). */
+bool backendAvailable(Backend backend);
+
+/** Best backend this host supports, ignoring any override. */
+Backend detectBackend();
+
+/**
+ * The backend packed kernels dispatch to: a forceBackend() override
+ * wins, then BZK_FIELD_BACKEND (fatal on unknown or unavailable
+ * names), then detectBackend(). Resolved once and cached.
+ */
+Backend activeBackend();
+
+/**
+ * Pin the dispatched backend (tests sweep every available backend
+ * through the same call sites). Fatal when @p backend is unavailable
+ * on this host; clearForcedBackend() restores env/CPUID resolution.
+ */
+void forceBackend(Backend backend);
+
+/** Undo forceBackend(); the next call re-resolves env then CPUID. */
+void clearForcedBackend();
+
+/** Lanes processed per packed op by @p backend (1 for scalar). */
+size_t backendLanes(Backend backend);
+
+/** Cumulative packed-kernel invocation counts (exported as metrics). */
+struct KernelCounters
+{
+    uint64_t add_lanes = 0;
+    uint64_t sub_lanes = 0;
+    uint64_t mul_lanes = 0;
+    uint64_t fold_lanes = 0;
+    uint64_t axpy_lanes = 0;
+    uint64_t sum_lanes = 0;
+    uint64_t dot_lanes = 0;
+    uint64_t batch_inverse = 0;
+};
+
+/** Snapshot of the process-wide counters (relaxed; monotonic). */
+KernelCounters kernelCounters();
+
+/** Zero the process-wide counters (tests and bench setup). */
+void resetKernelCounters();
+
+namespace detail {
+
+/** Counter slots, one per public kernel. */
+enum class Kernel {
+    kAdd = 0,
+    kSub,
+    kMul,
+    kFold,
+    kAxpy,
+    kSum,
+    kDot,
+    kBatchInverse,
+    kCount_,
+};
+
+/** Bump one kernel's call counter (relaxed atomic). */
+void countKernel(Kernel kernel);
+
+} // namespace detail
+
+/** out[i] = a[i] + b[i] for i in [0, n). */
+template <typename F>
+void
+addLanes(const F *a, const F *b, F *out, size_t n)
+{
+    detail::countKernel(detail::Kernel::kAdd);
+    for (size_t i = 0; i < n; ++i)
+        out[i] = a[i] + b[i];
+}
+
+/** out[i] = a[i] - b[i] for i in [0, n). */
+template <typename F>
+void
+subLanes(const F *a, const F *b, F *out, size_t n)
+{
+    detail::countKernel(detail::Kernel::kSub);
+    for (size_t i = 0; i < n; ++i)
+        out[i] = a[i] - b[i];
+}
+
+/** out[i] = a[i] * b[i] for i in [0, n). */
+template <typename F>
+void
+mulLanes(const F *a, const F *b, F *out, size_t n)
+{
+    detail::countKernel(detail::Kernel::kMul);
+    for (size_t i = 0; i < n; ++i)
+        out[i] = a[i] * b[i];
+}
+
+/**
+ * The sum-check fold: lo[i] = lo[i] + r * (hi[i] - lo[i]). The lo and
+ * hi ranges must not overlap.
+ */
+template <typename F>
+void
+foldLanes(F *lo, const F *hi, const F &r, size_t n)
+{
+    detail::countKernel(detail::Kernel::kFold);
+    for (size_t i = 0; i < n; ++i)
+        lo[i] = lo[i] + r * (hi[i] - lo[i]);
+}
+
+/** acc[i] += s * x[i] (the row-combine primitive of the tensor PCS). */
+template <typename F>
+void
+axpyLanes(F *acc, const F *x, const F &s, size_t n)
+{
+    detail::countKernel(detail::Kernel::kAxpy);
+    for (size_t i = 0; i < n; ++i)
+        acc[i] += s * x[i];
+}
+
+/** sum_i a[i]; any summation order (field addition is associative). */
+template <typename F>
+F
+sumLanes(const F *a, size_t n)
+{
+    detail::countKernel(detail::Kernel::kSum);
+    F acc = F::zero();
+    for (size_t i = 0; i < n; ++i)
+        acc += a[i];
+    return acc;
+}
+
+/** sum_i a[i] * b[i]; any summation order. */
+template <typename F>
+F
+dotLanes(const F *a, const F *b, size_t n)
+{
+    detail::countKernel(detail::Kernel::kDot);
+    F acc = F::zero();
+    for (size_t i = 0; i < n; ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+/**
+ * Montgomery batch inversion: replace every non-zero x[i] with its
+ * multiplicative inverse using one field inversion plus 3n
+ * multiplications. Zero entries are skipped and left as zero — they
+ * never corrupt the prefix products of the other entries (the
+ * documented skip-zero semantics; a debug assert in scalar inverse()
+ * still flags accidental single-element zero inversions). Returns the
+ * number of elements inverted.
+ */
+template <typename F>
+size_t
+batchInverse(F *x, size_t n)
+{
+    detail::countKernel(detail::Kernel::kBatchInverse);
+    std::vector<F> prefix(n);
+    F run = F::one();
+    size_t inverted = 0;
+    for (size_t i = 0; i < n; ++i) {
+        if (x[i].isZero())
+            continue;
+        prefix[i] = run;
+        run *= x[i];
+        ++inverted;
+    }
+    if (inverted == 0)
+        return 0;
+    F inv = run.inverse();
+    for (size_t i = n; i-- > 0;) {
+        if (x[i].isZero())
+            continue;
+        F xi = x[i];
+        x[i] = inv * prefix[i];
+        inv *= xi;
+    }
+    return inverted;
+}
+
+// Goldilocks is the packed field: its 64-bit canonical elements map
+// one-to-one onto SIMD lanes, so these route through the dispatched
+// backend instead of the portable loop above.
+template <>
+void addLanes<Goldilocks>(const Goldilocks *a, const Goldilocks *b,
+                          Goldilocks *out, size_t n);
+template <>
+void subLanes<Goldilocks>(const Goldilocks *a, const Goldilocks *b,
+                          Goldilocks *out, size_t n);
+template <>
+void mulLanes<Goldilocks>(const Goldilocks *a, const Goldilocks *b,
+                          Goldilocks *out, size_t n);
+template <>
+void foldLanes<Goldilocks>(Goldilocks *lo, const Goldilocks *hi,
+                           const Goldilocks &r, size_t n);
+template <>
+void axpyLanes<Goldilocks>(Goldilocks *acc, const Goldilocks *x,
+                           const Goldilocks &s, size_t n);
+template <> Goldilocks sumLanes<Goldilocks>(const Goldilocks *a, size_t n);
+template <>
+Goldilocks dotLanes<Goldilocks>(const Goldilocks *a, const Goldilocks *b,
+                                size_t n);
+
+} // namespace bzk::ff
+
+#endif // BZK_FF_FIELDBACKEND_H_

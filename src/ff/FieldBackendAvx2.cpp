@@ -1,0 +1,256 @@
+/**
+ * @file
+ * 4-way AVX2 Goldilocks kernels. Compiled with -mavx2 in its own
+ * translation unit; only reached after __builtin_cpu_supports("avx2")
+ * (see FieldBackend.cpp), so no illegal instruction can leak onto
+ * pre-AVX2 hosts.
+ *
+ * Every vector op mirrors the scalar reference in GoldilocksKernels.h
+ * operation for operation (same wraps, same conditional corrections),
+ * so outputs are bit-identical to the scalar backend — the property
+ * the dispatch layer promises. AVX2 has no unsigned 64-bit compare or
+ * 64x64->128 multiply, so compares go through the sign-flip trick and
+ * products through four 32x32->64 partial products.
+ */
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include "ff/GoldilocksKernels.h"
+
+namespace bzk::ff::detail {
+namespace {
+
+// Broadcast constants come from inline helpers, not file-scope
+// globals: a global __m256i initializer would execute AVX2
+// instructions during static init in every process, including ones on
+// pre-AVX2 hosts that must never reach this TU's code.
+inline __m256i
+kModulusV()
+{
+    return _mm256_set1_epi64x(static_cast<long long>(kGlModulus));
+}
+
+inline __m256i
+kModulusM1V()
+{
+    return _mm256_set1_epi64x(static_cast<long long>(kGlModulus - 1));
+}
+
+inline __m256i
+kSignV()
+{
+    return _mm256_set1_epi64x(
+        static_cast<long long>(0x8000000000000000ULL));
+}
+
+inline __m256i
+kLow32V()
+{
+    return _mm256_set1_epi64x(0xffffffffLL);
+}
+
+/** Lane-wise a > b as all-ones masks, unsigned (sign-flip compare). */
+inline __m256i
+cmpgtU64(__m256i a, __m256i b)
+{
+    return _mm256_cmpgt_epi64(_mm256_xor_si256(a, kSignV()),
+                              _mm256_xor_si256(b, kSignV()));
+}
+
+/** (a + b) mod p, canonical in, canonical out. */
+inline __m256i
+addModV(__m256i a, __m256i b)
+{
+    __m256i sum = _mm256_add_epi64(a, b);
+    // Correct when the 64-bit add wrapped (sum < a) or sum >= p.
+    __m256i wrap = cmpgtU64(a, sum);
+    __m256i ge = cmpgtU64(sum, kModulusM1V());
+    __m256i fix = _mm256_and_si256(_mm256_or_si256(wrap, ge), kModulusV());
+    return _mm256_sub_epi64(sum, fix);
+}
+
+/** (a - b) mod p, canonical in, canonical out. */
+inline __m256i
+subModV(__m256i a, __m256i b)
+{
+    __m256i diff = _mm256_sub_epi64(a, b);
+    __m256i borrow = cmpgtU64(b, a);
+    return _mm256_add_epi64(diff,
+                            _mm256_and_si256(borrow, kModulusV()));
+}
+
+/** Full 64x64 -> 128 product per lane, as (hi, lo) vectors. */
+inline void
+mul64Wide(__m256i a, __m256i b, __m256i &hi, __m256i &lo)
+{
+    __m256i a_hi = _mm256_srli_epi64(a, 32);
+    __m256i b_hi = _mm256_srli_epi64(b, 32);
+    __m256i ll = _mm256_mul_epu32(a, b);       // aL * bL
+    __m256i lh = _mm256_mul_epu32(a, b_hi);    // aL * bH
+    __m256i hl = _mm256_mul_epu32(a_hi, b);    // aH * bL
+    __m256i hh = _mm256_mul_epu32(a_hi, b_hi); // aH * bH
+
+    // cross = lh + hl + (ll >> 32); lh + (ll >> 32) cannot wrap
+    // ((2^32-1)^2 + (2^32-1) < 2^64), the second add can.
+    __m256i t = _mm256_add_epi64(lh, _mm256_srli_epi64(ll, 32));
+    __m256i cross = _mm256_add_epi64(t, hl);
+    __m256i carry = _mm256_srli_epi64(cmpgtU64(t, cross), 63);
+
+    lo = _mm256_or_si256(_mm256_slli_epi64(cross, 32),
+                         _mm256_and_si256(ll, kLow32V()));
+    hi = _mm256_add_epi64(
+        hh, _mm256_add_epi64(_mm256_srli_epi64(cross, 32),
+                             _mm256_slli_epi64(carry, 32)));
+}
+
+/** Goldilocks reduction of (hi, lo); mirrors scalar glReduce128. */
+inline __m256i
+reduce128V(__m256i hi, __m256i lo)
+{
+    __m256i hi_hi = _mm256_srli_epi64(hi, 32);
+    __m256i hi_lo = _mm256_and_si256(hi, kLow32V());
+
+    // t0 = lo - hi_hi, borrowing 2^64 ≡ 2^32 - 1 (mod p).
+    __m256i t0 = _mm256_sub_epi64(lo, hi_hi);
+    __m256i borrow = cmpgtU64(hi_hi, lo);
+    t0 = _mm256_sub_epi64(t0, _mm256_and_si256(borrow, kLow32V()));
+
+    // t1 = hi_lo * (2^32 - 1) = (hi_lo << 32) - hi_lo.
+    __m256i t1 = _mm256_sub_epi64(_mm256_slli_epi64(hi_lo, 32), hi_lo);
+
+    // t2 = t0 + t1, carrying 2^64 ≡ 2^32 - 1 (mod p) back in.
+    __m256i t2 = _mm256_add_epi64(t0, t1);
+    __m256i carry = cmpgtU64(t1, t2);
+    t2 = _mm256_add_epi64(t2, _mm256_and_si256(carry, kLow32V()));
+
+    __m256i ge = cmpgtU64(t2, kModulusM1V());
+    return _mm256_sub_epi64(t2, _mm256_and_si256(ge, kModulusV()));
+}
+
+/** (a * b) mod p, canonical in, canonical out. */
+inline __m256i
+mulModV(__m256i a, __m256i b)
+{
+    __m256i hi, lo;
+    mul64Wide(a, b, hi, lo);
+    return reduce128V(hi, lo);
+}
+
+inline __m256i
+loadV(const uint64_t *p)
+{
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i *>(p));
+}
+
+inline void
+storeV(uint64_t *p, __m256i v)
+{
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(p), v);
+}
+
+void
+avx2Add(const uint64_t *a, const uint64_t *b, uint64_t *out, size_t n)
+{
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        storeV(out + i, addModV(loadV(a + i), loadV(b + i)));
+    for (; i < n; ++i)
+        out[i] = glAdd(a[i], b[i]);
+}
+
+void
+avx2Sub(const uint64_t *a, const uint64_t *b, uint64_t *out, size_t n)
+{
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        storeV(out + i, subModV(loadV(a + i), loadV(b + i)));
+    for (; i < n; ++i)
+        out[i] = glSub(a[i], b[i]);
+}
+
+void
+avx2Mul(const uint64_t *a, const uint64_t *b, uint64_t *out, size_t n)
+{
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        storeV(out + i, mulModV(loadV(a + i), loadV(b + i)));
+    for (; i < n; ++i)
+        out[i] = glMul(a[i], b[i]);
+}
+
+void
+avx2Fold(uint64_t *lo, const uint64_t *hi, uint64_t r, size_t n)
+{
+    __m256i r_v = _mm256_set1_epi64x(static_cast<long long>(r));
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m256i lo_v = loadV(lo + i);
+        __m256i d = subModV(loadV(hi + i), lo_v);
+        storeV(lo + i, addModV(lo_v, mulModV(r_v, d)));
+    }
+    for (; i < n; ++i)
+        lo[i] = glAdd(lo[i], glMul(r, glSub(hi[i], lo[i])));
+}
+
+void
+avx2Axpy(uint64_t *acc, const uint64_t *x, uint64_t s, size_t n)
+{
+    __m256i s_v = _mm256_set1_epi64x(static_cast<long long>(s));
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m256i sum =
+            addModV(loadV(acc + i), mulModV(s_v, loadV(x + i)));
+        storeV(acc + i, sum);
+    }
+    for (; i < n; ++i)
+        acc[i] = glAdd(acc[i], glMul(s, x[i]));
+}
+
+uint64_t
+avx2Sum(const uint64_t *a, size_t n)
+{
+    __m256i acc_v = _mm256_setzero_si256();
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        acc_v = addModV(acc_v, loadV(a + i));
+    alignas(32) uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(lanes), acc_v);
+    uint64_t acc = glAdd(glAdd(lanes[0], lanes[1]),
+                         glAdd(lanes[2], lanes[3]));
+    for (; i < n; ++i)
+        acc = glAdd(acc, a[i]);
+    return acc;
+}
+
+uint64_t
+avx2Dot(const uint64_t *a, const uint64_t *b, size_t n)
+{
+    __m256i acc_v = _mm256_setzero_si256();
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        acc_v = addModV(acc_v, mulModV(loadV(a + i), loadV(b + i)));
+    alignas(32) uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(lanes), acc_v);
+    uint64_t acc = glAdd(glAdd(lanes[0], lanes[1]),
+                         glAdd(lanes[2], lanes[3]));
+    for (; i < n; ++i)
+        acc = glAdd(acc, glMul(a[i], b[i]));
+    return acc;
+}
+
+} // namespace
+
+const GlKernelTable &
+glAvx2Kernels()
+{
+    static const GlKernelTable table{avx2Add,  avx2Sub,  avx2Mul,
+                                     avx2Fold, avx2Axpy, avx2Sum,
+                                     avx2Dot};
+    return table;
+}
+
+} // namespace bzk::ff::detail
+
+#endif // __x86_64__

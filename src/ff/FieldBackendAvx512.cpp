@@ -1,0 +1,231 @@
+/**
+ * @file
+ * 8-way AVX-512F Goldilocks kernels. Compiled with -mavx512f in its
+ * own translation unit; only reached after
+ * __builtin_cpu_supports("avx512f") (see FieldBackend.cpp).
+ *
+ * Same operation-for-operation mirror of the scalar reference as the
+ * AVX2 backend, but 512-bit lanes, native unsigned 64-bit compares
+ * (k-mask registers) and masked add/sub instead of the sign-flip and
+ * and-with-mask dance. The 64x64->128 product still decomposes into
+ * 32x32->64 partials — vpmullq (AVX512DQ) only yields the low half.
+ */
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include "ff/GoldilocksKernels.h"
+
+namespace bzk::ff::detail {
+namespace {
+
+// Inline helpers, not file-scope globals: a global __m512i
+// initializer would execute AVX-512 instructions during static init
+// on hosts that must never reach this TU's code.
+inline __m512i
+kModulusV()
+{
+    return _mm512_set1_epi64(static_cast<long long>(kGlModulus));
+}
+
+inline __m512i
+kLow32V()
+{
+    return _mm512_set1_epi64(0xffffffffLL);
+}
+
+/** (a + b) mod p, canonical in, canonical out. */
+inline __m512i
+addModV(__m512i a, __m512i b)
+{
+    __m512i sum = _mm512_add_epi64(a, b);
+    // Correct when the 64-bit add wrapped (sum < a) or sum >= p.
+    __mmask8 wrap = _mm512_cmplt_epu64_mask(sum, a);
+    __mmask8 ge = _mm512_cmpge_epu64_mask(sum, kModulusV());
+    return _mm512_mask_sub_epi64(sum, wrap | ge, sum, kModulusV());
+}
+
+/** (a - b) mod p, canonical in, canonical out. */
+inline __m512i
+subModV(__m512i a, __m512i b)
+{
+    __m512i diff = _mm512_sub_epi64(a, b);
+    __mmask8 borrow = _mm512_cmplt_epu64_mask(a, b);
+    return _mm512_mask_add_epi64(diff, borrow, diff, kModulusV());
+}
+
+/** Full 64x64 -> 128 product per lane, as (hi, lo) vectors. */
+inline void
+mul64Wide(__m512i a, __m512i b, __m512i &hi, __m512i &lo)
+{
+    __m512i a_hi = _mm512_srli_epi64(a, 32);
+    __m512i b_hi = _mm512_srli_epi64(b, 32);
+    __m512i ll = _mm512_mul_epu32(a, b);
+    __m512i lh = _mm512_mul_epu32(a, b_hi);
+    __m512i hl = _mm512_mul_epu32(a_hi, b);
+    __m512i hh = _mm512_mul_epu32(a_hi, b_hi);
+
+    // cross = lh + hl + (ll >> 32); only the second add can wrap.
+    __m512i t = _mm512_add_epi64(lh, _mm512_srli_epi64(ll, 32));
+    __m512i cross = _mm512_add_epi64(t, hl);
+    __mmask8 carry = _mm512_cmplt_epu64_mask(cross, t);
+
+    lo = _mm512_or_si512(_mm512_slli_epi64(cross, 32),
+                         _mm512_and_si512(ll, kLow32V()));
+    hi = _mm512_add_epi64(hh, _mm512_srli_epi64(cross, 32));
+    hi = _mm512_mask_add_epi64(hi, carry, hi,
+                               _mm512_set1_epi64(1LL << 32));
+}
+
+/** Goldilocks reduction of (hi, lo); mirrors scalar glReduce128. */
+inline __m512i
+reduce128V(__m512i hi, __m512i lo)
+{
+    __m512i hi_hi = _mm512_srli_epi64(hi, 32);
+    __m512i hi_lo = _mm512_and_si512(hi, kLow32V());
+
+    // t0 = lo - hi_hi, borrowing 2^64 ≡ 2^32 - 1 (mod p).
+    __m512i t0 = _mm512_sub_epi64(lo, hi_hi);
+    __mmask8 borrow = _mm512_cmplt_epu64_mask(lo, hi_hi);
+    t0 = _mm512_mask_sub_epi64(t0, borrow, t0, kLow32V());
+
+    // t1 = hi_lo * (2^32 - 1) = (hi_lo << 32) - hi_lo.
+    __m512i t1 = _mm512_sub_epi64(_mm512_slli_epi64(hi_lo, 32), hi_lo);
+
+    // t2 = t0 + t1, carrying 2^64 ≡ 2^32 - 1 (mod p) back in.
+    __m512i t2 = _mm512_add_epi64(t0, t1);
+    __mmask8 carry = _mm512_cmplt_epu64_mask(t2, t1);
+    t2 = _mm512_mask_add_epi64(t2, carry, t2, kLow32V());
+
+    __mmask8 ge = _mm512_cmpge_epu64_mask(t2, kModulusV());
+    return _mm512_mask_sub_epi64(t2, ge, t2, kModulusV());
+}
+
+/** (a * b) mod p, canonical in, canonical out. */
+inline __m512i
+mulModV(__m512i a, __m512i b)
+{
+    __m512i hi, lo;
+    mul64Wide(a, b, hi, lo);
+    return reduce128V(hi, lo);
+}
+
+inline __m512i
+loadV(const uint64_t *p)
+{
+    return _mm512_loadu_si512(p);
+}
+
+inline void
+storeV(uint64_t *p, __m512i v)
+{
+    _mm512_storeu_si512(p, v);
+}
+
+void
+avx512Add(const uint64_t *a, const uint64_t *b, uint64_t *out, size_t n)
+{
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        storeV(out + i, addModV(loadV(a + i), loadV(b + i)));
+    for (; i < n; ++i)
+        out[i] = glAdd(a[i], b[i]);
+}
+
+void
+avx512Sub(const uint64_t *a, const uint64_t *b, uint64_t *out, size_t n)
+{
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        storeV(out + i, subModV(loadV(a + i), loadV(b + i)));
+    for (; i < n; ++i)
+        out[i] = glSub(a[i], b[i]);
+}
+
+void
+avx512Mul(const uint64_t *a, const uint64_t *b, uint64_t *out, size_t n)
+{
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        storeV(out + i, mulModV(loadV(a + i), loadV(b + i)));
+    for (; i < n; ++i)
+        out[i] = glMul(a[i], b[i]);
+}
+
+void
+avx512Fold(uint64_t *lo, const uint64_t *hi, uint64_t r, size_t n)
+{
+    __m512i r_v = _mm512_set1_epi64(static_cast<long long>(r));
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m512i lo_v = loadV(lo + i);
+        __m512i d = subModV(loadV(hi + i), lo_v);
+        storeV(lo + i, addModV(lo_v, mulModV(r_v, d)));
+    }
+    for (; i < n; ++i)
+        lo[i] = glAdd(lo[i], glMul(r, glSub(hi[i], lo[i])));
+}
+
+void
+avx512Axpy(uint64_t *acc, const uint64_t *x, uint64_t s, size_t n)
+{
+    __m512i s_v = _mm512_set1_epi64(static_cast<long long>(s));
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m512i sum =
+            addModV(loadV(acc + i), mulModV(s_v, loadV(x + i)));
+        storeV(acc + i, sum);
+    }
+    for (; i < n; ++i)
+        acc[i] = glAdd(acc[i], glMul(s, x[i]));
+}
+
+uint64_t
+avx512Sum(const uint64_t *a, size_t n)
+{
+    __m512i acc_v = _mm512_setzero_si512();
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        acc_v = addModV(acc_v, loadV(a + i));
+    alignas(64) uint64_t lanes[8];
+    _mm512_store_si512(lanes, acc_v);
+    uint64_t acc = 0;
+    for (uint64_t lane : lanes)
+        acc = glAdd(acc, lane);
+    for (; i < n; ++i)
+        acc = glAdd(acc, a[i]);
+    return acc;
+}
+
+uint64_t
+avx512Dot(const uint64_t *a, const uint64_t *b, size_t n)
+{
+    __m512i acc_v = _mm512_setzero_si512();
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        acc_v = addModV(acc_v, mulModV(loadV(a + i), loadV(b + i)));
+    alignas(64) uint64_t lanes[8];
+    _mm512_store_si512(lanes, acc_v);
+    uint64_t acc = 0;
+    for (uint64_t lane : lanes)
+        acc = glAdd(acc, lane);
+    for (; i < n; ++i)
+        acc = glAdd(acc, glMul(a[i], b[i]));
+    return acc;
+}
+
+} // namespace
+
+const GlKernelTable &
+glAvx512Kernels()
+{
+    static const GlKernelTable table{avx512Add,  avx512Sub,  avx512Mul,
+                                     avx512Fold, avx512Axpy, avx512Sum,
+                                     avx512Dot};
+    return table;
+}
+
+} // namespace bzk::ff::detail
+
+#endif // __x86_64__

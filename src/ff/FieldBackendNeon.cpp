@@ -1,0 +1,210 @@
+/**
+ * @file
+ * 2-way NEON Goldilocks kernels for AArch64. NEON is baseline on
+ * AArch64, so no per-file ISA flags or CPUID gating are needed — the
+ * dispatcher still prefers it over scalar only via detectBackend().
+ *
+ * NEON has no 64x64->128 multiply either; products decompose into
+ * vmull_u32 32x32->64 partials exactly like the AVX2 backend, and the
+ * kernels mirror the scalar reference operation for operation so the
+ * outputs stay bit-identical across backends.
+ */
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "ff/GoldilocksKernels.h"
+
+namespace bzk::ff::detail {
+namespace {
+
+inline uint64x2_t
+kModulusV()
+{
+    return vdupq_n_u64(kGlModulus);
+}
+
+inline uint64x2_t
+kLow32V()
+{
+    return vdupq_n_u64(0xffffffffULL);
+}
+
+/** (a + b) mod p, canonical in, canonical out. */
+inline uint64x2_t
+addModV(uint64x2_t a, uint64x2_t b)
+{
+    uint64x2_t sum = vaddq_u64(a, b);
+    // Correct when the 64-bit add wrapped (sum < a) or sum >= p.
+    uint64x2_t wrap = vcltq_u64(sum, a);
+    uint64x2_t ge = vcgeq_u64(sum, kModulusV());
+    uint64x2_t fix = vandq_u64(vorrq_u64(wrap, ge), kModulusV());
+    return vsubq_u64(sum, fix);
+}
+
+/** (a - b) mod p, canonical in, canonical out. */
+inline uint64x2_t
+subModV(uint64x2_t a, uint64x2_t b)
+{
+    uint64x2_t diff = vsubq_u64(a, b);
+    uint64x2_t borrow = vcltq_u64(a, b);
+    return vaddq_u64(diff, vandq_u64(borrow, kModulusV()));
+}
+
+/** Full 64x64 -> 128 product per lane, as (hi, lo) vectors. */
+inline void
+mul64Wide(uint64x2_t a, uint64x2_t b, uint64x2_t &hi, uint64x2_t &lo)
+{
+    uint32x2_t a_lo = vmovn_u64(a);
+    uint32x2_t b_lo = vmovn_u64(b);
+    uint32x2_t a_hi = vshrn_n_u64(a, 32);
+    uint32x2_t b_hi = vshrn_n_u64(b, 32);
+    uint64x2_t ll = vmull_u32(a_lo, b_lo);
+    uint64x2_t lh = vmull_u32(a_lo, b_hi);
+    uint64x2_t hl = vmull_u32(a_hi, b_lo);
+    uint64x2_t hh = vmull_u32(a_hi, b_hi);
+
+    // cross = lh + hl + (ll >> 32); only the second add can wrap.
+    uint64x2_t t = vaddq_u64(lh, vshrq_n_u64(ll, 32));
+    uint64x2_t cross = vaddq_u64(t, hl);
+    uint64x2_t carry = vshrq_n_u64(vcltq_u64(cross, t), 63);
+
+    lo = vorrq_u64(vshlq_n_u64(cross, 32), vandq_u64(ll, kLow32V()));
+    hi = vaddq_u64(hh, vaddq_u64(vshrq_n_u64(cross, 32),
+                                 vshlq_n_u64(carry, 32)));
+}
+
+/** Goldilocks reduction of (hi, lo); mirrors scalar glReduce128. */
+inline uint64x2_t
+reduce128V(uint64x2_t hi, uint64x2_t lo)
+{
+    uint64x2_t hi_hi = vshrq_n_u64(hi, 32);
+    uint64x2_t hi_lo = vandq_u64(hi, kLow32V());
+
+    // t0 = lo - hi_hi, borrowing 2^64 ≡ 2^32 - 1 (mod p).
+    uint64x2_t t0 = vsubq_u64(lo, hi_hi);
+    uint64x2_t borrow = vcltq_u64(lo, hi_hi);
+    t0 = vsubq_u64(t0, vandq_u64(borrow, kLow32V()));
+
+    // t1 = hi_lo * (2^32 - 1) = (hi_lo << 32) - hi_lo.
+    uint64x2_t t1 = vsubq_u64(vshlq_n_u64(hi_lo, 32), hi_lo);
+
+    // t2 = t0 + t1, carrying 2^64 ≡ 2^32 - 1 (mod p) back in.
+    uint64x2_t t2 = vaddq_u64(t0, t1);
+    uint64x2_t carry = vcltq_u64(t2, t1);
+    t2 = vaddq_u64(t2, vandq_u64(carry, kLow32V()));
+
+    uint64x2_t ge = vcgeq_u64(t2, kModulusV());
+    return vsubq_u64(t2, vandq_u64(ge, kModulusV()));
+}
+
+/** (a * b) mod p, canonical in, canonical out. */
+inline uint64x2_t
+mulModV(uint64x2_t a, uint64x2_t b)
+{
+    uint64x2_t hi, lo;
+    mul64Wide(a, b, hi, lo);
+    return reduce128V(hi, lo);
+}
+
+void
+neonAdd(const uint64_t *a, const uint64_t *b, uint64_t *out, size_t n)
+{
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2)
+        vst1q_u64(out + i, addModV(vld1q_u64(a + i), vld1q_u64(b + i)));
+    for (; i < n; ++i)
+        out[i] = glAdd(a[i], b[i]);
+}
+
+void
+neonSub(const uint64_t *a, const uint64_t *b, uint64_t *out, size_t n)
+{
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2)
+        vst1q_u64(out + i, subModV(vld1q_u64(a + i), vld1q_u64(b + i)));
+    for (; i < n; ++i)
+        out[i] = glSub(a[i], b[i]);
+}
+
+void
+neonMul(const uint64_t *a, const uint64_t *b, uint64_t *out, size_t n)
+{
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2)
+        vst1q_u64(out + i, mulModV(vld1q_u64(a + i), vld1q_u64(b + i)));
+    for (; i < n; ++i)
+        out[i] = glMul(a[i], b[i]);
+}
+
+void
+neonFold(uint64_t *lo, const uint64_t *hi, uint64_t r, size_t n)
+{
+    uint64x2_t r_v = vdupq_n_u64(r);
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        uint64x2_t lo_v = vld1q_u64(lo + i);
+        uint64x2_t d = subModV(vld1q_u64(hi + i), lo_v);
+        vst1q_u64(lo + i, addModV(lo_v, mulModV(r_v, d)));
+    }
+    for (; i < n; ++i)
+        lo[i] = glAdd(lo[i], glMul(r, glSub(hi[i], lo[i])));
+}
+
+void
+neonAxpy(uint64_t *acc, const uint64_t *x, uint64_t s, size_t n)
+{
+    uint64x2_t s_v = vdupq_n_u64(s);
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        uint64x2_t sum =
+            addModV(vld1q_u64(acc + i), mulModV(s_v, vld1q_u64(x + i)));
+        vst1q_u64(acc + i, sum);
+    }
+    for (; i < n; ++i)
+        acc[i] = glAdd(acc[i], glMul(s, x[i]));
+}
+
+uint64_t
+neonSum(const uint64_t *a, size_t n)
+{
+    uint64x2_t acc_v = vdupq_n_u64(0);
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2)
+        acc_v = addModV(acc_v, vld1q_u64(a + i));
+    uint64_t acc =
+        glAdd(vgetq_lane_u64(acc_v, 0), vgetq_lane_u64(acc_v, 1));
+    for (; i < n; ++i)
+        acc = glAdd(acc, a[i]);
+    return acc;
+}
+
+uint64_t
+neonDot(const uint64_t *a, const uint64_t *b, size_t n)
+{
+    uint64x2_t acc_v = vdupq_n_u64(0);
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2)
+        acc_v = addModV(acc_v, mulModV(vld1q_u64(a + i), vld1q_u64(b + i)));
+    uint64_t acc =
+        glAdd(vgetq_lane_u64(acc_v, 0), vgetq_lane_u64(acc_v, 1));
+    for (; i < n; ++i)
+        acc = glAdd(acc, glMul(a[i], b[i]));
+    return acc;
+}
+
+} // namespace
+
+const GlKernelTable &
+glNeonKernels()
+{
+    static const GlKernelTable table{neonAdd,  neonSub,  neonMul,
+                                     neonFold, neonAxpy, neonSum,
+                                     neonDot};
+    return table;
+}
+
+} // namespace bzk::ff::detail
+
+#endif // __aarch64__

@@ -11,6 +11,7 @@
  * BN254 fields satisfy.
  */
 
+#include <cassert>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -222,11 +223,15 @@ class Fp
 
     /**
      * Multiplicative inverse via Fermat's little theorem (this^(p-2)).
-     * @pre not zero; returns zero for zero input (caller's bug).
+     * @pre not zero. Zero has no inverse; the Fermat power maps it to
+     * zero, which silently poisons downstream arithmetic, so debug
+     * builds assert. Callers that may legitimately see zeros use
+     * ff::batchInverse, whose skip-zero semantics are explicit.
      */
     constexpr Fp
     inverse() const
     {
+        assert(!isZero() && "Fp::inverse of zero");
         uint64_t borrow = 0;
         U256 pm2 = subBorrow(kModulus, U256{2}, borrow);
         return pow(pm2);

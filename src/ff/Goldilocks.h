@@ -11,10 +11,12 @@
  * run larger instances quickly; the 2-adicity of 32 also supports NTTs.
  */
 
+#include <cassert>
 #include <cstdint>
 #include <cstring>
 #include <string>
 
+#include "util/Log.h"
 #include "util/Rng.h"
 
 namespace bzk {
@@ -53,10 +55,30 @@ class Goldilocks
     /** Canonical value in [0, p). */
     constexpr uint64_t toUint() const { return v_; }
 
+    /**
+     * Adopt an already-canonical limb without reduction. Trusted
+     * constructor for the packed kernels (their outputs are canonical
+     * by construction); a non-canonical argument is a kernel bug and
+     * is caught by the toBytes() canonicality check.
+     */
+    static constexpr Goldilocks
+    fromRaw(uint64_t v)
+    {
+        Goldilocks r;
+        r.v_ = v;
+        return r;
+    }
+
     /** Serialize as 8 little-endian bytes. */
     void
     toBytes(uint8_t *out) const
     {
+        // Serialized bytes feed Merkle hashing; a non-canonical limb
+        // would make equal field elements hash differently, so it can
+        // never be allowed to escape (only fromRaw can produce one).
+        if (v_ >= kModulus)
+            panic("Goldilocks::toBytes: non-canonical limb %016llx",
+                  static_cast<unsigned long long>(v_));
         std::memcpy(out, &v_, 8);
     }
 
@@ -66,16 +88,29 @@ class Goldilocks
     {
         uint64_t v;
         std::memcpy(&v, in, 8);
-        return fromUint(v % kModulus);
+        return fromUint(v);
     }
 
-    /** Derive an element from arbitrary transcript bytes. */
+    /**
+     * Derive an element from arbitrary transcript bytes (up to 16 are
+     * consumed, little-endian) via a full 128-bit reduction. Earlier
+     * revisions truncated to the low 8 bytes and reduced with `v % p`,
+     * which both discarded half of a 32-byte challenge digest and kept
+     * the ~2^-32 modulo bias of a single-limb reduction; the two-limb
+     * path matches how Fp<> consumes wide digests. For len <= 8 the
+     * mapping is unchanged.
+     */
     static Goldilocks
     fromBytesReduce(const uint8_t *in, size_t len)
     {
-        uint8_t buf[8] = {0};
-        std::memcpy(buf, in, len < 8 ? len : 8);
-        return fromBytes(buf);
+        uint8_t buf[16] = {0};
+        std::memcpy(buf, in, len < 16 ? len : 16);
+        uint64_t lo, hi;
+        std::memcpy(&lo, buf, 8);
+        std::memcpy(&hi, buf + 8, 8);
+        Goldilocks r;
+        r.v_ = reduce128((static_cast<__uint128_t>(hi) << 64) | lo);
+        return r;
     }
 
     /** Uniform random element for workload generation. */
@@ -186,10 +221,17 @@ class Goldilocks
         return acc;
     }
 
-    /** Multiplicative inverse via Fermat; zero maps to zero. */
+    /**
+     * Multiplicative inverse via Fermat. Zero has no inverse; the
+     * Fermat power maps it to zero, which silently poisons downstream
+     * arithmetic, so debug builds assert. Callers that may legitimately
+     * see zeros use ff::batchInverse, whose skip-zero semantics are
+     * explicit.
+     */
     constexpr Goldilocks
     inverse() const
     {
+        assert(!isZero() && "Goldilocks::inverse of zero");
         return pow(kModulus - 2);
     }
 

@@ -1,0 +1,110 @@
+#ifndef BZK_FF_GOLDILOCKSKERNELS_H_
+#define BZK_FF_GOLDILOCKSKERNELS_H_
+
+/**
+ * @file
+ * Internal contract between the FieldBackend dispatcher and the
+ * per-ISA Goldilocks kernel translation units. Kernels operate on raw
+ * canonical limbs (uint64_t < p); FieldBackend.cpp is the only caller
+ * and handles the Goldilocks <-> limb view.
+ *
+ * Every kernel must compute bit-for-bit the same canonical values as
+ * the scalar reference (glAdd/glSub/glMul below): the property sweep
+ * in test_ff_kat holds each backend to that across lane-boundary
+ * sizes, and the proof goldens depend on it.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bzk::ff::detail {
+
+inline constexpr uint64_t kGlModulus = 0xffffffff00000001ULL;
+
+/** Scalar reference: (a + b) mod p for canonical a, b. */
+constexpr uint64_t
+glAdd(uint64_t a, uint64_t b)
+{
+    uint64_t sum = a + b;
+    if (sum < a || sum >= kGlModulus)
+        sum -= kGlModulus;
+    return sum;
+}
+
+/** Scalar reference: (a - b) mod p for canonical a, b. */
+constexpr uint64_t
+glSub(uint64_t a, uint64_t b)
+{
+    uint64_t diff = a - b;
+    if (a < b)
+        diff += kGlModulus;
+    return diff;
+}
+
+/** Scalar reference: reduce a 128-bit value using 2^64 = 2^32 - 1. */
+constexpr uint64_t
+glReduce128(__uint128_t x)
+{
+    uint64_t lo = static_cast<uint64_t>(x);
+    uint64_t hi = static_cast<uint64_t>(x >> 64);
+    uint64_t hi_hi = hi >> 32;
+    uint64_t hi_lo = hi & 0xffffffffULL;
+
+    uint64_t t0 = lo - hi_hi;
+    if (lo < hi_hi)
+        t0 -= 0xffffffffULL;
+    uint64_t t1 = hi_lo * 0xffffffffULL;
+    uint64_t t2 = t0 + t1;
+    if (t2 < t1)
+        t2 += 0xffffffffULL;
+    if (t2 >= kGlModulus)
+        t2 -= kGlModulus;
+    return t2;
+}
+
+/** Scalar reference: (a * b) mod p for canonical a, b. */
+constexpr uint64_t
+glMul(uint64_t a, uint64_t b)
+{
+    return glReduce128(static_cast<__uint128_t>(a) * b);
+}
+
+/**
+ * One backend's packed kernels over contiguous canonical limbs. All
+ * pointers are only required to be naturally (8-byte) aligned —
+ * implementations use unaligned SIMD loads.
+ */
+struct GlKernelTable
+{
+    void (*add)(const uint64_t *a, const uint64_t *b, uint64_t *out,
+                size_t n);
+    void (*sub)(const uint64_t *a, const uint64_t *b, uint64_t *out,
+                size_t n);
+    void (*mul)(const uint64_t *a, const uint64_t *b, uint64_t *out,
+                size_t n);
+    /** lo[i] = lo[i] + r * (hi[i] - lo[i]); ranges must not overlap. */
+    void (*fold)(uint64_t *lo, const uint64_t *hi, uint64_t r, size_t n);
+    /** acc[i] += s * x[i]. */
+    void (*axpy)(uint64_t *acc, const uint64_t *x, uint64_t s, size_t n);
+    uint64_t (*sum)(const uint64_t *a, size_t n);
+    uint64_t (*dot)(const uint64_t *a, const uint64_t *b, size_t n);
+};
+
+/** The portable table (glAdd/glSub/glMul loops). Always available. */
+const GlKernelTable &glScalarKernels();
+
+#if defined(__x86_64__) || defined(_M_X64)
+/** 4-way AVX2 table (FieldBackendAvx2.cpp, compiled with -mavx2). */
+const GlKernelTable &glAvx2Kernels();
+/** 8-way AVX-512F table (FieldBackendAvx512.cpp, -mavx512f). */
+const GlKernelTable &glAvx512Kernels();
+#endif
+
+#if defined(__aarch64__)
+/** 2-way NEON table (FieldBackendNeon.cpp). */
+const GlKernelTable &glNeonKernels();
+#endif
+
+} // namespace bzk::ff::detail
+
+#endif // BZK_FF_GOLDILOCKSKERNELS_H_

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ff/FieldBackend.h"
 #include "util/Log.h"
 #include "util/Rng.h"
 
@@ -69,10 +70,7 @@ class Multilinear
     F
     sumOverHypercube() const
     {
-        F acc = F::zero();
-        for (const F &e : evals_)
-            acc += e;
-        return acc;
+        return ff::sumLanes(evals_.data(), evals_.size());
     }
 
     /**
@@ -88,8 +86,7 @@ class Multilinear
         std::vector<F> table = evals_;
         size_t half = table.size() / 2;
         for (const F &r : point) {
-            for (size_t b = 0; b < half; ++b)
-                table[b] = table[b] + r * (table[b + half] - table[b]);
+            ff::foldLanes(table.data(), table.data() + half, r, half);
             half /= 2;
         }
         return table[0];
@@ -107,9 +104,8 @@ class Multilinear
     fixVariable(const F &r) const
     {
         size_t half = evals_.size() / 2;
-        std::vector<F> folded(half);
-        for (size_t b = 0; b < half; ++b)
-            folded[b] = evals_[b] + r * (evals_[b + half] - evals_[b]);
+        std::vector<F> folded(evals_.begin(), evals_.begin() + half);
+        ff::foldLanes(folded.data(), evals_.data() + half, r, half);
         return Multilinear(std::move(folded));
     }
 
@@ -156,17 +152,23 @@ lagrangeEval(const std::vector<F> &xs, const std::vector<F> &ys, const F &x)
 {
     if (xs.size() != ys.size())
         panic("lagrangeEval: mismatched point count");
+    // One batched inversion replaces k Fermat inversions. The xs are
+    // required distinct (otherwise a denominator is zero and the
+    // interpolant ill-defined), so every entry inverts.
+    std::vector<F> dens(xs.size(), F::one());
+    for (size_t i = 0; i < xs.size(); ++i)
+        for (size_t j = 0; j < xs.size(); ++j)
+            if (j != i)
+                dens[i] *= xs[i] - xs[j];
+    if (ff::batchInverse(dens.data(), dens.size()) != dens.size())
+        panic("lagrangeEval: repeated interpolation node");
     F acc = F::zero();
     for (size_t i = 0; i < xs.size(); ++i) {
         F num = F::one();
-        F den = F::one();
-        for (size_t j = 0; j < xs.size(); ++j) {
-            if (j == i)
-                continue;
-            num *= x - xs[j];
-            den *= xs[i] - xs[j];
-        }
-        acc += ys[i] * num * den.inverse();
+        for (size_t j = 0; j < xs.size(); ++j)
+            if (j != i)
+                num *= x - xs[j];
+        acc += ys[i] * num * dens[i];
     }
     return acc;
 }

@@ -17,11 +17,13 @@
  * verifier stay non-interactive and in sync.
  */
 
+#include <algorithm>
 #include <array>
 #include <cstddef>
 #include <vector>
 
 #include "exec/ExecContext.h"
+#include "ff/FieldBackend.h"
 #include "hash/Transcript.h"
 #include "poly/Multilinear.h"
 #include "util/Log.h"
@@ -64,14 +66,10 @@ proveSumcheck(const Multilinear<F> &poly, const std::vector<F> &challenges)
     std::vector<F> table = poly.evals();
     for (unsigned i = 0; i < n; ++i) {
         size_t half = table.size() / 2;
-        F pi1 = F::zero();
-        F pi2 = F::zero();
-        for (size_t b = 0; b < half; ++b) {
-            pi1 += table[b];
-            pi2 += table[b + half];
-            table[b] = table[b] +
-                       challenges[i] * (table[b + half] - table[b]);
-        }
+        F pi1 = ff::sumLanes(table.data(), half);
+        F pi2 = ff::sumLanes(table.data() + half, half);
+        ff::foldLanes(table.data(), table.data() + half, challenges[i],
+                      half);
         table.resize(half);
         proof.rounds.push_back({pi1, pi2});
     }
@@ -136,15 +134,16 @@ proveSumcheckFs(const Multilinear<F> &poly, Transcript &transcript,
     using Pair = std::array<F, 2>;
     for (unsigned i = 0; i < n; ++i) {
         size_t half = table.size() / 2;
+        // Packed kernels keep proof bytes unchanged: a lane kernel only
+        // reorders an exactly associative field sum, and the chunk
+        // shape of the tree reduction is untouched.
         Pair sums = exec::reduceChunked<Pair>(
             exec, half, Pair{F::zero(), F::zero()},
             [&table, half](size_t begin, size_t end) {
-                Pair acc{F::zero(), F::zero()};
-                for (size_t b = begin; b < end; ++b) {
-                    acc[0] += table[b];
-                    acc[1] += table[b + half];
-                }
-                return acc;
+                return Pair{
+                    ff::sumLanes(table.data() + begin, end - begin),
+                    ff::sumLanes(table.data() + half + begin,
+                                 end - begin)};
             },
             [](const Pair &x, const Pair &y) {
                 return Pair{x[0] + y[0], x[1] + y[1]};
@@ -153,8 +152,8 @@ proveSumcheckFs(const Multilinear<F> &poly, Transcript &transcript,
         transcript.absorbField("sc.pi2", sums[1]);
         F r = transcript.template challengeField<F>("sc.r");
         auto fold = [&table, half, &r](size_t begin, size_t end) {
-            for (size_t b = begin; b < end; ++b)
-                table[b] = table[b] + r * (table[b + half] - table[b]);
+            ff::foldLanes(table.data() + begin,
+                          table.data() + half + begin, r, end - begin);
         };
         if (exec)
             exec->parallelFor(half, fold);
@@ -227,22 +226,33 @@ proveProductSumcheckFs(std::vector<Multilinear<F>> &factors,
         // g(t) for t = 0 .. degree: evaluate each factor at
         // (1-t)*lo + t*hi and accumulate the product. Fixed-shape
         // chunk reduction keeps the sums thread-count independent.
+        // Per chunk the factor interpolation is itself a fold
+        // (lo + t*(hi - lo)), so the whole evaluation runs on the
+        // packed kernels over chunk-sized scratch; the final sum per t
+        // is exact-field associative and reorders freely.
         std::vector<F> identity(degree + 1, F::zero());
         std::vector<F> g = exec::reduceChunked<std::vector<F>>(
             exec, half, identity,
             [&factors, &identity, half, degree](size_t begin, size_t end) {
+                size_t m = end - begin;
                 std::vector<F> acc = identity;
-                for (size_t b = begin; b < end; ++b) {
-                    for (size_t t = 0; t <= degree; ++t) {
-                        F t_f = F::fromUint(t);
-                        F term = F::one();
-                        for (const auto &f : factors) {
-                            const F &lo = f.evals()[b];
-                            const F &hi = f.evals()[b + half];
-                            term *= lo + t_f * (hi - lo);
+                std::vector<F> term(m), at_t(m);
+                for (size_t t = 0; t <= degree; ++t) {
+                    F t_f = F::fromUint(t);
+                    for (size_t j = 0; j < factors.size(); ++j) {
+                        const F *lo = factors[j].evals().data() + begin;
+                        const F *hi = lo + half;
+                        if (j == 0) {
+                            std::copy(lo, lo + m, term.begin());
+                            ff::foldLanes(term.data(), hi, t_f, m);
+                            continue;
                         }
-                        acc[t] += term;
+                        std::copy(lo, lo + m, at_t.begin());
+                        ff::foldLanes(at_t.data(), hi, t_f, m);
+                        ff::mulLanes(term.data(), at_t.data(),
+                                     term.data(), m);
                     }
+                    acc[t] += ff::sumLanes(term.data(), m);
                 }
                 return acc;
             },
@@ -258,8 +268,9 @@ proveProductSumcheckFs(std::vector<Multilinear<F>> &factors,
         for (auto &f : factors) {
             auto &tab = f.evals();
             auto fold = [&tab, half, &r](size_t begin, size_t end) {
-                for (size_t b = begin; b < end; ++b)
-                    tab[b] = tab[b] + r * (tab[b + half] - tab[b]);
+                ff::foldLanes(tab.data() + begin,
+                              tab.data() + half + begin, r,
+                              end - begin);
             };
             if (exec)
                 exec->parallelFor(half, fold);

@@ -98,6 +98,29 @@ TEST(DeathTest, DeviceRejectsBadOpQuery)
     EXPECT_DEATH({ (void)dev.opEnd(3); }, "bad op");
 }
 
+TEST(DeathTest, ToBytesRejectsNonCanonicalLimb)
+{
+    // A raw limb >= p must never serialize: transcripts would fork
+    // between encodings of the same field element.
+    EXPECT_DEATH(
+        {
+            uint8_t out[8];
+            Gl64::fromRaw(Gl64::kModulus).toBytes(out);
+        },
+        "non-canonical");
+}
+
+TEST(DeathTest, InverseOfZeroAsserts)
+{
+    // Fermat's little theorem silently maps 0 -> 0; the assert makes
+    // the misuse loud in debug builds. Callers that legitimately hold
+    // zeros use ff::batchInverse's documented skip-zero semantics.
+    EXPECT_DEBUG_DEATH({ (void)Gl64::zero().inverse(); },
+                       "inverse of zero");
+    EXPECT_DEBUG_DEATH({ (void)Fr::zero().inverse(); },
+                       "inverse of zero");
+}
+
 TEST(DeathTest, EncoderRejectsTinyMessage)
 {
     // Message length below the base size is a configuration error.

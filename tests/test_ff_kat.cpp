@@ -8,8 +8,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "ff/FieldBackend.h"
 #include "ff/Fields.h"
 #include "util/Hex.h"
+#include "util/Rng.h"
 
 namespace bzk {
 namespace {
@@ -111,6 +117,246 @@ TEST(FrKat, ModulusMinusOneSquares)
     Fr m1 = -Fr::one();
     EXPECT_EQ(m1 * m1, Fr::one());
     EXPECT_EQ(m1.square(), Fr::one());
+}
+
+// fromBytesReduce used to truncate to the low 8 bytes and reduce with
+// a modulo-biased `v % p`; it now consumes up to 16 bytes through the
+// full 128-bit reduction. Expected values from CPython big ints.
+
+TEST(GoldilocksKat, FromBytesReduceWide)
+{
+    uint8_t seq[16];
+    for (int i = 0; i < 16; ++i)
+        seq[i] = static_cast<uint8_t>(0xf0 + i);
+    EXPECT_EQ(Gl64::fromBytesReduce(seq, 16).toHexString(),
+              "f3f1efebf7f8f9fb");
+
+    uint8_t ones[16];
+    std::fill(ones, ones + 16, 0xff);
+    EXPECT_EQ(Gl64::fromBytesReduce(ones, 16).toHexString(),
+              "fffffffe00000000");
+
+    // Longer inputs (a 32-byte transcript digest) consume exactly the
+    // first 16 bytes.
+    uint8_t digest[32];
+    for (int i = 0; i < 32; ++i)
+        digest[i] = static_cast<uint8_t>(i + 1);
+    EXPECT_EQ(Gl64::fromBytesReduce(digest, 32).toHexString(),
+              "1412100de7e8e9eb");
+    EXPECT_EQ(Gl64::fromBytesReduce(digest, 32),
+              Gl64::fromBytesReduce(digest, 16));
+}
+
+TEST(GoldilocksKat, FromBytesReduceShortCompat)
+{
+    // For len <= 8 the mapping is unchanged from the old single-limb
+    // path (high limb zero), so absorbed-field transcripts still match.
+    uint8_t eight[8] = {0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03, 0x04};
+    EXPECT_EQ(Gl64::fromBytesReduce(eight, 8).toHexString(),
+              "04030201efbeadde");
+    EXPECT_EQ(Gl64::fromBytesReduce(eight, 8), Gl64::fromBytes(eight));
+
+    uint8_t twelve[12];
+    std::fill(twelve, twelve + 12, 0x11);
+    EXPECT_EQ(Gl64::fromBytesReduce(twelve, 12).toHexString(),
+              "2222222200000000");
+}
+
+// ---- Packed kernel KATs, forced through every available backend ----
+
+std::vector<ff::Backend>
+availableBackends()
+{
+    std::vector<ff::Backend> backends;
+    for (ff::Backend b : {ff::Backend::kScalar, ff::Backend::kAvx2,
+                          ff::Backend::kAvx512, ff::Backend::kNeon})
+        if (ff::backendAvailable(b))
+            backends.push_back(b);
+    return backends;
+}
+
+/** Operand mix exercising the reduction edge cases in every lane. */
+std::vector<Gl64>
+edgeOperands(size_t n, uint64_t salt)
+{
+    Rng rng(0x5eed ^ salt);
+    std::vector<Gl64> v(n);
+    for (size_t i = 0; i < n; ++i)
+        v[i] = Gl64::random(rng);
+    if (n > 0)
+        v[0] = Gl64::fromUint(Gl64::kModulus - 1);
+    if (n > 1)
+        v[1] = Gl64::zero();
+    if (n > 2)
+        v[2] = Gl64::fromUint(Gl64::kModulus - 1);
+    if (n > 3)
+        v[3] = Gl64::one();
+    return v;
+}
+
+class BackendGuard
+{
+  public:
+    ~BackendGuard() { ff::clearForcedBackend(); }
+};
+
+TEST(FieldBackendKat, MulAddSubAtModulusBoundary)
+{
+    BackendGuard guard;
+    Gl64 pm1 = Gl64::fromUint(Gl64::kModulus - 1);
+    Gl64 pm2 = Gl64::fromUint(Gl64::kModulus - 2);
+    for (ff::Backend backend : availableBackends()) {
+        SCOPED_TRACE(ff::backendName(backend));
+        ff::forceBackend(backend);
+        // Fill a whole 8-lane vector with boundary values so every
+        // lane of every backend sees them.
+        std::vector<Gl64> a(8, pm1), b(8, pm2), out(8);
+        ff::mulLanes(a.data(), b.data(), out.data(), 8);
+        for (const Gl64 &o : out)
+            EXPECT_EQ(o.toHexString(), "0000000000000002");
+        ff::addLanes(a.data(), a.data(), out.data(), 8);
+        for (const Gl64 &o : out)
+            EXPECT_EQ(o, pm2);
+        ff::subLanes(b.data(), a.data(), out.data(), 8);
+        for (const Gl64 &o : out)
+            EXPECT_EQ(o, -Gl64::one());
+    }
+}
+
+TEST(FieldBackendKat, LaneKernelsMatchScalarAcrossSizes)
+{
+    BackendGuard guard;
+    Gl64 r = Gl64::fromUint(0x0123456789abcdefULL);
+    for (ff::Backend backend : availableBackends()) {
+        size_t lanes = ff::backendLanes(backend);
+        // Lane-boundary sizes: a partial vector, exact multiples, and
+        // one-past, so both the SIMD body and the scalar tail run.
+        const size_t sizes[] = {1,         lanes,        lanes + 1,
+                                2 * lanes, 2 * lanes + 3, 67};
+        for (size_t n : sizes) {
+            SCOPED_TRACE(std::string(ff::backendName(backend)) +
+                         " n=" + std::to_string(n));
+            auto a = edgeOperands(n, 1);
+            auto b = edgeOperands(n, 2);
+
+            ff::forceBackend(ff::Backend::kScalar);
+            std::vector<Gl64> want_add(n), want_sub(n), want_mul(n);
+            std::vector<Gl64> want_fold = a, want_axpy = a;
+            ff::addLanes(a.data(), b.data(), want_add.data(), n);
+            ff::subLanes(a.data(), b.data(), want_sub.data(), n);
+            ff::mulLanes(a.data(), b.data(), want_mul.data(), n);
+            ff::foldLanes(want_fold.data(), b.data(), r, n);
+            ff::axpyLanes(want_axpy.data(), b.data(), r, n);
+            Gl64 want_sum = ff::sumLanes(a.data(), n);
+            Gl64 want_dot = ff::dotLanes(a.data(), b.data(), n);
+
+            ff::forceBackend(backend);
+            std::vector<Gl64> got(n);
+            ff::addLanes(a.data(), b.data(), got.data(), n);
+            EXPECT_EQ(got, want_add);
+            ff::subLanes(a.data(), b.data(), got.data(), n);
+            EXPECT_EQ(got, want_sub);
+            ff::mulLanes(a.data(), b.data(), got.data(), n);
+            EXPECT_EQ(got, want_mul);
+            got = a;
+            ff::foldLanes(got.data(), b.data(), r, n);
+            EXPECT_EQ(got, want_fold);
+            got = a;
+            ff::axpyLanes(got.data(), b.data(), r, n);
+            EXPECT_EQ(got, want_axpy);
+            EXPECT_EQ(ff::sumLanes(a.data(), n), want_sum);
+            EXPECT_EQ(ff::dotLanes(a.data(), b.data(), n), want_dot);
+
+            // Canonicalization audit: packed outputs must be < p so
+            // they are safe to serialize (toBytes panics otherwise).
+            for (const Gl64 &v : want_mul)
+                EXPECT_LT(v.toUint(), Gl64::kModulus);
+            for (const Gl64 &v : got)
+                EXPECT_LT(v.toUint(), Gl64::kModulus);
+        }
+    }
+}
+
+TEST(FieldBackendKat, BackendDispatchControls)
+{
+    BackendGuard guard;
+    EXPECT_TRUE(ff::backendAvailable(ff::Backend::kScalar));
+    EXPECT_EQ(ff::backendLanes(ff::Backend::kScalar), 1u);
+    EXPECT_STREQ(ff::backendName(ff::Backend::kAvx512), "avx512");
+    ff::forceBackend(ff::Backend::kScalar);
+    EXPECT_EQ(ff::activeBackend(), ff::Backend::kScalar);
+    ff::clearForcedBackend();
+    // Re-resolution lands on an available backend.
+    EXPECT_TRUE(ff::backendAvailable(ff::activeBackend()));
+    // detectBackend ignores overrides and only names available ones.
+    EXPECT_TRUE(ff::backendAvailable(ff::detectBackend()));
+}
+
+TEST(FieldBackendKat, KernelCountersAdvance)
+{
+    BackendGuard guard;
+    ff::resetKernelCounters();
+    std::vector<Gl64> a(16, Gl64::one()), out(16);
+    ff::mulLanes(a.data(), a.data(), out.data(), 16);
+    ff::mulLanes(a.data(), a.data(), out.data(), 16);
+    (void)ff::sumLanes(a.data(), 16);
+    ff::KernelCounters c = ff::kernelCounters();
+    EXPECT_EQ(c.mul_lanes, 2u);
+    EXPECT_EQ(c.sum_lanes, 1u);
+    EXPECT_EQ(c.add_lanes, 0u);
+}
+
+TEST(FieldBackendKat, BatchInverseMatchesFermatAndSkipsZeros)
+{
+    BackendGuard guard;
+    for (ff::Backend backend : availableBackends()) {
+        SCOPED_TRACE(ff::backendName(backend));
+        ff::forceBackend(backend);
+        auto x = edgeOperands(33, 3);
+        std::vector<Gl64> want(x.size());
+        for (size_t i = 0; i < x.size(); ++i)
+            want[i] = x[i].isZero() ? Gl64::zero() : x[i].inverse();
+        std::vector<Gl64> got = x;
+        // One zero at index 1: skipped, not inverted.
+        EXPECT_EQ(ff::batchInverse(got.data(), got.size()),
+                  got.size() - 1);
+        EXPECT_EQ(got, want);
+
+        // Round trip: x * x^-1 == 1 for the non-zero entries.
+        for (size_t i = 0; i < x.size(); ++i) {
+            if (!x[i].isZero()) {
+                EXPECT_EQ(x[i] * got[i], Gl64::one());
+            }
+        }
+    }
+}
+
+TEST(FieldBackendKat, BatchInverseAllZeroAndEmpty)
+{
+    std::vector<Gl64> zeros(5, Gl64::zero());
+    EXPECT_EQ(ff::batchInverse(zeros.data(), zeros.size()), 0u);
+    for (const Gl64 &z : zeros)
+        EXPECT_TRUE(z.isZero());
+    EXPECT_EQ(ff::batchInverse(zeros.data(), 0), 0u);
+}
+
+TEST(FieldBackendKat, BatchInverseWorksForFr)
+{
+    // The generic (non-Goldilocks) instantiation of the same template.
+    Rng rng(77);
+    std::vector<Fr> x(9);
+    for (auto &v : x)
+        v = Fr::random(rng);
+    x[4] = Fr::zero();
+    std::vector<Fr> got = x;
+    EXPECT_EQ(ff::batchInverse(got.data(), got.size()), x.size() - 1);
+    for (size_t i = 0; i < x.size(); ++i) {
+        if (x[i].isZero()) {
+            EXPECT_TRUE(got[i].isZero());
+        } else {
+            EXPECT_EQ(x[i] * got[i], Fr::one());
+        }
+    }
 }
 
 } // namespace
