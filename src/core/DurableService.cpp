@@ -10,6 +10,13 @@
 
 namespace bzk {
 
+Rng
+taskInstanceRng(uint64_t task_id, uint64_t seed, uint32_t n_vars)
+{
+    uint64_t mix = seed ^ (task_id * 0x9e3779b97f4a7c15ULL);
+    return Rng(mix ^ (uint64_t{n_vars} << 56));
+}
+
 namespace {
 
 /** Instance derivation: the idempotency key and the public seed pin
@@ -17,8 +24,7 @@ namespace {
 Rng
 taskRng(const journal::TaskRecord &task)
 {
-    uint64_t mix = task.seed ^ (task.task_id * 0x9e3779b97f4a7c15ULL);
-    return Rng(mix ^ (uint64_t{task.n_vars} << 56));
+    return taskInstanceRng(task.task_id, task.seed, task.n_vars);
 }
 
 } // namespace

@@ -35,6 +35,14 @@
 
 namespace bzk {
 
+/**
+ * Instance derivation shared by every service front end: the
+ * idempotency key, the public seed, and the table log-size pin the
+ * witness stream, so the same task re-proved anywhere (durable
+ * replay, the network server) is bit-identical.
+ */
+Rng taskInstanceRng(uint64_t task_id, uint64_t seed, uint32_t n_vars);
+
 /** One durable proof request (the caller assigns the idempotent id). */
 struct DurableTaskSpec
 {

@@ -132,11 +132,11 @@ recordType(std::span<const uint8_t> body)
     if (body.empty())
         return std::nullopt;
     switch (body[0]) {
-    case static_cast<uint8_t>(RecordType::Task):
+      case static_cast<uint8_t>(RecordType::Task):
         return RecordType::Task;
-    case static_cast<uint8_t>(RecordType::Completion):
+      case static_cast<uint8_t>(RecordType::Completion):
         return RecordType::Completion;
-    default:
+      default:
         return std::nullopt;
     }
 }

@@ -1,0 +1,72 @@
+#ifndef BZK_NET_CLIENT_H_
+#define BZK_NET_CLIENT_H_
+
+/**
+ * @file
+ * Blocking proof-service client: connect (with retry, for racing a
+ * server that is still binding), handshake, and round-trip submits.
+ * This is the simple half of the client story — one request at a time,
+ * timeouts on every receive — used by `batchzk submit` and the tests.
+ * The pipelined, thousands-of-connections half is net/LoadGen.h.
+ */
+
+#include <cstdint>
+#include <optional>
+
+#include "net/Socket.h"
+#include "net/Wire.h"
+
+namespace bzk::net {
+
+/** Blocking wire-protocol client for one connection. */
+class SyncClient
+{
+  public:
+    /**
+     * Connect to 127.0.0.1:@p port and complete the Hello handshake as
+     * @p tenant. Retries the connect every @p retry_delay_ms up to
+     * @p attempts times (a just-started server may not be listening
+     * yet). False on connect, handshake, or version failure.
+     */
+    bool connect(uint16_t port, uint64_t tenant = 0, int attempts = 50,
+                 double retry_delay_ms = 20.0);
+
+    /** True after a successful handshake (until close()). */
+    bool connected() const { return fd_.valid(); }
+
+    /** The server's handshake reply (valid while connected()). */
+    const HelloAck &ack() const { return ack_; }
+
+    /** Encode and send one message. False on a dead socket. */
+    bool send(const Message &msg);
+
+    /**
+     * Next message from the server, waiting up to @p timeout_ms.
+     * nullopt on timeout, EOF, or a decode error (the connection is
+     * closed on the latter two; lastError() tells which decode error).
+     */
+    std::optional<Message> receive(double timeout_ms = 5000.0);
+
+    /**
+     * Submit @p task and wait for its Result. Out-of-order Results for
+     * other task ids are discarded. nullopt on timeout or a dead/
+     * poisoned connection.
+     */
+    std::optional<Result> roundTrip(const Submit &task,
+                                    double timeout_ms = 30000.0);
+
+    /** Decode error that killed the connection, if one did. */
+    std::optional<WireError> lastError() const { return last_error_; }
+
+    void close() { fd_.close(); }
+
+  private:
+    Fd fd_;
+    FrameDecoder decoder_;
+    HelloAck ack_;
+    std::optional<WireError> last_error_;
+};
+
+} // namespace bzk::net
+
+#endif // BZK_NET_CLIENT_H_

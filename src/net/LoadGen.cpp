@@ -1,0 +1,496 @@
+#include "net/LoadGen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include <sys/epoll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+
+#include "net/Executor.h"
+#include "net/Socket.h"
+#include "net/Wire.h"
+
+namespace bzk::net {
+
+namespace {
+
+/** Task ids pack the owning connection above the sequence bits. */
+constexpr unsigned kSeqBits = 20;
+
+/** One driven connection. */
+struct ClientConn
+{
+    enum class State { Connecting, AwaitAck, Run, Done, Failed };
+
+    Fd fd;
+    State state = State::Connecting;
+    uint64_t tenant = 0;
+    FrameDecoder decoder;
+    std::vector<uint8_t> out;
+    size_t out_pos = 0;
+    bool want_write = false;
+    /** Next sequence number to first-submit. */
+    size_t next_seq = 0;
+    /** Submits sent but not yet answered. */
+    size_t outstanding = 0;
+    /** Tasks that reached a terminal outcome. */
+    size_t terminal = 0;
+};
+
+/** Per-task-id accounting. */
+struct TaskState
+{
+    size_t attempts = 0;
+    double last_submit_ms = 0.0;
+    bool terminal = false;
+    bool ok = false;
+};
+
+/** A resubmission waiting for its backoff to elapse. */
+struct RetryEntry
+{
+    double due_ms;
+    uint64_t task_id;
+
+    bool
+    operator>(const RetryEntry &o) const
+    {
+        return due_ms > o.due_ms;
+    }
+};
+
+struct Driver
+{
+    explicit Driver(const LoadGenOptions &o) : opt(o) {}
+
+    const LoadGenOptions &opt;
+    LoadGenReport report;
+    Fd epoll;
+    std::vector<ClientConn> conns;
+    std::unordered_map<uint64_t, TaskState> tasks;
+    std::priority_queue<RetryEntry, std::vector<RetryEntry>,
+                        std::greater<RetryEntry>>
+        retries;
+    std::vector<double> latencies;
+    size_t live = 0;
+    std::chrono::steady_clock::time_point t0;
+
+    double
+    nowMs() const
+    {
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    }
+
+    uint64_t
+    taskId(size_t conn, size_t seq) const
+    {
+        return (static_cast<uint64_t>(conn) << kSeqBits) | seq;
+    }
+
+    uint64_t
+    tenantOf(size_t conn) const
+    {
+        if (opt.hot_fraction > 0.0 &&
+            conn < static_cast<size_t>(
+                       opt.hot_fraction *
+                       static_cast<double>(opt.connections)))
+            return 0;
+        return opt.tenants ? conn % opt.tenants : 0;
+    }
+
+    void
+    arm(size_t idx, bool want_write)
+    {
+        ClientConn &c = conns[idx];
+        if (c.want_write == want_write)
+            return;
+        c.want_write = want_write;
+        epoll_event ev = {};
+        ev.events = EPOLLIN | (want_write ? uint32_t{EPOLLOUT} : 0u);
+        ev.data.u64 = idx;
+        ::epoll_ctl(epoll.get(), EPOLL_CTL_MOD, c.fd.get(), &ev);
+    }
+
+    void
+    fail(size_t idx)
+    {
+        ClientConn &c = conns[idx];
+        if (c.state == ClientConn::State::Failed ||
+            c.state == ClientConn::State::Done)
+            return;
+        ::epoll_ctl(epoll.get(), EPOLL_CTL_DEL, c.fd.get(), nullptr);
+        c.fd.close();
+        c.state = ClientConn::State::Failed;
+        ++report.connections_failed;
+        --live;
+    }
+
+    void
+    finish(size_t idx)
+    {
+        ClientConn &c = conns[idx];
+        ::epoll_ctl(epoll.get(), EPOLL_CTL_DEL, c.fd.get(), nullptr);
+        c.fd.close();
+        c.state = ClientConn::State::Done;
+        --live;
+    }
+
+    void
+    sendMsg(size_t idx, const Message &msg)
+    {
+        ClientConn &c = conns[idx];
+        std::vector<uint8_t> frame = encodeFrame(msg);
+        c.out.insert(c.out.end(), frame.begin(), frame.end());
+        report.bytes_tx += frame.size();
+        flush(idx);
+    }
+
+    /** False when the connection died under the flush. */
+    bool
+    flush(size_t idx)
+    {
+        ClientConn &c = conns[idx];
+        while (c.out_pos < c.out.size()) {
+            ptrdiff_t n = sendSome(
+                c.fd.get(),
+                std::span<const uint8_t>(c.out.data() + c.out_pos,
+                                         c.out.size() - c.out_pos));
+            if (n < 0) {
+                fail(idx);
+                return false;
+            }
+            if (n == 0) {
+                arm(idx, true);
+                return true;
+            }
+            c.out_pos += static_cast<size_t>(n);
+        }
+        c.out.clear();
+        c.out_pos = 0;
+        if (c.want_write)
+            arm(idx, false);
+        return true;
+    }
+
+    void
+    submitTask(size_t idx, uint64_t task_id, double now)
+    {
+        ClientConn &c = conns[idx];
+        Submit submit;
+        submit.task_id = task_id;
+        submit.n_vars = opt.n_vars;
+        submit.seed = opt.seed;
+        TaskState &t = tasks[task_id];
+        ++t.attempts;
+        t.last_submit_ms = now;
+        ++c.outstanding;
+        ++report.submits_sent;
+        sendMsg(idx, Message{submit});
+    }
+
+    /** Keep the connection's submit pipeline full. */
+    void
+    pump(size_t idx, double now)
+    {
+        ClientConn &c = conns[idx];
+        while (c.state == ClientConn::State::Run &&
+               c.outstanding < opt.pipeline &&
+               c.next_seq < opt.tasks_per_conn) {
+            uint64_t id = taskId(idx, c.next_seq++);
+            submitTask(idx, id, now);
+        }
+        if (c.state == ClientConn::State::Run &&
+            c.terminal >= opt.tasks_per_conn)
+            finish(idx);
+    }
+
+    void
+    terminalize(size_t idx, double now)
+    {
+        ClientConn &c = conns[idx];
+        ++c.terminal;
+        pump(idx, now);
+    }
+
+    void
+    scheduleRetry(size_t idx, uint64_t task_id, uint32_t hint_ms,
+                  double now)
+    {
+        TaskState &t = tasks[task_id];
+        if (t.attempts > opt.max_retries) {
+            ++report.dropped;
+            t.terminal = true;
+            terminalize(idx, now);
+            return;
+        }
+        double backoff =
+            opt.backoff_ms *
+            std::pow(2.0, static_cast<double>(t.attempts - 1));
+        double wait = std::max(static_cast<double>(hint_ms),
+                               std::min(backoff, 1000.0));
+        retries.push({now + wait, task_id});
+    }
+
+    void
+    onResult(size_t idx, const Result &result, double now)
+    {
+        ClientConn &c = conns[idx];
+        if (c.outstanding > 0)
+            --c.outstanding;
+        auto it = tasks.find(result.task_id);
+        if (it == tasks.end())
+            return; // not a task we sent; ignore
+        TaskState &t = it->second;
+        if (t.terminal) {
+            if (result.status == Status::Ok && t.ok)
+                ++report.duplicated;
+            return;
+        }
+        switch (result.status) {
+          case Status::Ok: {
+            t.terminal = true;
+            t.ok = true;
+            ++report.results_ok;
+            latencies.push_back(now - t.last_submit_ms);
+            Submit submit;
+            submit.task_id = result.task_id;
+            submit.n_vars = opt.n_vars;
+            submit.seed = opt.seed;
+            if (opt.verify_digest &&
+                !verifyDigestProof(submit, result.proof))
+                ++report.bad_proofs;
+            terminalize(idx, now);
+            break;
+          }
+          case Status::Retry:
+            ++report.retries;
+            scheduleRetry(idx, result.task_id, result.retry_after_ms,
+                          now);
+            break;
+          case Status::Shed:
+            ++report.sheds;
+            scheduleRetry(idx, result.task_id, 0, now);
+            break;
+          case Status::Invalid:
+            ++report.invalid;
+            t.terminal = true;
+            terminalize(idx, now);
+            break;
+        }
+    }
+
+    void
+    onMessage(size_t idx, Message &&msg, double now)
+    {
+        ClientConn &c = conns[idx];
+        if (c.state == ClientConn::State::AwaitAck) {
+            if (auto *ack = std::get_if<HelloAck>(&msg);
+                ack && ack->version == kWireVersion) {
+                c.state = ClientConn::State::Run;
+                pump(idx, now);
+            } else {
+                fail(idx);
+            }
+            return;
+        }
+        if (auto *result = std::get_if<Result>(&msg)) {
+            onResult(idx, *result, now);
+            return;
+        }
+        if (std::holds_alternative<ProtoError>(msg))
+            fail(idx);
+    }
+
+    void
+    readConn(size_t idx, double now)
+    {
+        ClientConn &c = conns[idx];
+        uint8_t buf[65536];
+        while (true) {
+            ptrdiff_t n = recvSome(c.fd.get(), buf);
+            if (n < 0) {
+                fail(idx);
+                return;
+            }
+            if (n == 0)
+                break;
+            report.bytes_rx += static_cast<size_t>(n);
+            c.decoder.feed(std::span<const uint8_t>(
+                buf, static_cast<size_t>(n)));
+        }
+        while (c.state != ClientConn::State::Failed &&
+               c.state != ClientConn::State::Done) {
+            auto polled = c.decoder.poll();
+            if (!polled)
+                return;
+            if (std::holds_alternative<WireError>(*polled)) {
+                fail(idx);
+                return;
+            }
+            onMessage(idx, std::move(std::get<Message>(*polled)), now);
+        }
+    }
+
+    void
+    onConnected(size_t idx)
+    {
+        ClientConn &c = conns[idx];
+        int err = 0;
+        socklen_t len = sizeof(err);
+        ::getsockopt(c.fd.get(), SOL_SOCKET, SO_ERROR, &err, &len);
+        if (err != 0) {
+            fail(idx);
+            return;
+        }
+        c.state = ClientConn::State::AwaitAck;
+        ++report.connections_opened;
+        arm(idx, false);
+        Hello hello;
+        hello.tenant = c.tenant;
+        sendMsg(idx, Message{hello});
+    }
+
+    void
+    drainRetries(double now)
+    {
+        while (!retries.empty() && retries.top().due_ms <= now) {
+            uint64_t id = retries.top().task_id;
+            retries.pop();
+            size_t idx = static_cast<size_t>(id >> kSeqBits);
+            ClientConn &c = conns[idx];
+            if (c.state != ClientConn::State::Run)
+                continue;
+            if (tasks[id].terminal)
+                continue;
+            submitTask(idx, id, now);
+        }
+    }
+
+    double
+    percentile(double p)
+    {
+        if (latencies.empty())
+            return 0.0;
+        std::vector<double> sorted = latencies;
+        std::sort(sorted.begin(), sorted.end());
+        size_t i = static_cast<size_t>(
+            p * static_cast<double>(sorted.size() - 1) + 0.5);
+        return sorted[std::min(i, sorted.size() - 1)];
+    }
+
+    LoadGenReport run();
+};
+
+LoadGenReport
+Driver::run()
+{
+    epoll = Fd(::epoll_create1(0));
+    if (!epoll.valid())
+        return report;
+    t0 = std::chrono::steady_clock::now();
+    conns.resize(opt.connections);
+    for (size_t i = 0; i < opt.connections; ++i) {
+        ClientConn &c = conns[i];
+        c.tenant = tenantOf(i);
+        c.fd = connectTcpNonBlocking(opt.port);
+        if (!c.fd.valid()) {
+            c.state = ClientConn::State::Failed;
+            ++report.connections_failed;
+            continue;
+        }
+        // EPOLLOUT signals connect completion; want_write mirrors it.
+        c.want_write = true;
+        epoll_event ev = {};
+        ev.events = EPOLLIN | EPOLLOUT;
+        ev.data.u64 = i;
+        ::epoll_ctl(epoll.get(), EPOLL_CTL_ADD, c.fd.get(), &ev);
+        ++live;
+    }
+
+    epoll_event evs[256];
+    while (live > 0) {
+        double now = nowMs();
+        if (opt.deadline_ms > 0.0 && now > opt.deadline_ms)
+            break;
+        int n = ::epoll_wait(epoll.get(), evs, 256, 10);
+        now = nowMs();
+        for (int i = 0; i < n; ++i) {
+            size_t idx = static_cast<size_t>(evs[i].data.u64);
+            ClientConn &c = conns[idx];
+            if (c.state == ClientConn::State::Failed ||
+                c.state == ClientConn::State::Done)
+                continue;
+            if (c.state == ClientConn::State::Connecting) {
+                if (evs[i].events & (EPOLLHUP | EPOLLERR)) {
+                    fail(idx);
+                    continue;
+                }
+                if (evs[i].events & EPOLLOUT)
+                    onConnected(idx);
+                continue;
+            }
+            if (evs[i].events & (EPOLLHUP | EPOLLERR)) {
+                fail(idx);
+                continue;
+            }
+            if (evs[i].events & EPOLLIN)
+                readConn(idx, now);
+            if ((c.state != ClientConn::State::Failed &&
+                 c.state != ClientConn::State::Done) &&
+                (evs[i].events & EPOLLOUT))
+                flush(idx);
+        }
+        drainRetries(nowMs());
+    }
+
+    report.wall_ms = nowMs();
+    for (const auto &kv : tasks)
+        if (!kv.second.terminal)
+            ++report.lost;
+    // Connections that never ran leave their whole quota unsubmitted.
+    size_t expected = opt.connections * opt.tasks_per_conn;
+    size_t tracked = tasks.size();
+    if (expected > tracked)
+        report.lost += expected - tracked;
+    if (report.wall_ms > 0.0)
+        report.throughput_per_s =
+            static_cast<double>(report.results_ok) * 1000.0 /
+            report.wall_ms;
+    report.p50_ms = percentile(0.50);
+    report.p99_ms = percentile(0.99);
+    report.max_ms =
+        latencies.empty()
+            ? 0.0
+            : *std::max_element(latencies.begin(), latencies.end());
+    return report;
+}
+
+} // namespace
+
+LoadGenReport
+runLoadGen(const LoadGenOptions &opt)
+{
+    Driver driver(opt);
+    return driver.run();
+}
+
+size_t
+raiseFdLimit()
+{
+    rlimit lim = {};
+    if (::getrlimit(RLIMIT_NOFILE, &lim) != 0)
+        return 0;
+    lim.rlim_cur = lim.rlim_max;
+    ::setrlimit(RLIMIT_NOFILE, &lim);
+    ::getrlimit(RLIMIT_NOFILE, &lim);
+    return static_cast<size_t>(lim.rlim_cur);
+}
+
+} // namespace bzk::net

@@ -1,0 +1,103 @@
+#ifndef BZK_NET_LOADGEN_H_
+#define BZK_NET_LOADGEN_H_
+
+/**
+ * @file
+ * Epoll-based load generator for the proof service: one thread drives
+ * thousands of concurrent client connections against a ProofServer,
+ * pipelining submits, honoring Retry/Shed backpressure by resubmitting
+ * with backoff, and accounting for every task id — a task is lost if it
+ * never reaches a terminal outcome and duplicated if it reaches two.
+ * bench_net's soak gate is exactly those two counters staying zero.
+ *
+ * Task ids are globally unique by construction
+ * (connection_index << 20 | sequence), so the lost/duplicate accounting
+ * is a plain per-id state machine, not a heuristic.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bzk::net {
+
+/** Load-shape configuration. */
+struct LoadGenOptions
+{
+    /** Server port on 127.0.0.1. */
+    uint16_t port = 0;
+    /** Concurrent connections to open. */
+    size_t connections = 64;
+    /** Tasks each connection must complete. */
+    size_t tasks_per_conn = 16;
+    /** Submits a connection keeps outstanding. */
+    size_t pipeline = 4;
+    /** Distinct tenants; connection i identifies as tenant i % tenants. */
+    size_t tenants = 1;
+    /**
+     * Fraction of connections pinned to tenant 0 (the hot tenant) on
+     * top of the round-robin spread; 0 disables the skew.
+     */
+    double hot_fraction = 0.0;
+    /** Task log-size each Submit carries. */
+    uint32_t n_vars = 10;
+    /** Public seed each Submit carries. */
+    uint64_t seed = 2024;
+    /** Resubmissions allowed per task after Retry/Shed. */
+    size_t max_retries = 64;
+    /** Backoff floor used when the server gives no retry hint, ms. */
+    double backoff_ms = 2.0;
+    /** Verify each Ok proof as a DigestExecutor proof. */
+    bool verify_digest = true;
+    /** Abort the run after this long (0 = no deadline), ms. */
+    double deadline_ms = 120000.0;
+};
+
+/** What happened, totalled across all connections. */
+struct LoadGenReport
+{
+    size_t connections_opened = 0;
+    size_t connections_failed = 0;
+    uint64_t submits_sent = 0;
+    uint64_t results_ok = 0;
+    uint64_t retries = 0;
+    uint64_t sheds = 0;
+    uint64_t invalid = 0;
+    /** Ok proofs that failed the digest check. */
+    uint64_t bad_proofs = 0;
+    /** Tasks dropped after exhausting max_retries. */
+    uint64_t dropped = 0;
+    /** Tasks with no terminal outcome when the run ended. */
+    uint64_t lost = 0;
+    /** Ok results for task ids that were already complete. */
+    uint64_t duplicated = 0;
+    uint64_t bytes_rx = 0;
+    uint64_t bytes_tx = 0;
+    double wall_ms = 0.0;
+    /** Completed tasks per second of wall time. */
+    double throughput_per_s = 0.0;
+    /** Submit-to-result latency percentiles over Ok results, ms. */
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    double max_ms = 0.0;
+
+    /** The soak invariant: every task exactly once, nothing broke. */
+    bool
+    clean() const
+    {
+        return lost == 0 && duplicated == 0 && bad_proofs == 0 &&
+               connections_failed == 0;
+    }
+};
+
+/** Run the load shape to completion (blocking). */
+LoadGenReport runLoadGen(const LoadGenOptions &opt);
+
+/**
+ * Raise RLIMIT_NOFILE to its hard limit; returns the resulting soft
+ * limit. Thousands of loopback connections need ~2 fds each.
+ */
+size_t raiseFdLimit();
+
+} // namespace bzk::net
+
+#endif // BZK_NET_LOADGEN_H_

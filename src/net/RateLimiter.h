@@ -1,0 +1,93 @@
+#ifndef BZK_NET_RATELIMITER_H_
+#define BZK_NET_RATELIMITER_H_
+
+/**
+ * @file
+ * Token-bucket rate limiter, one per tenant. Tokens refill continuously
+ * at the configured rate up to the burst size; a submit takes one token
+ * or is told how long until one is available (the RETRY hint). All time
+ * is caller-supplied milliseconds, so the limiter is deterministic
+ * under test and shares the server loop's single clock read.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace bzk::net {
+
+/** Continuous-refill token bucket. */
+class TokenBucket
+{
+  public:
+    /**
+     * @param rate_per_s tokens per second; <= 0 disables limiting.
+     * @param burst bucket size; <= 0 defaults to one second of tokens
+     *        (and at least one token, so a positive rate never locks
+     *        out the first submit).
+     */
+    TokenBucket(double rate_per_s = 0.0, double burst = 0.0)
+        : rate_per_ms_(rate_per_s / 1e3),
+          burst_(burst > 0.0 ? burst : std::max(rate_per_s, 1.0)),
+          tokens_(burst_)
+    {
+    }
+
+    /** True when limiting is disabled. */
+    bool unlimited() const { return rate_per_ms_ <= 0.0; }
+
+    /** Take one token at @p now_ms; false when the bucket is empty. */
+    bool
+    tryTake(double now_ms)
+    {
+        if (unlimited())
+            return true;
+        refill(now_ms);
+        if (tokens_ < 1.0)
+            return false;
+        tokens_ -= 1.0;
+        return true;
+    }
+
+    /** Whole ms until one token is available at @p now_ms (>= 1). */
+    uint32_t
+    retryAfterMs(double now_ms)
+    {
+        if (unlimited())
+            return 0;
+        refill(now_ms);
+        if (tokens_ >= 1.0)
+            return 1;
+        double wait = (1.0 - tokens_) / rate_per_ms_;
+        return static_cast<uint32_t>(
+            std::min(std::ceil(wait), 60'000.0));
+    }
+
+    /** Tokens currently available (tests). */
+    double
+    available(double now_ms)
+    {
+        refill(now_ms);
+        return tokens_;
+    }
+
+  private:
+    void
+    refill(double now_ms)
+    {
+        if (now_ms > last_ms_) {
+            tokens_ = std::min(
+                burst_, tokens_ + (now_ms - last_ms_) * rate_per_ms_);
+            last_ms_ = now_ms;
+        }
+    }
+
+    double rate_per_ms_;
+    double burst_;
+    double tokens_;
+    double last_ms_ = 0.0;
+};
+
+} // namespace bzk::net
+
+#endif // BZK_NET_RATELIMITER_H_

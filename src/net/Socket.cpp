@@ -1,0 +1,122 @@
+#include "net/Socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace bzk::net {
+
+namespace {
+
+sockaddr_in
+loopbackAddr(uint16_t port)
+{
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return addr;
+}
+
+} // namespace
+
+void
+Fd::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+Fd
+listenTcp(uint16_t port, int backlog)
+{
+    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid())
+        return {};
+    int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr = loopbackAddr(port);
+    if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd.get(), backlog) != 0 || !setNonBlocking(fd.get()))
+        return {};
+    return fd;
+}
+
+Fd
+connectTcp(uint16_t port)
+{
+    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid())
+        return {};
+    sockaddr_in addr = loopbackAddr(port);
+    if (::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0)
+        return {};
+    return fd;
+}
+
+Fd
+connectTcpNonBlocking(uint16_t port)
+{
+    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid() || !setNonBlocking(fd.get()))
+        return {};
+    sockaddr_in addr = loopbackAddr(port);
+    if (::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0 &&
+        errno != EINPROGRESS)
+        return {};
+    return fd;
+}
+
+uint16_t
+localPort(int fd)
+{
+    sockaddr_in addr = {};
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len) != 0)
+        return 0;
+    return ntohs(addr.sin_port);
+}
+
+ptrdiff_t
+sendSome(int fd, std::span<const uint8_t> data)
+{
+    ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n >= 0)
+        return n;
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+        return 0;
+    return -1;
+}
+
+ptrdiff_t
+recvSome(int fd, std::span<uint8_t> buf)
+{
+    ssize_t n = ::recv(fd, buf.data(), buf.size(), 0);
+    if (n > 0)
+        return n;
+    if (n == 0)
+        return -1; // orderly EOF: treat as closed
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+        return 0;
+    return -1;
+}
+
+} // namespace bzk::net

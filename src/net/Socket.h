@@ -1,0 +1,94 @@
+#ifndef BZK_NET_SOCKET_H_
+#define BZK_NET_SOCKET_H_
+
+/**
+ * @file
+ * Thin RAII + error-code layer over BSD sockets for the proof service:
+ * an owning file descriptor, loopback listeners/connectors, and
+ * non-blocking mode. Nothing here throws; every failure is a bool or
+ * an invalid Fd, and writes use MSG_NOSIGNAL so a peer that vanishes
+ * mid-reply surfaces as an error return instead of SIGPIPE.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+
+namespace bzk::net {
+
+/** Owning file descriptor (move-only; closes on destruction). */
+class Fd
+{
+  public:
+    Fd() = default;
+
+    explicit Fd(int fd) : fd_(fd) {}
+
+    Fd(Fd &&o) noexcept : fd_(std::exchange(o.fd_, -1)) {}
+
+    Fd &
+    operator=(Fd &&o) noexcept
+    {
+        if (this != &o) {
+            close();
+            fd_ = std::exchange(o.fd_, -1);
+        }
+        return *this;
+    }
+
+    Fd(const Fd &) = delete;
+    Fd &operator=(const Fd &) = delete;
+
+    ~Fd() { close(); }
+
+    bool valid() const { return fd_ >= 0; }
+
+    int get() const { return fd_; }
+
+    /** Release ownership without closing. */
+    int release() { return std::exchange(fd_, -1); }
+
+    /** Close now (idempotent). */
+    void close();
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Bind + listen a TCP socket on 127.0.0.1:@p port (0 = ephemeral),
+ * SO_REUSEADDR, non-blocking. Invalid Fd on failure.
+ */
+Fd listenTcp(uint16_t port, int backlog = 512);
+
+/** Blocking loopback connect. Invalid Fd on failure. */
+Fd connectTcp(uint16_t port);
+
+/**
+ * Non-blocking loopback connect: returns immediately with the connect
+ * in flight (poll for writability to learn the outcome).
+ */
+Fd connectTcpNonBlocking(uint16_t port);
+
+/** Switch @p fd to non-blocking mode. */
+bool setNonBlocking(int fd);
+
+/** Locally bound port of @p fd (0 on failure). */
+uint16_t localPort(int fd);
+
+/**
+ * send() with MSG_NOSIGNAL. Returns bytes written, 0 when the socket
+ * is write-blocked (EAGAIN), or -1 on a dead peer.
+ */
+ptrdiff_t sendSome(int fd, std::span<const uint8_t> data);
+
+/**
+ * recv(). Returns bytes read, 0 when no data is ready (EAGAIN), or -1
+ * on EOF / a dead peer.
+ */
+ptrdiff_t recvSome(int fd, std::span<uint8_t> buf);
+
+} // namespace bzk::net
+
+#endif // BZK_NET_SOCKET_H_

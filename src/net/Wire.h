@@ -1,0 +1,217 @@
+#ifndef BZK_NET_WIRE_H_
+#define BZK_NET_WIRE_H_
+
+/**
+ * @file
+ * Versioned, length-prefixed, CRC-framed wire protocol for the proof
+ * service (docs/SERVICE.md documents the layout normatively).
+ *
+ * Every message travels in one frame:
+ *
+ *   frame header (12 bytes):
+ *     magic "BZKN" | body length u32 LE | crc32(body) u32 LE
+ *
+ *   frame body:
+ *     wire version u8 | message type u8 | payload
+ *
+ * Everything is little-endian via core/Bytes.h; the CRC is the
+ * journal's CRC-32 (journal/Crc32.h), so a flipped bit or a torn tail
+ * is detected before a byte of payload is decoded. Decoding is
+ * fail-soft end to end: a hostile peer can produce a typed WireError
+ * (and lose its connection), never a crash, a hang, or an oversized
+ * allocation — the body length is capped before any buffering.
+ *
+ * FrameDecoder is the incremental half: feed() it bytes as they arrive
+ * from a socket and poll() complete messages out, in order. The first
+ * error poisons the decoder, mirroring the journal's replay rule that
+ * nothing at or past a corrupt byte is ever interpreted.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace bzk::net {
+
+/** Wire protocol version this build speaks. */
+constexpr uint8_t kWireVersion = 1;
+
+/** Frame magic, on the wire as the bytes 'B' 'Z' 'K' 'N'. */
+constexpr uint8_t kFrameMagic[4] = {'B', 'Z', 'K', 'N'};
+
+/** Frame header size on the wire, bytes. */
+constexpr size_t kFrameHeaderBytes = 12;
+
+/** Largest frame body either side will buffer (caps hostile lengths). */
+constexpr size_t kMaxFrameBytes = size_t{1} << 22;
+
+/** Message types (the body's second byte). */
+enum class MsgType : uint8_t {
+    /** Client -> server: version range + tenant identity. */
+    Hello = 1,
+    /** Server -> client: negotiated version + service limits. */
+    HelloAck = 2,
+    /** Client -> server: one proof task. */
+    Submit = 3,
+    /** Server -> client: terminal outcome for one task. */
+    Result = 4,
+    /** Either direction: fatal protocol diagnostic, then close. */
+    ProtoError = 5,
+};
+
+/** Terminal status of a submitted task (Result::status). */
+enum class Status : uint8_t {
+    /** Proof attached. */
+    Ok = 0,
+    /** Rate limit: resubmit after Result::retry_after_ms. */
+    Retry = 1,
+    /** Queue full or queue deadline passed: load was shed. */
+    Shed = 2,
+    /** Task parameters rejected (e.g. n_vars above the cap). */
+    Invalid = 3,
+};
+
+/** ProtoError::code values. */
+enum class ErrorCode : uint8_t {
+    /** Hello version range does not include a supported version. */
+    UnsupportedVersion = 1,
+    /** A non-Hello message arrived before the handshake. */
+    HandshakeRequired = 2,
+    /** The peer sent a frame that failed to decode. */
+    BadFrame = 3,
+    /** Message type valid but not acceptable in this direction/state. */
+    UnexpectedMessage = 4,
+};
+
+/** Client handshake: supported version range + tenant identity. */
+struct Hello
+{
+    uint8_t min_version = kWireVersion;
+    uint8_t max_version = kWireVersion;
+    /** Tenant the connection submits under (rate-limit key). */
+    uint64_t tenant = 0;
+
+    bool operator==(const Hello &o) const = default;
+};
+
+/** Server handshake reply: the negotiated version + service limits. */
+struct HelloAck
+{
+    /** Version both sides will speak (within the Hello range). */
+    uint8_t version = kWireVersion;
+    /** Server-wide in-flight window (tasks past admission). */
+    uint32_t window = 0;
+    /** Largest frame body the server accepts, bytes. */
+    uint32_t max_frame = kMaxFrameBytes;
+
+    bool operator==(const HelloAck &o) const = default;
+};
+
+/** One proof task; (task_id, seed, n_vars) pins the instance. */
+struct Submit
+{
+    /** Client-assigned id, echoed in the Result (idempotency key). */
+    uint64_t task_id = 0;
+    /** Constraint-table log-size. */
+    uint32_t n_vars = 10;
+    /** Public encoder seed. */
+    uint64_t seed = 2024;
+
+    bool operator==(const Submit &o) const = default;
+};
+
+/** Terminal outcome for one Submit. */
+struct Result
+{
+    uint64_t task_id = 0;
+    Status status = Status::Ok;
+    /** Client back-off hint when status == Retry, ms. */
+    uint32_t retry_after_ms = 0;
+    /** Serialized proof when status == Ok (may be empty). */
+    std::vector<uint8_t> proof;
+
+    bool operator==(const Result &o) const = default;
+};
+
+/** Fatal protocol diagnostic; the sender closes after writing it. */
+struct ProtoError
+{
+    ErrorCode code = ErrorCode::BadFrame;
+    /** Human-readable detail (bounded at 256 bytes on the wire). */
+    std::string detail;
+
+    bool operator==(const ProtoError &o) const = default;
+};
+
+/** Any decoded message. */
+using Message = std::variant<Hello, HelloAck, Submit, Result, ProtoError>;
+
+/** Typed decode failures (each maps to exactly one defense). */
+enum class WireError : uint8_t {
+    /** Frame did not start with "BZKN". */
+    BadMagic = 1,
+    /** Body length prefix exceeds the frame cap. */
+    Oversize = 2,
+    /** Body bytes do not match the header CRC. */
+    BadCrc = 3,
+    /** Body carries a wire version this build does not speak. */
+    BadVersion = 4,
+    /** Body carries an unknown message type. */
+    BadType = 5,
+    /** Payload truncated, over-long, or shape-invalid for its type. */
+    Malformed = 6,
+};
+
+/** Stable name for logs and tests ("bad_crc", ...). */
+const char *wireErrorName(WireError error);
+
+/** Encode @p msg as one complete frame (header + body). */
+std::vector<uint8_t> encodeFrame(const Message &msg);
+
+/**
+ * Decode one frame body (version byte onward). The frame layer must
+ * already have verified length and CRC.
+ */
+std::variant<Message, WireError> decodeBody(std::span<const uint8_t> body);
+
+/**
+ * Incremental frame reassembler for one connection. Feed raw socket
+ * bytes in; poll complete messages out. Returns nullopt from poll()
+ * when more bytes are needed. The first WireError poisons the decoder:
+ * every later poll() repeats the error and feed() discards input, so a
+ * connection that produced garbage can only be closed.
+ */
+class FrameDecoder
+{
+  public:
+    explicit FrameDecoder(size_t max_body = kMaxFrameBytes)
+        : max_body_(max_body)
+    {
+    }
+
+    /** Append bytes received from the peer. */
+    void feed(std::span<const uint8_t> bytes);
+
+    /** Next message or error; nullopt when a frame is incomplete. */
+    std::optional<std::variant<Message, WireError>> poll();
+
+    /** True once any error has been returned. */
+    bool poisoned() const { return poisoned_.has_value(); }
+
+    /** Bytes buffered but not yet consumed (tests/backpressure). */
+    size_t buffered() const { return buf_.size() - pos_; }
+
+  private:
+    std::vector<uint8_t> buf_;
+    size_t pos_ = 0;
+    size_t max_body_;
+    std::optional<WireError> poisoned_;
+};
+
+} // namespace bzk::net
+
+#endif // BZK_NET_WIRE_H_

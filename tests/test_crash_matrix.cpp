@@ -68,13 +68,13 @@ const char *
 stageName(ProveStage stage)
 {
     switch (stage) {
-    case ProveStage::Encode:
+      case ProveStage::Encode:
         return "encode";
-    case ProveStage::Merkle:
+      case ProveStage::Merkle:
         return "merkle";
-    case ProveStage::FiatShamir:
+      case ProveStage::FiatShamir:
         return "fiat-shamir";
-    case ProveStage::Sumcheck:
+      case ProveStage::Sumcheck:
         return "sumcheck";
     }
     return "?";

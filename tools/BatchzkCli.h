@@ -31,6 +31,11 @@ struct Args
     std::string sizes;           // sched: comma list of task log-sizes
     size_t threads = 0;          // host threads (0 = env/hardware)
     std::string journal_dir;     // durable task journal directory
+    uint16_t port = 9091;        // serve/submit: loopback TCP port
+    uint64_t tenant = 0;         // submit: tenant identity
+    uint64_t rate = 0;           // serve: per-tenant submits/s (0 = off)
+    size_t window = 0;           // serve: in-flight window (0 = derive)
+    size_t queue_cap = 4096;     // serve: admission-queue capacity
 };
 
 /** Outcome of a parse: ok, or a diagnostic for stderr. */
@@ -50,11 +55,12 @@ inline const char *
 usage()
 {
     return "usage: batchzk <prove|verify|info|simulate|trace|metrics|"
-           "chaos|sched|recover> [--log-gates N] [--seed S] "
-           "[--system table|full] [--in FILE] [--out FILE] "
+           "chaos|sched|recover|serve|submit> [--log-gates N] "
+           "[--seed S] [--system table|full] [--in FILE] [--out FILE] "
            "[--gpu NAME] [--batch B] [--faults PLAN] "
            "[--format prom|json] [--sizes N,N,...] [--threads T] "
-           "[--journal-dir DIR]\n";
+           "[--journal-dir DIR] [--port P] [--tenant T] [--rate R] "
+           "[--window W] [--queue-cap C]\n";
 }
 
 /**
@@ -70,9 +76,10 @@ parse(int argc, char **argv, Args &args)
         return ParseResult::fail("missing command");
     args.command = argv[1];
 
-    const char *known_commands[] = {"prove",   "verify", "info",
+    const char *known_commands[] = {"prove",    "verify", "info",
                                     "simulate", "trace",  "metrics",
-                                    "chaos",   "sched",  "recover"};
+                                    "chaos",    "sched",  "recover",
+                                    "serve",    "submit"};
     bool known = false;
     for (const char *cmd : known_commands)
         known = known || args.command == cmd;
@@ -148,6 +155,26 @@ parse(int argc, char **argv, Args &args)
             args.threads = number;
         } else if (key == "--journal-dir") {
             args.journal_dir = value;
+        } else if (key == "--port") {
+            if (!numeric || number > 65535)
+                return need_number("--port");
+            args.port = static_cast<uint16_t>(number);
+        } else if (key == "--tenant") {
+            if (!numeric)
+                return need_number("--tenant");
+            args.tenant = number;
+        } else if (key == "--rate") {
+            if (!numeric)
+                return need_number("--rate");
+            args.rate = number;
+        } else if (key == "--window") {
+            if (!numeric)
+                return need_number("--window");
+            args.window = number;
+        } else if (key == "--queue-cap") {
+            if (!numeric)
+                return need_number("--queue-cap");
+            args.queue_cap = number;
         } else {
             return ParseResult::fail("unknown flag '" + key + "'");
         }

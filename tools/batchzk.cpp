@@ -36,18 +36,36 @@
  *   batchzk recover --journal-dir DIR [--gpu NAME]
  *       replay a durable task journal, re-prove every admitted task
  *       that has no completion record, and print the recovery
- *       accounting (records replayed, torn offset, proofs restored).
+ *       accounting (records replayed, torn offset, proofs restored);
+ *   batchzk serve   [--port P] [--log-gates N] [--threads T]
+ *                   [--rate R] [--window W] [--queue-cap C]
+ *                   [--gpu NAME] [--seed S]
+ *       run the proof service on 127.0.0.1:P until SIGINT/SIGTERM:
+ *       real proofs, per-tenant rate limits (R submits/s), bounded
+ *       admission queue (C), in-flight window W (0 derives the
+ *       pipeline depth from the GPU model). --log-gates caps the task
+ *       size a Submit may carry;
+ *   batchzk submit  [--port P] [--tenant T] [--batch B]
+ *                   [--log-gates N] [--seed S]
+ *       submit B tasks to a running service, wait for the proofs,
+ *       verify each one locally, and print the round-trip accounting.
+ *
+ * `serve` and `submit` speak the framed wire protocol documented in
+ * docs/SERVICE.md.
  *
  * `prove` additionally accepts --journal-dir DIR to journal the task
  * before proving and its completion (with the proof bytes) after, so a
  * killed prove can be finished later with `batchzk recover`.
  */
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "BatchzkCli.h"
@@ -60,6 +78,9 @@
 #include "gpusim/Device.h"
 #include "gpusim/FaultInjector.h"
 #include "journal/Journal.h"
+#include "net/Client.h"
+#include "net/Executor.h"
+#include "net/Server.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "util/Log.h"
@@ -611,6 +632,126 @@ cmdSched(const Args &args)
     return 0;
 }
 
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void
+onServeSignal(int)
+{
+    g_serve_stop = 1;
+}
+
+int
+cmdServe(const Args &args)
+{
+    if (args.log_gates < 8 || args.log_gates > 20)
+        fatal("--log-gates must be in [8, 20] for the service");
+    net::ServerOptions opt;
+    opt.port = args.port;
+    opt.queue_capacity = args.queue_cap;
+    opt.window = args.window;
+    opt.tenant_rate_per_s = static_cast<double>(args.rate);
+    opt.workers = args.threads ? args.threads : 2;
+    opt.max_n_vars = args.log_gates;
+    opt.device = args.gpu;
+    opt.seed = args.seed;
+    specByName(args.gpu); // fail fast on a bad --gpu
+
+    net::SnarkExecutor executor;
+    obs::MetricsRegistry metrics;
+    net::ProofServer server(opt, executor, &metrics);
+    if (!server.start())
+        fatal("cannot bind 127.0.0.1:%u", unsigned{args.port});
+
+    std::signal(SIGINT, onServeSignal);
+    std::signal(SIGTERM, onServeSignal);
+    net::ServerStats boot = server.stats();
+    std::printf("serving on 127.0.0.1:%u (window %zu, queue %zu, "
+                "rate %llu/s per tenant, max log-size %u, %zu "
+                "workers)\n",
+                unsigned{server.port()}, boot.window,
+                args.queue_cap,
+                static_cast<unsigned long long>(args.rate),
+                args.log_gates, opt.workers);
+    std::fflush(stdout);
+    while (!g_serve_stop)
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    server.stop();
+
+    net::ServerStats stats = server.stats();
+    std::printf("shutdown: %llu connections, %llu submits, %llu "
+                "proofs, %llu retries, %llu sheds, %llu protocol "
+                "errors\n",
+                static_cast<unsigned long long>(
+                    stats.connections_accepted),
+                static_cast<unsigned long long>(stats.submits),
+                static_cast<unsigned long long>(stats.results_ok),
+                static_cast<unsigned long long>(stats.retries),
+                static_cast<unsigned long long>(stats.sheds),
+                static_cast<unsigned long long>(
+                    stats.protocol_errors));
+    return 0;
+}
+
+int
+cmdSubmit(const Args &args)
+{
+    if (args.log_gates < 8 || args.log_gates > 20)
+        fatal("--log-gates must be in [8, 20] for the service");
+    net::SyncClient client;
+    if (!client.connect(args.port, args.tenant)) {
+        std::fprintf(stderr,
+                     "submit: cannot reach a service on "
+                     "127.0.0.1:%u\n",
+                     unsigned{args.port});
+        return 2;
+    }
+    std::printf("connected (wire v%u, server window %u)\n",
+                unsigned{client.ack().version}, client.ack().window);
+
+    size_t verified = 0, retried = 0;
+    Timer timer;
+    for (size_t i = 0; i < args.batch; ++i) {
+        net::Submit task;
+        task.task_id = args.tenant * 100000 + i + 1;
+        task.n_vars = args.log_gates;
+        task.seed = args.seed;
+        std::optional<net::Result> result;
+        for (int attempt = 0; attempt < 50; ++attempt) {
+            result = client.roundTrip(task);
+            if (!result)
+                break;
+            if (result->status == net::Status::Ok)
+                break;
+            if (result->status == net::Status::Invalid)
+                break;
+            // Retry/Shed: honor the hint and resubmit.
+            ++retried;
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                std::max<uint32_t>(result->retry_after_ms, 1)));
+        }
+        if (!result || result->status != net::Status::Ok) {
+            std::fprintf(stderr,
+                         "submit: task %llu got no proof (%s)\n",
+                         static_cast<unsigned long long>(task.task_id),
+                         result ? "rejected" : "connection lost");
+            return 1;
+        }
+        auto proof = deserializeProof<Fr>(result->proof);
+        Snark<Fr> snark(task.n_vars, task.seed);
+        if (!proof || !snark.verify(*proof, {})) {
+            std::fprintf(stderr,
+                         "submit: task %llu proof REJECTED\n",
+                         static_cast<unsigned long long>(task.task_id));
+            return 1;
+        }
+        ++verified;
+    }
+    std::printf("%zu/%zu proofs verified in %.1f ms (%zu "
+                "backpressure retries)\n",
+                verified, args.batch, timer.milliseconds(), retried);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -642,5 +783,9 @@ main(int argc, char **argv)
         return cmdChaos(args);
     if (args.command == "sched")
         return cmdSched(args);
+    if (args.command == "serve")
+        return cmdServe(args);
+    if (args.command == "submit")
+        return cmdSubmit(args);
     return cmdRecover(args); // parse() guarantees a known command
 }

@@ -6,6 +6,9 @@ Usage:
                    --current /tmp/bench_system.json \
                    [--tolerance 0.25]
 
+    check_bench.py --baseline bench/baselines/bench_net.json \
+                   --current /tmp/bench_net.json --write-baseline
+
 Rules (stdlib only; exit 0 = pass, 1 = regression, 2 = usage error):
 
   * Every (row, metric) pair present in the BASELINE must exist in the
@@ -21,6 +24,11 @@ Rules (stdlib only; exit 0 = pass, 1 = regression, 2 = usage error):
     overall_ms in the CURRENT dump must satisfy
     overall_ms <= max(comm_ms, comp_ms) * 1.25 — the pipelined
     system's defining property that transfers hide behind compute.
+
+--write-baseline replaces the comparison: the current dump is written
+to the --baseline path (git_sha scrubbed, stable formatting) so
+regenerating a baseline after an intentional perf change is one
+command instead of hand-edited JSON.
 """
 
 import argparse
@@ -49,25 +57,10 @@ def load_rows(path):
     return doc, rows
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--baseline", required=True)
-    ap.add_argument("--current", required=True)
-    ap.add_argument("--tolerance", type=float, default=0.25,
-                    help="allowed fractional regression (default 0.25)")
-    args = ap.parse_args()
-
-    try:
-        base_doc, base_rows = load_rows(args.baseline)
-        cur_doc, cur_rows = load_rows(args.current)
-    except (OSError, json.JSONDecodeError, KeyError) as e:
-        print(f"check_bench: cannot load inputs: {e}", file=sys.stderr)
-        return 2
-
-    bench = base_doc.get("bench", "?")
+def compare_rows(base_rows, cur_rows, tolerance):
+    """Baseline-vs-current comparison. Returns (failures, checked)."""
     failures = []
     checked = 0
-
     for label, base_metrics in base_rows.items():
         if label not in cur_rows:
             failures.append(f"row '{label}' missing from current dump")
@@ -83,23 +76,30 @@ def main():
             checked += 1
             if base_val == 0:
                 continue
+            ratio = cur_val / base_val
             if is_higher_better(metric):
-                ratio = cur_val / base_val
-                if ratio < 1.0 - args.tolerance:
+                if ratio < 1.0 - tolerance:
                     failures.append(
                         f"{label}.{metric}: {cur_val:.6g} vs baseline "
                         f"{base_val:.6g} ({(1 - ratio) * 100:.1f}% "
                         "worse, higher-is-better)")
             else:
-                ratio = cur_val / base_val
-                if ratio > 1.0 + args.tolerance:
+                if ratio > 1.0 + tolerance:
                     failures.append(
                         f"{label}.{metric}: {cur_val:.6g} vs baseline "
                         f"{base_val:.6g} ({(ratio - 1) * 100:.1f}% "
                         "worse, lower-is-better)")
+    return failures, checked
 
-    # Overlap inversion: overall cycle time must track the slower of
-    # communication and compute, not their sum.
+
+def check_overlap(cur_rows):
+    """Overlap-inversion rule over the CURRENT dump.
+
+    Overall cycle time must track the slower of communication and
+    compute, not their sum. Returns (failures, checked).
+    """
+    failures = []
+    checked = 0
     for label, metrics in cur_rows.items():
         keys = ("comm_ms", "comp_ms", "overall_ms")
         if all(k in metrics for k in keys):
@@ -111,6 +111,65 @@ def main():
                     f"{label}: overlap inversion — overall_ms "
                     f"{overall:.6g} > max(comm {comm:.6g}, comp "
                     f"{comp:.6g}) * {OVERLAP_SLACK}")
+    return failures, checked
+
+
+def write_baseline(current_doc, baseline_path):
+    """Write @p current_doc as a checked-in baseline.
+
+    The git sha is scrubbed (a baseline is not tied to the commit that
+    happened to regenerate it) and the formatting is stable so baseline
+    diffs review cleanly.
+    """
+    doc = dict(current_doc)
+    meta = dict(doc.get("meta", {}))
+    meta.pop("git_sha", None)
+    doc["meta"] = meta
+    with open(baseline_path, "w") as f:
+        json.dump(doc, f, indent=1, sort_keys=False)
+        f.write("\n")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional regression (default 0.25)")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="write the current dump to --baseline instead "
+                         "of comparing")
+    args = ap.parse_args()
+
+    try:
+        cur_doc, cur_rows = load_rows(args.current)
+    except (OSError, json.JSONDecodeError, KeyError) as e:
+        print(f"check_bench: cannot load inputs: {e}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        try:
+            write_baseline(cur_doc, args.baseline)
+        except OSError as e:
+            print(f"check_bench: cannot write baseline: {e}",
+                  file=sys.stderr)
+            return 2
+        print(f"check_bench[{cur_doc.get('bench', '?')}]: wrote "
+              f"{args.baseline} ({len(cur_rows)} rows)")
+        return 0
+
+    try:
+        base_doc, base_rows = load_rows(args.baseline)
+    except (OSError, json.JSONDecodeError, KeyError) as e:
+        print(f"check_bench: cannot load inputs: {e}", file=sys.stderr)
+        return 2
+
+    bench = base_doc.get("bench", "?")
+    failures, checked = compare_rows(base_rows, cur_rows,
+                                     args.tolerance)
+    overlap_failures, overlap_checked = check_overlap(cur_rows)
+    failures += overlap_failures
+    checked += overlap_checked
 
     if failures:
         print(f"check_bench[{bench}]: FAIL ({len(failures)} problem(s), "

@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/check_bench.py (stdlib unittest only).
+
+Run directly (python3 tools/test_check_bench.py) or via unittest
+discovery; the CI lint job runs it on every push.
+"""
+
+import importlib.util
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SPEC = importlib.util.spec_from_file_location(
+    "check_bench", os.path.join(_HERE, "check_bench.py"))
+check_bench = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_bench)
+
+
+def dump(bench="bench_x", rows=None, meta=None):
+    return {
+        "bench": bench,
+        "rows": [{"label": label, "metrics": metrics}
+                 for label, metrics in (rows or {}).items()],
+        "meta": meta or {},
+    }
+
+
+class DirectionInference(unittest.TestCase):
+    def test_tokens_are_higher_better(self):
+        for name in ("throughput_per_ms", "Throughput", "speedup",
+                     "scaling_efficiency", "utilization"):
+            self.assertTrue(check_bench.is_higher_better(name), name)
+
+    def test_rate_suffixes_are_higher_better(self):
+        for name in ("proofs_per_s", "rows_per_ms"):
+            self.assertTrue(check_bench.is_higher_better(name), name)
+
+    def test_everything_else_is_lower_better(self):
+        for name in ("p99_ms", "latency_ms", "makespan_ms",
+                     "peak_bytes", "mean_wait_cycles", "retries"):
+            self.assertFalse(check_bench.is_higher_better(name), name)
+
+
+class CompareRows(unittest.TestCase):
+    def test_within_tolerance_passes(self):
+        base = {"row": {"throughput_per_s": 100.0, "p99_ms": 10.0}}
+        cur = {"row": {"throughput_per_s": 90.0, "p99_ms": 12.0}}
+        failures, checked = check_bench.compare_rows(base, cur, 0.25)
+        self.assertEqual([], failures)
+        self.assertEqual(2, checked)
+
+    def test_higher_better_regression_fails(self):
+        base = {"row": {"throughput_per_s": 100.0}}
+        cur = {"row": {"throughput_per_s": 50.0}}
+        failures, _ = check_bench.compare_rows(base, cur, 0.25)
+        self.assertEqual(1, len(failures))
+        self.assertIn("higher-is-better", failures[0])
+
+    def test_lower_better_regression_fails(self):
+        base = {"row": {"p99_ms": 10.0}}
+        cur = {"row": {"p99_ms": 20.0}}
+        failures, _ = check_bench.compare_rows(base, cur, 0.25)
+        self.assertEqual(1, len(failures))
+        self.assertIn("lower-is-better", failures[0])
+
+    def test_improvements_never_fail(self):
+        base = {"row": {"throughput_per_s": 100.0, "p99_ms": 10.0}}
+        cur = {"row": {"throughput_per_s": 500.0, "p99_ms": 1.0}}
+        failures, _ = check_bench.compare_rows(base, cur, 0.25)
+        self.assertEqual([], failures)
+
+    def test_missing_row_fails(self):
+        base = {"gone": {"p99_ms": 1.0}}
+        failures, checked = check_bench.compare_rows(base, {}, 0.25)
+        self.assertEqual(1, len(failures))
+        self.assertIn("row 'gone' missing", failures[0])
+        self.assertEqual(0, checked)
+
+    def test_missing_metric_fails(self):
+        base = {"row": {"p99_ms": 1.0, "p50_ms": 1.0}}
+        cur = {"row": {"p50_ms": 1.0}}
+        failures, _ = check_bench.compare_rows(base, cur, 0.25)
+        self.assertEqual(1, len(failures))
+        self.assertIn("metric 'p99_ms' missing", failures[0])
+
+    def test_extra_current_rows_and_metrics_ignored(self):
+        base = {"row": {"p99_ms": 1.0}}
+        cur = {"row": {"p99_ms": 1.0, "new_metric": 9.0},
+               "new row": {"p99_ms": 999.0}}
+        failures, checked = check_bench.compare_rows(base, cur, 0.25)
+        self.assertEqual([], failures)
+        self.assertEqual(1, checked)
+
+    def test_zero_baseline_is_skipped(self):
+        base = {"row": {"retries": 0.0}}
+        cur = {"row": {"retries": 1e9}}
+        failures, checked = check_bench.compare_rows(base, cur, 0.25)
+        self.assertEqual([], failures)
+        self.assertEqual(1, checked)
+
+
+class OverlapInversion(unittest.TestCase):
+    def test_overlapped_row_passes(self):
+        cur = {"row": {"comm_ms": 4.0, "comp_ms": 10.0,
+                       "overall_ms": 11.0}}
+        failures, checked = check_bench.check_overlap(cur)
+        self.assertEqual([], failures)
+        self.assertEqual(1, checked)
+
+    def test_inverted_row_fails(self):
+        # overall beyond max(comm, comp) * 1.25 means transfers are NOT
+        # hiding behind compute.
+        cur = {"row": {"comm_ms": 4.0, "comp_ms": 10.0,
+                       "overall_ms": 14.0}}
+        failures, _ = check_bench.check_overlap(cur)
+        self.assertEqual(1, len(failures))
+        self.assertIn("overlap inversion", failures[0])
+
+    def test_rows_without_the_triple_are_ignored(self):
+        cur = {"row": {"comm_ms": 4.0, "overall_ms": 100.0}}
+        failures, checked = check_bench.check_overlap(cur)
+        self.assertEqual([], failures)
+        self.assertEqual(0, checked)
+
+
+class WriteBaseline(unittest.TestCase):
+    def test_round_trip_compares_clean_and_scrubs_sha(self):
+        doc = dump(rows={"soak": {"throughput_per_s": 123.0,
+                                  "p99_ms": 4.5}},
+                   meta={"git_sha": "abc123", "device": "loopback"})
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline = os.path.join(tmp, "baseline.json")
+            check_bench.write_baseline(doc, baseline)
+            with open(baseline) as f:
+                written = json.load(f)
+            self.assertNotIn("git_sha", written["meta"])
+            self.assertEqual("loopback", written["meta"]["device"])
+
+            base_rows = {r["label"]: r["metrics"]
+                         for r in written["rows"]}
+            cur_rows = {r["label"]: r["metrics"] for r in doc["rows"]}
+            failures, checked = check_bench.compare_rows(
+                base_rows, cur_rows, 0.25)
+            self.assertEqual([], failures)
+            self.assertEqual(2, checked)
+
+    def test_cli_write_then_compare(self):
+        doc = dump(rows={"soak": {"throughput_per_s": 123.0}})
+        with tempfile.TemporaryDirectory() as tmp:
+            current = os.path.join(tmp, "current.json")
+            baseline = os.path.join(tmp, "baseline.json")
+            with open(current, "w") as f:
+                json.dump(doc, f)
+            argv = sys.argv
+            try:
+                sys.argv = ["check_bench.py", "--baseline", baseline,
+                            "--current", current, "--write-baseline"]
+                self.assertEqual(0, check_bench.main())
+                sys.argv = ["check_bench.py", "--baseline", baseline,
+                            "--current", current]
+                self.assertEqual(0, check_bench.main())
+            finally:
+                sys.argv = argv
+
+
+if __name__ == "__main__":
+    unittest.main()
