@@ -91,6 +91,7 @@ DurableProofService::submit(const DurableTaskSpec &spec)
     record.n_vars = spec.n_vars;
     record.priority = spec.priority;
     record.seed = spec.seed;
+    record.kind = spec.kind;
     // Journal first, admit second: once append() returns the task is
     // on disk and can no longer be lost.
     journal_->append(record);
@@ -98,24 +99,49 @@ DurableProofService::submit(const DurableTaskSpec &spec)
     return true;
 }
 
-SnarkProof<Fr>
+std::vector<uint8_t>
 DurableProofService::proveTask(const journal::TaskRecord &task,
                                const CrashHook &crash, bool &crashed)
 {
     Rng rng = taskRng(task);
-    auto tables = randomInstance(task.n_vars, rng);
-    Snark<Fr> snark(task.n_vars, task.seed, opt_.column_openings);
     exec::ExecContext exec(
         exec::ExecConfig{.threads = opt_.threads});
-    snark.setExec(&exec);
     ProveStageHook hook;
     if (crash)
         hook = [&](ProveStage stage) {
             return crash(task.task_id, stage);
         };
+    crashed = false;
+    if (task.kind == sched::ProtocolKind::HighDegreeGate) {
+        auto tables = highDegreeInstance<Fr>(task.n_vars, rng);
+        HighDegreeSnark<Fr> snark(task.n_vars, task.seed,
+                                  opt_.column_openings);
+        snark.setExec(&exec);
+        auto proof = snark.proveInterruptible(tables, {}, hook);
+        crashed = !proof.has_value();
+        if (crashed)
+            return {};
+        HighDegreeSnark<Fr> verifier(task.n_vars, task.seed,
+                                     opt_.column_openings);
+        if (!verifier.verify(*proof, {}))
+            panic("DurableProofService: task %llu produced an invalid "
+                  "high-degree proof",
+                  static_cast<unsigned long long>(task.task_id));
+        return serializeHighDegreeProof(*proof);
+    }
+    auto tables = randomInstance(task.n_vars, rng);
+    Snark<Fr> snark(task.n_vars, task.seed, opt_.column_openings);
+    snark.setExec(&exec);
     auto proof = snark.proveInterruptible(tables, {}, hook);
     crashed = !proof.has_value();
-    return crashed ? SnarkProof<Fr>{} : std::move(*proof);
+    if (crashed)
+        return {};
+    Snark<Fr> verifier(task.n_vars, task.seed, opt_.column_openings);
+    if (!verifier.verify(*proof, {}))
+        panic("DurableProofService: task %llu produced an invalid "
+              "proof",
+              static_cast<unsigned long long>(task.task_id));
+    return serializeProof(*proof);
 }
 
 size_t
@@ -133,32 +159,35 @@ DurableProofService::processAll(const CrashHook &crash)
     std::vector<uint64_t> done;
     for (const auto &task : pending_) {
         bool crashed = false;
-        SnarkProof<Fr> proof = proveTask(task, crash, crashed);
+        std::vector<uint8_t> proof_bytes =
+            proveTask(task, crash, crashed);
         if (crashed)
             break; // power cut: nothing below is journaled
-
-        Snark<Fr> verifier(task.n_vars, task.seed,
-                           opt_.column_openings);
-        if (!verifier.verify(proof, {}))
-            panic("DurableProofService: task %llu produced an invalid "
-                  "proof",
-                  static_cast<unsigned long long>(task.task_id));
 
         journal::CompletionRecord completion;
         completion.task_id = task.task_id;
         completion.n_vars = task.n_vars;
         completion.seed = task.seed;
-        completion.proof = serializeProof(proof);
+        completion.proof = std::move(proof_bytes);
         // Completion is durable before the proof counts as done.
         journal_->append(completion);
         proofs_[task.task_id] = std::move(completion);
         done.push_back(task.task_id);
         ++completed;
-        if (metrics_)
+        if (metrics_) {
             metrics_
                 ->counter("bzk_journal_proofs_completed_total",
                           "proofs completed and journaled")
                 .add(1.0);
+            metrics_
+                ->counter(
+                    "bzk_journal_proofs_completed_" +
+                        std::string(
+                            sched::protocolKindMetricName(task.kind)) +
+                        "_total",
+                    "proofs completed and journaled, by protocol kind")
+                .add(1.0);
+        }
     }
 
     pending_.erase(
@@ -179,12 +208,13 @@ DurableProofService::scheduleAccounting()
     std::vector<sched::ProofTask> tasks;
     tasks.reserve(pending_.size());
     for (const auto &t : pending_)
-        tasks.push_back(makeProofTask(t.n_vars, t.seed, t.task_id,
-                                      t.priority));
+        tasks.push_back(makeProofTask(t.kind, t.n_vars, t.seed,
+                                      t.task_id, t.priority));
     sched::SchedulerOptions sched_opt;
     sched_opt.seed = opt_.seed;
     sched_opt.overlap_transfers = opt_.overlap_transfers;
     sched_opt.dynamic_loading = opt_.dynamic_loading;
+    sched_opt.lane_policy = opt_.lane_policy;
     sched::PipelineScheduler scheduler(dev_, sched_opt);
     scheduler.setObservability(metrics_, nullptr);
     return scheduler.run(std::move(tasks));
@@ -199,6 +229,20 @@ DurableProofService::verifyAll() const
         // service and the CLI journal this way. Nothing to re-check.
         if (completion.proof.empty())
             continue;
+        // Completion records predate protocol kinds; the proof's own
+        // leading tag byte says which verifier replays it.
+        if (completion.proof[0] == detail::kHighDegreeProofTag) {
+            auto proof =
+                deserializeHighDegreeProof<Fr>(completion.proof);
+            if (!proof)
+                return false;
+            HighDegreeSnark<Fr> verifier(completion.n_vars,
+                                         completion.seed,
+                                         opt_.column_openings);
+            if (!verifier.verify(*proof, {}))
+                return false;
+            continue;
+        }
         auto proof = deserializeProof<Fr>(completion.proof);
         if (!proof)
             return false;

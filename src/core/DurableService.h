@@ -54,6 +54,8 @@ struct DurableTaskSpec
     uint64_t seed = 2024;
     /** Scheduling priority (higher admits first). */
     int priority = 0;
+    /** Proving protocol to run (journaled with the task). */
+    sched::ProtocolKind kind = sched::ProtocolKind::TableCommit;
 };
 
 /** What construction-time recovery found and did. */
@@ -147,8 +149,14 @@ class DurableProofService
     journal::Journal &journal() { return *journal_; }
 
   private:
-    SnarkProof<Fr> proveTask(const journal::TaskRecord &task,
-                             const CrashHook &crash, bool &crashed);
+    /**
+     * Prove one journaled task with its protocol's prover and return
+     * the serialized proof bytes (empty with @p crashed set when the
+     * crash hook cut processing short). Dispatch is on the record's
+     * kind; both provers share the ProveStage hook seams.
+     */
+    std::vector<uint8_t> proveTask(const journal::TaskRecord &task,
+                                   const CrashHook &crash, bool &crashed);
 
     gpusim::Device &dev_;
     SystemOptions opt_;

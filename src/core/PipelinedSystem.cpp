@@ -100,6 +100,39 @@ systemWorkModel(unsigned n_vars, uint64_t seed)
     return model;
 }
 
+SystemWorkModel
+highDegreeWorkModel(unsigned n_vars, uint64_t seed)
+{
+    // Same commitments and transfer budgets as the table-commit
+    // protocol: three tables through the same encoder and Merkle
+    // modules, same streamed bytes and device residency.
+    SystemWorkModel model = systemWorkModel(n_vars, seed);
+    double n_entries = static_cast<double>(size_t{1} << n_vars);
+
+    // Degree-6 gate sum-check: each pair evaluates eq * (a^4 b - c) at
+    // 7 points per round (t=0,1 from the half-tables, 5 interior points
+    // via affine folds, a^4 via two squarings) plus the end-of-round
+    // folds of four tables — ~56 muls and ~70 adds per pair against
+    // the cubic prover's 12 and 30. PCS row combinations are unchanged.
+    double per_pair = 56.0 * gpusim::kFieldMulCycles +
+                      70.0 * gpusim::kFieldAddCycles +
+                      3.0 * gpusim::kGlobalAccessCycles;
+    double combos = 6.0 * n_entries *
+                    (gpusim::kFieldMulCycles + gpusim::kFieldAddCycles);
+    model.sumcheck_cycles = n_entries * per_pair + combos;
+    model.sumcheck_stages = n_vars + 2;
+    return model;
+}
+
+SystemWorkModel
+protocolWorkModel(sched::ProtocolKind kind, unsigned n_vars,
+                  uint64_t seed)
+{
+    if (kind == sched::ProtocolKind::HighDegreeGate)
+        return highDegreeWorkModel(n_vars, seed);
+    return systemWorkModel(n_vars, seed);
+}
+
 sched::StageGraph
 systemStageGraph(const SystemWorkModel &model)
 {
@@ -125,11 +158,20 @@ systemStageGraph(const SystemWorkModel &model)
 sched::ProofTask
 makeProofTask(unsigned n_vars, uint64_t seed, uint64_t id, int priority)
 {
+    return makeProofTask(sched::ProtocolKind::TableCommit, n_vars, seed,
+                         id, priority);
+}
+
+sched::ProofTask
+makeProofTask(sched::ProtocolKind kind, unsigned n_vars, uint64_t seed,
+              uint64_t id, int priority)
+{
     sched::ProofTask task;
     task.id = id;
     task.n_vars = n_vars;
     task.priority = priority;
-    task.graph = systemStageGraph(systemWorkModel(n_vars, seed));
+    task.kind = kind;
+    task.graph = systemStageGraph(protocolWorkModel(kind, n_vars, seed));
     return task;
 }
 
@@ -275,23 +317,38 @@ PipelinedZkpSystem::simulate(std::vector<sched::ProofTask> tasks,
 
     // Static lane partition proportional to module cost (Sec. 4's
     // "35 : 12 : 113" method, derived from the stage graph itself).
+    // Non-proportional policies report their global kind partition
+    // instead, so the lanes_* columns show the split actually applied.
     sched::LaneAllocator allocator(cores);
-    std::vector<double> split = allocator.proportionalSplit(*ref);
-    const auto &stages = ref->stages();
-    for (size_t i = 0; i < stages.size(); ++i) {
-        switch (stages[i].kind) {
-          case sched::StageKind::Encoder:
-            result.lanes_encoder = split[i];
-            break;
-          case sched::StageKind::Merkle:
-            result.lanes_merkle = split[i];
-            break;
-          case sched::StageKind::Sumcheck:
-            result.lanes_sumcheck = split[i];
-            break;
-          case sched::StageKind::FiatShamir:
-            break;
+    if (opt_.lane_policy == sched::LanePolicy::Proportional) {
+        std::vector<double> split = allocator.proportionalSplit(*ref);
+        const auto &stages = ref->stages();
+        for (size_t i = 0; i < stages.size(); ++i) {
+            switch (stages[i].kind) {
+              case sched::StageKind::Encoder:
+                result.lanes_encoder = split[i];
+                break;
+              case sched::StageKind::Merkle:
+                result.lanes_merkle = split[i];
+                break;
+              case sched::StageKind::Sumcheck:
+                result.lanes_sumcheck = split[i];
+                break;
+              case sched::StageKind::FiatShamir:
+                break;
+            }
         }
+    } else {
+        sched::StageKindCosts kind_lanes = allocator.kindSplit(
+            opt_.lane_policy == sched::LanePolicy::FixedRatio
+                ? sched::LaneAllocator::paperRatioWeights()
+                : sched::LaneAllocator::measuredKindCosts(tasks));
+        result.lanes_encoder =
+            kind_lanes[static_cast<size_t>(sched::StageKind::Encoder)];
+        result.lanes_merkle =
+            kind_lanes[static_cast<size_t>(sched::StageKind::Merkle)];
+        result.lanes_sumcheck =
+            kind_lanes[static_cast<size_t>(sched::StageKind::Sumcheck)];
     }
 
     double cycle_cycles = total / cores;
@@ -305,6 +362,7 @@ PipelinedZkpSystem::simulate(std::vector<sched::ProofTask> tasks,
     sched_opt.seed = opt_.seed;
     sched_opt.overlap_transfers = opt_.overlap_transfers;
     sched_opt.dynamic_loading = opt_.dynamic_loading;
+    sched_opt.lane_policy = opt_.lane_policy;
     sched::PipelineScheduler scheduler(dev_, sched_opt);
     scheduler.setObservability(metrics_, trace_);
     sched::SchedulerResult sr = scheduler.run(std::move(tasks));

@@ -63,6 +63,12 @@ struct SystemOptions
      * device up front, as the intuitive designs do.
      */
     bool dynamic_loading = true;
+    /**
+     * Lane-partition policy across module groups (see
+     * sched::LanePolicy). Proportional is the legacy default and
+     * keeps simulated schedules bit-identical with older builds.
+     */
+    sched::LanePolicy lane_policy = sched::LanePolicy::Proportional;
 };
 
 /** Result of a batch system run. */
@@ -139,6 +145,19 @@ struct SystemWorkModel
 SystemWorkModel systemWorkModel(unsigned n_vars, uint64_t seed);
 
 /**
+ * Work model for the HighDegreeGate protocol: the commitments (encoder
+ * and Merkle modules) and transfer budgets match systemWorkModel, but
+ * the degree-6 gate sum-check's 7-point round evaluations make the
+ * sum-check module ~4x costlier — the HyperPlonk-style cost mix the
+ * measured-cost lane policy is built for.
+ */
+SystemWorkModel highDegreeWorkModel(unsigned n_vars, uint64_t seed);
+
+/** Work model for @p kind (dispatches to the two models above). */
+SystemWorkModel protocolWorkModel(sched::ProtocolKind kind,
+                                  unsigned n_vars, uint64_t seed);
+
+/**
  * Lower @p model into the scheduler's stage graph: encoder, Merkle,
  * Fiat-Shamir and sum-check as first-class stages with lane-cycle
  * costs, transfer byte budgets, and the Merkle host-staging buffer.
@@ -150,6 +169,11 @@ sched::StageGraph systemStageGraph(const SystemWorkModel &model);
 /** Build one schedulable proof task for tables of 2^n_vars rows. */
 sched::ProofTask makeProofTask(unsigned n_vars, uint64_t seed,
                                uint64_t id = 0, int priority = 0);
+
+/** Build one schedulable proof task of the given protocol kind. */
+sched::ProofTask makeProofTask(sched::ProtocolKind kind, unsigned n_vars,
+                               uint64_t seed, uint64_t id = 0,
+                               int priority = 0);
 
 /** The paper's system: batch proof generation on the simulated GPU. */
 class PipelinedZkpSystem

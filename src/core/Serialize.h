@@ -20,6 +20,7 @@
 
 #include "core/Bytes.h"
 #include "core/FullSnark.h"
+#include "core/HighDegreeSnark.h"
 #include "core/Snark.h"
 #include "gkr/Gkr.h"
 
@@ -30,6 +31,7 @@ namespace detail {
 constexpr uint8_t kSnarkProofTag = 0x01;
 constexpr uint8_t kFullSnarkProofTag = 0x02;
 constexpr uint8_t kGkrProofTag = 0x03;
+constexpr uint8_t kHighDegreeProofTag = 0x04;
 /** Caps for hostile length prefixes. */
 constexpr size_t kMaxRounds = 64;
 constexpr size_t kMaxRowLen = size_t{1} << 24;
@@ -161,6 +163,56 @@ deserializeProof(std::span<const uint8_t> bytes)
     proof.commit_c.root = r.digest();
     proof.commit_c.n_vars = r.u8();
     proof.constraint_sc = detail::readRounds<F>(r);
+    proof.va = r.field<F>();
+    proof.vb = r.field<F>();
+    proof.vc = r.field<F>();
+    proof.open_a = detail::readEvalProof<F>(r);
+    proof.open_b = detail::readEvalProof<F>(r);
+    proof.open_c = detail::readEvalProof<F>(r);
+    if (!r.ok() || r.remaining() != 0)
+        return std::nullopt;
+    return proof;
+}
+
+/** Encode a high-degree gate proof (SnarkProof layout, own tag). */
+template <typename F>
+std::vector<uint8_t>
+serializeHighDegreeProof(const HighDegreeProof<F> &proof)
+{
+    ByteWriter w;
+    w.u8(detail::kHighDegreeProofTag);
+    w.digest(proof.commit_a.root);
+    w.u8(static_cast<uint8_t>(proof.commit_a.n_vars));
+    w.digest(proof.commit_b.root);
+    w.u8(static_cast<uint8_t>(proof.commit_b.n_vars));
+    w.digest(proof.commit_c.root);
+    w.u8(static_cast<uint8_t>(proof.commit_c.n_vars));
+    detail::writeRounds(w, proof.gate_sc);
+    w.field(proof.va);
+    w.field(proof.vb);
+    w.field(proof.vc);
+    detail::writeEvalProof(w, proof.open_a);
+    detail::writeEvalProof(w, proof.open_b);
+    detail::writeEvalProof(w, proof.open_c);
+    return w.take();
+}
+
+/** Decode a high-degree gate proof; nullopt when malformed. */
+template <typename F>
+std::optional<HighDegreeProof<F>>
+deserializeHighDegreeProof(std::span<const uint8_t> bytes)
+{
+    ByteReader r(bytes);
+    if (r.u8() != detail::kHighDegreeProofTag)
+        return std::nullopt;
+    HighDegreeProof<F> proof;
+    proof.commit_a.root = r.digest();
+    proof.commit_a.n_vars = r.u8();
+    proof.commit_b.root = r.digest();
+    proof.commit_b.n_vars = r.u8();
+    proof.commit_c.root = r.digest();
+    proof.commit_c.n_vars = r.u8();
+    proof.gate_sc = detail::readRounds<F>(r);
     proof.va = r.field<F>();
     proof.vb = r.field<F>();
     proof.vc = r.field<F>();

@@ -23,8 +23,8 @@ StreamingZkpService::run(const StreamingOptions &workload, Rng &rng) const
     // over the same stage graph the batch system runs: one task enters
     // per cycle, bounded by the slower of compute and (overlapped)
     // transfer.
-    sched::StageGraph graph = systemStageGraph(
-        systemWorkModel(workload.n_vars, workload.seed));
+    sched::StageGraph graph = systemStageGraph(protocolWorkModel(
+        workload.kind, workload.n_vars, workload.seed));
     sched::CycleModel cycle_model(graph, dev_,
                                   system_opt_.overlap_transfers);
     double cycle_ms = cycle_model.cycleMs();
@@ -94,6 +94,7 @@ StreamingZkpService::run(const StreamingOptions &workload, Rng &rng) const
                 task.task_id = result.completed;
                 task.n_vars = workload.n_vars;
                 task.seed = workload.seed;
+                task.kind = workload.kind;
                 journal_->append(task);
             }
             double completion =

@@ -39,6 +39,8 @@ struct StreamingOptions
     unsigned n_vars = 18;
     /** Public encoder seed. */
     uint64_t seed = 2024;
+    /** Proving protocol the stream's requests run. */
+    sched::ProtocolKind kind = sched::ProtocolKind::TableCommit;
 
     /// @name Admission-queue robustness (defaults preserve the
     /// unguarded open-loop behavior bit for bit)

@@ -62,31 +62,78 @@ decodeSegmentHeader(std::span<const uint8_t> bytes)
     return SegmentHeader{index};
 }
 
+const char *
+recordDecodeErrorName(RecordDecodeError error)
+{
+    switch (error) {
+      case RecordDecodeError::Ok:
+        return "ok";
+      case RecordDecodeError::Malformed:
+        return "malformed";
+      case RecordDecodeError::BadType:
+        return "bad-type";
+      case RecordDecodeError::BadVersion:
+        return "bad-version";
+      case RecordDecodeError::UnknownKind:
+        return "unknown-kind";
+    }
+    return "unknown";
+}
+
 std::vector<uint8_t>
 encodeTaskRecord(const TaskRecord &record)
 {
     ByteWriter w;
     w.u8(static_cast<uint8_t>(RecordType::Task));
-    w.u8(kJournalVersion);
+    w.u8(kTaskRecordVersion);
     w.u64(record.task_id);
     w.u32(record.n_vars);
     w.u32(static_cast<uint32_t>(record.priority));
     w.u64(record.seed);
+    w.u8(static_cast<uint8_t>(record.kind));
     return w.take();
 }
 
-std::optional<TaskRecord>
-decodeTaskRecord(std::span<const uint8_t> body)
+RecordDecodeError
+decodeTaskRecordChecked(std::span<const uint8_t> body, TaskRecord *out)
 {
     ByteReader r(body);
-    if (!readBodyHeader(r, RecordType::Task))
-        return std::nullopt;
+    uint8_t type = r.u8();
+    uint8_t version = r.u8();
+    if (!r.ok())
+        return RecordDecodeError::Malformed;
+    if (type != static_cast<uint8_t>(RecordType::Task))
+        return RecordDecodeError::BadType;
+    if (version < 1 || version > kTaskRecordVersion)
+        return RecordDecodeError::BadVersion;
     TaskRecord record;
     record.task_id = r.u64();
     record.n_vars = r.u32();
     record.priority = static_cast<int32_t>(r.u32());
     record.seed = r.u64();
+    if (version >= 2) {
+        uint8_t kind_byte = r.u8();
+        if (!r.ok() || r.remaining() != 0)
+            return RecordDecodeError::Malformed;
+        auto kind = sched::protocolKindFromByte(kind_byte);
+        if (!kind)
+            return RecordDecodeError::UnknownKind;
+        record.kind = *kind;
+    } else {
+        // v1 bodies predate protocol kinds: legacy workload.
+        record.kind = sched::ProtocolKind::TableCommit;
+    }
     if (!r.ok() || r.remaining() != 0)
+        return RecordDecodeError::Malformed;
+    *out = record;
+    return RecordDecodeError::Ok;
+}
+
+std::optional<TaskRecord>
+decodeTaskRecord(std::span<const uint8_t> body)
+{
+    TaskRecord record;
+    if (decodeTaskRecordChecked(body, &record) != RecordDecodeError::Ok)
         return std::nullopt;
     return record;
 }

@@ -31,10 +31,19 @@
 #include <span>
 #include <vector>
 
+#include "sched/ProtocolKind.h"
+
 namespace bzk::journal {
 
-/** Format version written into every record body (and the header). */
+/** Segment-header and completion-record format version. */
 constexpr uint8_t kJournalVersion = 1;
+
+/**
+ * Task-record body version. Version 2 appends the protocol-kind byte;
+ * version-1 bodies (written before protocol kinds existed) decode as
+ * ProtocolKind::TableCommit, so pre-existing journals replay cleanly.
+ */
+constexpr uint8_t kTaskRecordVersion = 2;
 
 /** Segment header size on disk, bytes. */
 constexpr size_t kSegmentHeaderBytes = 17;
@@ -73,9 +82,27 @@ struct TaskRecord
     int32_t priority = 0;
     /** Public encoder seed; with task_id it pins the instance. */
     uint64_t seed = 0;
+    /** Proving protocol the task runs (v2 field; v1 = TableCommit). */
+    sched::ProtocolKind kind = sched::ProtocolKind::TableCommit;
 
     bool operator==(const TaskRecord &o) const = default;
 };
+
+/** Why a task-record body failed to decode (Ok when it did not). */
+enum class RecordDecodeError : uint8_t {
+    Ok = 0,
+    /** Truncated, oversized, or CRC-passing-but-misshapen body. */
+    Malformed,
+    /** The body's type byte is not RecordType::Task. */
+    BadType,
+    /** A task-record version this build does not understand. */
+    BadVersion,
+    /** A v2 record carrying a protocol kind this build lacks. */
+    UnknownKind,
+};
+
+/** Stable display name for a decode error. */
+const char *recordDecodeErrorName(RecordDecodeError error);
 
 /** A completed proof for a journaled task. */
 struct CompletionRecord
@@ -109,6 +136,15 @@ std::vector<uint8_t> encodeTaskRecord(const TaskRecord &record);
 /** Decode a task record body; nullopt on bad type/version/shape. */
 std::optional<TaskRecord>
 decodeTaskRecord(std::span<const uint8_t> body);
+
+/**
+ * Decode a task record body with a typed error. Accepts version-1
+ * bodies (decoded with kind = TableCommit) and version-2 bodies (kind
+ * byte validated against the kinds this build knows). On any error the
+ * output record is untouched.
+ */
+RecordDecodeError
+decodeTaskRecordChecked(std::span<const uint8_t> body, TaskRecord *out);
 
 /** Encode a completion record body. */
 std::vector<uint8_t>

@@ -15,6 +15,7 @@ SyncClient::connect(uint16_t port, uint64_t tenant, int attempts,
     close();
     decoder_ = FrameDecoder();
     last_error_.reset();
+    version_ = kMinWireVersion;
     for (int i = 0; i < attempts && !fd_.valid(); ++i) {
         fd_ = connectTcp(port);
         if (!fd_.valid())
@@ -35,8 +36,10 @@ SyncClient::connect(uint16_t port, uint64_t tenant, int attempts,
         return false;
     }
     if (auto *ack = std::get_if<HelloAck>(&*reply);
-        ack && ack->version == kWireVersion) {
+        ack && ack->version >= kMinWireVersion &&
+        ack->version <= kWireVersion) {
         ack_ = *ack;
+        version_ = ack->version;
         return true;
     }
     close();
@@ -48,7 +51,7 @@ SyncClient::send(const Message &msg)
 {
     if (!fd_.valid())
         return false;
-    std::vector<uint8_t> frame = encodeFrame(msg);
+    std::vector<uint8_t> frame = encodeFrame(msg, version_);
     size_t sent = 0;
     while (sent < frame.size()) {
         ptrdiff_t n = sendSome(
@@ -111,6 +114,11 @@ SyncClient::receive(double timeout_ms)
 std::optional<Result>
 SyncClient::roundTrip(const Submit &task, double timeout_ms)
 {
+    // A v1 connection cannot carry a protocol kind; refuse up front
+    // rather than hitting the encoder's caller-error panic.
+    if (task.kind != sched::ProtocolKind::TableCommit &&
+        version_ < 2)
+        return std::nullopt;
     if (!send(Message{task}))
         return std::nullopt;
     auto deadline = std::chrono::steady_clock::now() +

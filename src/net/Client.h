@@ -37,7 +37,15 @@ class SyncClient
     /** The server's handshake reply (valid while connected()). */
     const HelloAck &ack() const { return ack_; }
 
-    /** Encode and send one message. False on a dead socket. */
+    /**
+     * Wire version negotiated by the handshake. Before the handshake it
+     * is the oldest supported version, so the Hello itself is readable
+     * by any server.
+     */
+    uint8_t version() const { return version_; }
+
+    /** Encode and send one message at the negotiated version. False on
+     *  a dead socket. */
     bool send(const Message &msg);
 
     /**
@@ -64,6 +72,7 @@ class SyncClient
     Fd fd_;
     FrameDecoder decoder_;
     HelloAck ack_;
+    uint8_t version_ = kMinWireVersion;
     std::optional<WireError> last_error_;
 };
 

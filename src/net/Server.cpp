@@ -61,6 +61,13 @@ struct Connection
     Fd fd;
     State state = State::AwaitHello;
     uint64_t tenant = 0;
+    /**
+     * Wire version negotiated by the Hello handshake; every frame the
+     * server sends on this connection is encoded at it. Until the
+     * handshake completes it stays at the oldest version, so a
+     * pre-handshake ProtoError is parseable by any peer.
+     */
+    uint8_t version = kMinWireVersion;
     FrameDecoder decoder;
     std::vector<uint8_t> out;
     size_t out_pos = 0;
@@ -449,17 +456,21 @@ ProofServer::Impl::onMessage(uint64_t cid, Message &&msg, double now)
     Connection &c = it->second;
     if (c.state != Connection::State::Open) {
         if (auto *hello = std::get_if<Hello>(&msg)) {
-            if (hello->min_version > kWireVersion ||
-                hello->max_version < kWireVersion) {
+            // Speak the newest version both sides support.
+            uint8_t negotiated =
+                std::min(hello->max_version, kWireVersion);
+            if (negotiated < hello->min_version ||
+                negotiated < kMinWireVersion) {
                 bump([](ServerStats &st) { ++st.protocol_errors; });
                 protoFail(cid, ErrorCode::UnsupportedVersion,
-                          "server speaks wire version 1 only");
+                          "no wire version in common");
                 return;
             }
             c.tenant = hello->tenant;
             c.state = Connection::State::Open;
+            c.version = negotiated;
             HelloAck ack;
-            ack.version = kWireVersion;
+            ack.version = negotiated;
             ack.window = static_cast<uint32_t>(window);
             ack.max_frame = kMaxFrameBytes;
             sendMsg(cid, Message{ack});
@@ -493,8 +504,14 @@ ProofServer::Impl::onSubmit(uint64_t cid, const Submit &submit,
         return;
     Connection &c = it->second;
     count("bzk_net_submits_total", "tasks submitted");
+    count(("bzk_net_submits_" +
+           std::string(sched::protocolKindMetricName(submit.kind)) +
+           "_total")
+              .c_str(),
+          "tasks submitted, by protocol kind");
     bump([&](ServerStats &st) {
         ++st.submits;
+        ++st.submits_by_kind[static_cast<size_t>(submit.kind)];
         ++st.tenants[c.tenant].submits;
     });
 
@@ -649,7 +666,7 @@ ProofServer::Impl::sendMsg(uint64_t cid, const Message &msg)
     if (it == conns.end())
         return;
     Connection &c = it->second;
-    std::vector<uint8_t> frame = encodeFrame(msg);
+    std::vector<uint8_t> frame = encodeFrame(msg, c.version);
     if (c.out.size() - c.out_pos + frame.size() > kMaxConnBacklog) {
         // Slow consumer: closing is the only bounded-memory option.
         closeConn(cid);

@@ -27,6 +27,7 @@
  * as a mutex-guarded ServerStats snapshot for tests and benches.
  */
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -34,6 +35,7 @@
 
 #include "net/Executor.h"
 #include "obs/Metrics.h"
+#include "sched/ProtocolKind.h"
 
 namespace bzk::net {
 
@@ -84,6 +86,8 @@ struct ServerStats
     uint64_t bytes_rx = 0;
     uint64_t bytes_tx = 0;
     uint64_t submits = 0;
+    /** Submits broken down by proving protocol (ProtocolKind index). */
+    std::array<uint64_t, sched::kNumProtocolKinds> submits_by_kind{};
     uint64_t results_ok = 0;
     uint64_t retries = 0;
     uint64_t sheds = 0;

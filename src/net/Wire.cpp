@@ -1,9 +1,11 @@
 #include "net/Wire.h"
 
 #include <cstring>
+#include <type_traits>
 
 #include "core/Bytes.h"
 #include "journal/Crc32.h"
+#include "util/Log.h"
 
 namespace bzk::net {
 
@@ -31,12 +33,20 @@ writeBody(ByteWriter &w, const HelloAck &m)
 }
 
 void
-writeBody(ByteWriter &w, const Submit &m)
+writeBody(ByteWriter &w, const Submit &m, uint8_t version)
 {
     w.u8(static_cast<uint8_t>(MsgType::Submit));
     w.u64(m.task_id);
     w.u32(m.n_vars);
     w.u64(m.seed);
+    if (version >= 2) {
+        w.u8(static_cast<uint8_t>(m.kind));
+    } else if (m.kind != sched::ProtocolKind::TableCommit) {
+        // A v1 frame has nowhere to carry the kind; silently encoding
+        // it as the legacy protocol would prove the wrong statement.
+        panic("encodeFrame: Submit kind %s needs wire version >= 2",
+              sched::protocolKindName(m.kind));
+    }
 }
 
 void
@@ -87,12 +97,24 @@ readHelloAck(ByteReader &r)
 }
 
 std::variant<Message, WireError>
-readSubmit(ByteReader &r)
+readSubmit(ByteReader &r, uint8_t version)
 {
     Submit m;
     m.task_id = r.u64();
     m.n_vars = r.u32();
     m.seed = r.u64();
+    if (version >= 2) {
+        uint8_t kind_byte = r.u8();
+        if (!r.ok())
+            return WireError::Malformed;
+        auto kind = sched::protocolKindFromByte(kind_byte);
+        if (!kind)
+            return WireError::Malformed;
+        m.kind = *kind;
+    } else {
+        // v1 peers predate protocol kinds: legacy workload.
+        m.kind = sched::ProtocolKind::TableCommit;
+    }
     if (!r.ok() || r.remaining() != 0)
         return WireError::Malformed;
     return Message{m};
@@ -162,11 +184,19 @@ wireErrorName(WireError error)
 }
 
 std::vector<uint8_t>
-encodeFrame(const Message &msg)
+encodeFrame(const Message &msg, uint8_t version)
 {
     ByteWriter bw;
-    bw.u8(kWireVersion);
-    std::visit([&](const auto &m) { writeBody(bw, m); }, msg);
+    bw.u8(version);
+    std::visit(
+        [&](const auto &m) {
+            using T = std::decay_t<decltype(m)>;
+            if constexpr (std::is_same_v<T, Submit>)
+                writeBody(bw, m, version);
+            else
+                writeBody(bw, m);
+        },
+        msg);
     std::vector<uint8_t> body = bw.take();
 
     ByteWriter fw;
@@ -185,7 +215,7 @@ decodeBody(std::span<const uint8_t> body)
     uint8_t type = r.u8();
     if (!r.ok())
         return WireError::Malformed;
-    if (version != kWireVersion)
+    if (version < kMinWireVersion || version > kWireVersion)
         return WireError::BadVersion;
     switch (static_cast<MsgType>(type)) {
       case MsgType::Hello:
@@ -193,7 +223,7 @@ decodeBody(std::span<const uint8_t> body)
       case MsgType::HelloAck:
         return readHelloAck(r);
       case MsgType::Submit:
-        return readSubmit(r);
+        return readSubmit(r, version);
       case MsgType::Result:
         return readResult(r);
       case MsgType::ProtoError:

@@ -35,10 +35,18 @@
 #include <variant>
 #include <vector>
 
+#include "sched/ProtocolKind.h"
+
 namespace bzk::net {
 
-/** Wire protocol version this build speaks. */
-constexpr uint8_t kWireVersion = 1;
+/**
+ * Newest wire protocol version this build speaks. Version 2 adds the
+ * protocol-kind byte to Submit; every other message is unchanged.
+ */
+constexpr uint8_t kWireVersion = 2;
+
+/** Oldest wire version this build still accepts (v1 peers work). */
+constexpr uint8_t kMinWireVersion = 1;
 
 /** Frame magic, on the wire as the bytes 'B' 'Z' 'K' 'N'. */
 constexpr uint8_t kFrameMagic[4] = {'B', 'Z', 'K', 'N'};
@@ -90,7 +98,7 @@ enum class ErrorCode : uint8_t {
 /** Client handshake: supported version range + tenant identity. */
 struct Hello
 {
-    uint8_t min_version = kWireVersion;
+    uint8_t min_version = kMinWireVersion;
     uint8_t max_version = kWireVersion;
     /** Tenant the connection submits under (rate-limit key). */
     uint64_t tenant = 0;
@@ -120,6 +128,12 @@ struct Submit
     uint32_t n_vars = 10;
     /** Public encoder seed. */
     uint64_t seed = 2024;
+    /**
+     * Proving protocol to run (wire v2 field). v1 frames cannot carry
+     * it: a v1 Submit decodes as TableCommit, and encoding a
+     * HighDegreeGate Submit at v1 is a caller error.
+     */
+    sched::ProtocolKind kind = sched::ProtocolKind::TableCommit;
 
     bool operator==(const Submit &o) const = default;
 };
@@ -169,8 +183,14 @@ enum class WireError : uint8_t {
 /** Stable name for logs and tests ("bad_crc", ...). */
 const char *wireErrorName(WireError error);
 
-/** Encode @p msg as one complete frame (header + body). */
-std::vector<uint8_t> encodeFrame(const Message &msg);
+/**
+ * Encode @p msg as one complete frame (header + body) at @p version.
+ * Handshake messages travel at the oldest version so any peer can
+ * parse them; everything after the handshake travels at the
+ * connection's negotiated version.
+ */
+std::vector<uint8_t> encodeFrame(const Message &msg,
+                                 uint8_t version = kWireVersion);
 
 /**
  * Decode one frame body (version byte onward). The frame layer must

@@ -14,16 +14,26 @@
  *    rounds, Merkle layers);
  *  - survivorFraction(): graceful-degradation re-allocation — the lane
  *    fraction left after failures, floored so the pipeline keeps
- *    draining (the same work re-scaled onto the survivors).
+ *    draining (the same work re-scaled onto the survivors);
+ *  - kindSplit() / measuredKindCosts() / paperRatioWeights(): global
+ *    per-module-group partitions for heterogeneous-protocol batches,
+ *    derived either from the paper's hard-coded 35:12:113 ratio or
+ *    from amortized per-stage costs measured over the whole batch.
  */
 
 #include <algorithm>
+#include <array>
 #include <cstddef>
+#include <span>
 #include <vector>
 
+#include "sched/ProofTask.h"
 #include "sched/StageGraph.h"
 
 namespace bzk::sched {
+
+/** Lane-cycles (or lane weight) per StageKind, indexed by kind. */
+using StageKindCosts = std::array<double, kNumStageKinds>;
 
 /** Static lane-partition policies over a fixed lane budget. */
 class LaneAllocator
@@ -43,6 +53,42 @@ class LaneAllocator
      * twice the lanes of stage i+1, normalized to sum to the budget.
      */
     std::vector<double> halvingSplit(size_t rounds) const;
+
+    /**
+     * Lanes per StageKind, proportional to @p weights and summing to
+     * the budget. Kinds with zero weight get zero lanes. This is the
+     * global (whole-batch) analogue of proportionalSplit: one lane
+     * partition shared by every task class in a heterogeneous batch.
+     */
+    StageKindCosts kindSplit(const StageKindCosts &weights) const;
+
+    /**
+     * The paper's hard-coded module-group ratio (Section 4.3):
+     * encoder : Merkle : sum-check = 35 : 12 : 113, with zero weight
+     * on the Fiat-Shamir group. Calibrated for the table-commitment
+     * workload only — the foil the measured-cost policy is pinned
+     * against.
+     */
+    static StageKindCosts paperRatioWeights();
+
+    /**
+     * Amortized per-StageKind lane-cycle costs summed over the whole
+     * batch — the measured-cost policy's input. Feeding the result to
+     * kindSplit() re-derives a near-optimal partition for whatever
+     * protocol mix the batch actually carries.
+     */
+    static StageKindCosts measuredKindCosts(std::span<const ProofTask> tasks);
+
+    /**
+     * Steady-state cycle length of one task of @p graph under a global
+     * kind->lanes partition: the most-contended costed stage paces the
+     * pipeline, max over stages of lane_cycles / kind_lanes. Stages
+     * whose kind received (almost) no lanes are priced as if one lane
+     * serviced them, so a mis-calibrated fixed ratio degrades instead
+     * of dividing by zero.
+     */
+    static double pacedCycleCycles(const StageGraph &graph,
+                                   const StageKindCosts &kind_lanes);
 
     /** The lane budget this allocator partitions. */
     double

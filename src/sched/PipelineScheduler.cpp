@@ -64,6 +64,7 @@ struct TaskClass
     uint64_t h2d_bytes = 0;
     uint64_t d2h_bytes = 0;
     uint64_t device_bytes = 0;
+    ProtocolKind kind = ProtocolKind::TableCommit;
     /** Static share of the lane budget per in-flight task. */
     double per_stage_lanes = 0.0;
     /** Cycle duration contribution, lane-cycles per lane. */
@@ -83,6 +84,20 @@ struct InFlight
 };
 
 } // namespace
+
+const char *
+lanePolicyName(LanePolicy policy)
+{
+    switch (policy) {
+      case LanePolicy::Proportional:
+        return "proportional";
+      case LanePolicy::FixedRatio:
+        return "fixed-ratio";
+      case LanePolicy::MeasuredCost:
+        return "measured-cost";
+    }
+    return "unknown";
+}
 
 PipelineScheduler::PipelineScheduler(gpusim::Device &dev,
                                      SchedulerOptions opt)
@@ -105,6 +120,18 @@ PipelineScheduler::run(std::vector<ProofTask> tasks)
 
     double cores = dev_.spec().cuda_cores;
 
+    // Non-proportional policies share one global kind->lanes partition
+    // across every class: either the paper's hard-coded ratio or a
+    // split re-derived from the batch's amortized per-stage costs.
+    StageKindCosts kind_lanes{};
+    if (opt_.lane_policy != LanePolicy::Proportional) {
+        LaneAllocator alloc(cores);
+        kind_lanes = alloc.kindSplit(
+            opt_.lane_policy == LanePolicy::FixedRatio
+                ? LaneAllocator::paperRatioWeights()
+                : LaneAllocator::measuredKindCosts(tasks));
+    }
+
     // Group tasks into shape classes so the per-cycle kernel costs are
     // assembled per class rather than per instance (and so a uniform
     // batch collapses to the single-shape arithmetic).
@@ -123,7 +150,8 @@ PipelineScheduler::run(std::vector<ProofTask> tasks)
                 classes[k].depth == depth &&
                 classes[k].h2d_bytes == h2d &&
                 classes[k].d2h_bytes == d2h &&
-                classes[k].device_bytes == dev_bytes) {
+                classes[k].device_bytes == dev_bytes &&
+                classes[k].kind == tasks[i].kind) {
                 cls = k;
                 break;
             }
@@ -135,8 +163,16 @@ PipelineScheduler::run(std::vector<ProofTask> tasks)
             tc.h2d_bytes = h2d;
             tc.d2h_bytes = d2h;
             tc.device_bytes = dev_bytes;
+            tc.kind = tasks[i].kind;
             tc.per_stage_lanes = cores / static_cast<double>(depth);
-            tc.cycle_cycles = total / cores;
+            // Under the proportional policy each class's own split makes
+            // the cycle pace exactly total / lanes; under a global
+            // partition the most-contended module group paces the class.
+            if (opt_.lane_policy == LanePolicy::Proportional)
+                tc.cycle_cycles = total / cores;
+            else
+                tc.cycle_cycles =
+                    LaneAllocator::pacedCycleCycles(g, kind_lanes);
             tc.traffic_bytes = static_cast<uint64_t>(total / 40.0);
             classes.push_back(tc);
         }
@@ -173,6 +209,7 @@ PipelineScheduler::run(std::vector<ProofTask> tasks)
     for (size_t i = 0; i < tasks.size(); ++i) {
         result.tasks[i].id = tasks[i].id;
         result.tasks[i].n_vars = tasks[i].n_vars;
+        result.tasks[i].kind = tasks[i].kind;
         result.tasks[i].work_cycles = classes[task_class[i]].total_cycles;
     }
 
@@ -236,7 +273,10 @@ PipelineScheduler::run(std::vector<ProofTask> tasks)
                 continue;
             active += tc.per_stage_lanes *
                       static_cast<double>(tc.in_flight);
-            if (!pace || tc.total_cycles > pace->total_cycles)
+            // Pace by the policy-derived cycle length; for the
+            // proportional policy this is total / cores, so the
+            // comparison is unchanged from the legacy total-cycles one.
+            if (!pace || tc.cycle_cycles > pace->cycle_cycles)
                 pace = &tc;
         }
         KernelDesc k;
@@ -340,6 +380,20 @@ PipelineScheduler::run(std::vector<ProofTask> tasks)
         for (const TaskStats &ts : result.tasks) {
             wait_hist.observe(static_cast<double>(ts.queue_wait_cycles));
             turnaround_hist.observe(ts.complete_ms);
+            metrics_
+                ->counter("bzk_sched_tasks_" +
+                              std::string(protocolKindMetricName(
+                                  ts.kind)) +
+                              "_total",
+                          "tasks scheduled, by protocol kind")
+                .add(1.0);
+            metrics_
+                ->counter("bzk_sched_work_cycles_" +
+                              std::string(protocolKindMetricName(
+                                  ts.kind)) +
+                              "_total",
+                          "lane-cycles scheduled, by protocol kind")
+                .add(ts.work_cycles);
         }
     }
 

@@ -46,6 +46,31 @@ class TraceRecorder;
 
 namespace bzk::sched {
 
+/**
+ * How the lane budget is partitioned across module groups.
+ *
+ * Proportional is the legacy per-class policy: each task class gets a
+ * partition proportional to its own stage costs, which makes the cycle
+ * pace exactly total_cycles / lanes (pinned bit-identical by the
+ * test_sched goldens). The other two policies compute one global
+ * kind->lanes partition for the whole batch, so the most-contended
+ * module group paces each class — the setting where a hard-coded ratio
+ * calibrated for one protocol loses to a measured split on a
+ * heterogeneous-protocol batch.
+ */
+enum class LanePolicy
+{
+    /** Per-class proportional split (legacy, bit-identical goldens). */
+    Proportional,
+    /** The paper's hard-coded 35:12:113 module-group ratio. */
+    FixedRatio,
+    /** Global split from amortized per-stage costs over the batch. */
+    MeasuredCost,
+};
+
+/** Stable display name ("proportional", "fixed-ratio", "measured-cost"). */
+const char *lanePolicyName(LanePolicy policy);
+
 /** Scheduler policy knobs (mirrors the system-level ablations). */
 struct SchedulerOptions
 {
@@ -55,6 +80,8 @@ struct SchedulerOptions
     bool overlap_transfers = true;
     /** Dynamic loading (one task's data resident per region). */
     bool dynamic_loading = true;
+    /** Lane-partition policy across module groups. */
+    LanePolicy lane_policy = LanePolicy::Proportional;
 };
 
 /** Aggregate outcome of one scheduler run. */

@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "sched/ProtocolKind.h"
 #include "sched/StageGraph.h"
 
 namespace bzk::sched {
@@ -25,6 +26,8 @@ struct ProofTask
     unsigned n_vars = 0;
     /** Higher priority is admitted first; ties keep submission order. */
     int priority = 0;
+    /** Which proving protocol the task runs (per-kind stage graph). */
+    ProtocolKind kind = ProtocolKind::TableCommit;
     /** The task's pipeline dataflow and cost model. */
     StageGraph graph;
 };
@@ -36,6 +39,8 @@ struct TaskStats
     uint64_t id = 0;
     /** ProofTask::n_vars of this task. */
     unsigned n_vars = 0;
+    /** ProofTask::kind of this task. */
+    ProtocolKind kind = ProtocolKind::TableCommit;
     /** Lane-cycles of work the task's graph carries. */
     double work_cycles = 0.0;
     /** Cycle index at which the task first entered the pipeline. */

@@ -28,6 +28,9 @@ enum class StageKind
     Sumcheck,
 };
 
+/** Number of stage kinds (for per-kind cost tables). */
+constexpr size_t kNumStageKinds = 4;
+
 /** Human-readable stage name (stable, used in traces and tables). */
 const char *stageKindName(StageKind kind);
 

@@ -59,6 +59,34 @@ matrixTasks()
     };
 }
 
+/** A batch mixing both protocol kinds, interleaved by id. */
+std::vector<DurableTaskSpec>
+mixedKindTasks()
+{
+    return {
+        {.id = 201,
+         .n_vars = 8,
+         .seed = 77,
+         .priority = 0,
+         .kind = sched::ProtocolKind::TableCommit},
+        {.id = 202,
+         .n_vars = 8,
+         .seed = 77,
+         .priority = 2,
+         .kind = sched::ProtocolKind::HighDegreeGate},
+        {.id = 203,
+         .n_vars = 9,
+         .seed = 77,
+         .priority = 0,
+         .kind = sched::ProtocolKind::HighDegreeGate},
+        {.id = 204,
+         .n_vars = 9,
+         .seed = 77,
+         .priority = 1,
+         .kind = sched::ProtocolKind::TableCommit},
+    };
+}
+
 constexpr ProveStage kStages[] = {ProveStage::Encode,
                                   ProveStage::Merkle,
                                   ProveStage::FiatShamir,
@@ -158,6 +186,64 @@ TEST(CrashMatrix, EveryStageOfEveryTaskRecoversBitIdentically)
                     .value(),
                 static_cast<double>(matrixTasks().size() -
                                     completed_before_crash));
+        }
+    }
+}
+
+TEST(CrashMatrix, MixedProtocolBatchRecoversBitIdentically)
+{
+    // Uninterrupted reference run over the heterogeneous batch.
+    std::map<uint64_t, std::vector<uint8_t>> baseline;
+    {
+        TempDir dir;
+        gpusim::Device dev(gpusim::DeviceSpec::gh200());
+        DurableProofService service(dev, {dir.path});
+        for (const auto &spec : mixedKindTasks())
+            ASSERT_TRUE(service.submit(spec));
+        ASSERT_EQ(service.processAll(), mixedKindTasks().size());
+        ASSERT_TRUE(service.verifyAll());
+        for (const auto &[id, completion] : service.proofs())
+            baseline[id] = completion.proof;
+    }
+    ASSERT_EQ(baseline.size(), mixedKindTasks().size());
+
+    // Kill each task of each kind at every stage boundary; replay must
+    // resubmit it with its journaled kind, so recovery re-proves the
+    // same protocol and the bytes match the uninterrupted run.
+    for (const auto &victim : mixedKindTasks()) {
+        for (ProveStage stage : kStages) {
+            SCOPED_TRACE(std::string("kill task ") +
+                         std::to_string(victim.id) + " (" +
+                         sched::protocolKindName(victim.kind) +
+                         ") at " + stageName(stage));
+            TempDir dir;
+            gpusim::Device dev(gpusim::DeviceSpec::gh200());
+            size_t completed_before_crash = 0;
+            {
+                DurableProofService service(dev, {dir.path});
+                for (const auto &spec : mixedKindTasks())
+                    ASSERT_TRUE(service.submit(spec));
+                completed_before_crash = service.processAll(
+                    [&](uint64_t task_id, ProveStage at) {
+                        return !(task_id == victim.id &&
+                                 at == stage);
+                    });
+                EXPECT_LT(completed_before_crash,
+                          mixedKindTasks().size());
+            }
+
+            DurableProofService restarted(dev, {dir.path});
+            EXPECT_EQ(restarted.recovery().tasks_resubmitted,
+                      mixedKindTasks().size() -
+                          completed_before_crash);
+            EXPECT_EQ(restarted.processAll(),
+                      mixedKindTasks().size() -
+                          completed_before_crash);
+            EXPECT_TRUE(restarted.verifyAll());
+            ASSERT_EQ(restarted.proofs().size(), baseline.size());
+            for (const auto &[id, completion] : restarted.proofs())
+                EXPECT_EQ(completion.proof, baseline.at(id))
+                    << "task " << id;
         }
     }
 }

@@ -15,6 +15,7 @@
 #include "gpusim/Device.h"
 #include "gpusim/FaultInjector.h"
 #include "merkle/MerkleTree.h"
+#include "net/Wire.h"
 #include "poly/Multilinear.h"
 #include "sumcheck/Sumcheck.h"
 
@@ -175,6 +176,18 @@ TEST(DeathTest, FaultPlanRejectsEmptySpec)
                 ::testing::ExitedWithCode(1), "fault plan");
 }
 
+TEST(DeathTest, WireV1CannotCarryHighDegreeSubmit)
+{
+    // A v1 frame has no kind byte: silently encoding a high-degree
+    // Submit would make the server prove the wrong protocol. The
+    // encoder refuses instead of downgrading.
+    net::Submit submit;
+    submit.kind = sched::ProtocolKind::HighDegreeGate;
+    EXPECT_DEATH(
+        { (void)net::encodeFrame(net::Message{submit}, 1); },
+        "wire version");
+}
+
 // Regression tests for the batchzk shell contract: unknown subcommands
 // and flags must be rejected with a diagnostic (the binary then exits
 // nonzero with usage), never fall through to a half-configured run.
@@ -256,6 +269,29 @@ TEST(CliParse, AcceptsEveryCommandAndFlag)
     EXPECT_EQ(args.gpu, "H100");
     EXPECT_EQ(args.seed, 7u);
     EXPECT_EQ(args.threads, 4u);
+}
+
+TEST(CliParse, RejectsUnknownKindAndLanePolicy)
+{
+    cli::Args args;
+    auto result =
+        parseArgv({"batchzk", "prove", "--kind", "plonk"}, args);
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.error,
+              "flag '--kind' needs table-commit, high-degree-gate, or "
+              "mixed, got 'plonk'");
+    result = parseArgv({"batchzk", "sched", "--lane-policy", "greedy"},
+                       args);
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.error,
+              "flag '--lane-policy' needs proportional, fixed-ratio, "
+              "or measured-cost, got 'greedy'");
+    result = parseArgv({"batchzk", "sched", "--kind", "mixed",
+                        "--lane-policy", "measured-cost"},
+                       args);
+    EXPECT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(args.kind, "mixed");
+    EXPECT_EQ(args.lane_policy, "measured-cost");
 }
 
 TEST(CliParse, TraceAndMetricsTakePositionalOutput)

@@ -92,8 +92,8 @@ fileExists(const std::string &path)
     return ::stat(path.c_str(), &st) == 0;
 }
 
-/** Task record frame size on disk: 8-byte frame + 26-byte body. */
-constexpr size_t kTaskFrameBytes = kRecordFrameBytes + 26;
+/** Task record frame size on disk: 8-byte frame + 27-byte v2 body. */
+constexpr size_t kTaskFrameBytes = kRecordFrameBytes + 27;
 
 } // namespace
 

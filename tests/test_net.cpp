@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/DurableService.h"
+#include "core/HighDegreeSnark.h"
 #include "core/PipelinedSystem.h"
 #include "core/Serialize.h"
 #include "core/Snark.h"
@@ -103,6 +104,46 @@ TEST(NetWire, RoundTripsEveryMessageType)
         ASSERT_TRUE(back.has_value());
         EXPECT_EQ(msg, *back);
     }
+}
+
+TEST(NetWire, SubmitKindIsVersioned)
+{
+    Submit hdg;
+    hdg.task_id = 7;
+    hdg.n_vars = 9;
+    hdg.seed = 5;
+    hdg.kind = sched::ProtocolKind::HighDegreeGate;
+
+    // v2 (the default) round-trips the kind byte.
+    auto back = roundTripMessage(Message{hdg});
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(Message{hdg}, *back);
+
+    // A v1 frame has no kind byte: a legacy Submit still round-trips,
+    // decodes as the legacy protocol, and is one byte shorter on the
+    // wire than its v2 encoding.
+    Submit legacy;
+    legacy.task_id = 8;
+    FrameDecoder decoder;
+    decoder.feed(encodeFrame(Message{legacy}, 1));
+    auto polled = decoder.poll();
+    ASSERT_TRUE(polled.has_value());
+    auto got = std::get<Submit>(std::get<Message>(*polled));
+    EXPECT_EQ(sched::ProtocolKind::TableCommit, got.kind);
+    EXPECT_EQ(legacy, got);
+    EXPECT_EQ(encodeFrame(Message{legacy}, 1).size() + 1,
+              encodeFrame(Message{legacy}, 2).size());
+
+    // An unknown kind byte in a v2 body is Malformed, not a crash.
+    std::vector<uint8_t> body = {2,
+                                 static_cast<uint8_t>(MsgType::Submit)};
+    body.insert(body.end(), 8, 0); // task_id
+    body.insert(body.end(), 4, 0); // n_vars
+    body.insert(body.end(), 8, 0); // seed
+    body.push_back(9);             // no such protocol kind
+    auto decoded = decodeBody(body);
+    ASSERT_TRUE(std::holds_alternative<WireError>(decoded));
+    EXPECT_EQ(WireError::Malformed, std::get<WireError>(decoded));
 }
 
 TEST(NetWire, ReassemblesByteAtATime)
@@ -370,6 +411,68 @@ TEST(NetServer, ServedProofMatchesDurableDerivationAndVerifies)
     EXPECT_EQ(serializeProof(local.prove(tables, {})), result->proof);
 }
 
+TEST(NetServer, ServesHighDegreeProofsAndCountsPerKind)
+{
+    SnarkExecutor executor;
+    ServerOptions opt;
+    opt.workers = 1;
+    obs::MetricsRegistry metrics;
+    ProofServer server(opt, executor, &metrics);
+    ASSERT_TRUE(server.start());
+
+    SyncClient client;
+    ASSERT_TRUE(client.connect(server.port()));
+    // The handshake lands on v2, so this connection may carry kinds.
+    EXPECT_EQ(kWireVersion, client.version());
+
+    Submit task;
+    task.task_id = 41;
+    task.n_vars = 8;
+    task.seed = 3;
+    task.kind = sched::ProtocolKind::HighDegreeGate;
+    auto result = client.roundTrip(task);
+    ASSERT_TRUE(result.has_value());
+    ASSERT_EQ(Status::Ok, result->status);
+
+    auto proof = deserializeHighDegreeProof<Fr>(result->proof);
+    ASSERT_TRUE(proof.has_value());
+    HighDegreeSnark<Fr> verifier(task.n_vars, task.seed);
+    EXPECT_TRUE(verifier.verify(*proof, {}));
+
+    // Bit-identical to a local prove from the shared (task_id, seed,
+    // n_vars) instance derivation, exactly like the legacy protocol.
+    Rng rng = taskInstanceRng(task.task_id, task.seed, task.n_vars);
+    auto tables = highDegreeInstance<Fr>(task.n_vars, rng);
+    HighDegreeSnark<Fr> local(task.n_vars, task.seed);
+    EXPECT_EQ(serializeHighDegreeProof(local.prove(tables, {})),
+              result->proof);
+
+    // A legacy task on the same connection: both kinds interleave.
+    Submit legacy;
+    legacy.task_id = 42;
+    legacy.n_vars = 8;
+    legacy.seed = 3;
+    auto legacy_result = client.roundTrip(legacy);
+    ASSERT_TRUE(legacy_result.has_value());
+    EXPECT_EQ(Status::Ok, legacy_result->status);
+
+    ServerStats stats = server.stats();
+    EXPECT_EQ(2u, stats.submits);
+    EXPECT_EQ(1u,
+              stats.submits_by_kind[static_cast<size_t>(
+                  sched::ProtocolKind::TableCommit)]);
+    EXPECT_EQ(1u,
+              stats.submits_by_kind[static_cast<size_t>(
+                  sched::ProtocolKind::HighDegreeGate)]);
+    EXPECT_DOUBLE_EQ(
+        metrics.counter("bzk_net_submits_table_commit_total").value(),
+        1.0);
+    EXPECT_DOUBLE_EQ(
+        metrics.counter("bzk_net_submits_high_degree_gate_total")
+            .value(),
+        1.0);
+}
+
 TEST(NetServer, RejectsInvalidParameters)
 {
     DigestExecutor executor;
@@ -503,11 +606,13 @@ TEST(NetServer, NegotiatesVersionAndRefusesUnsupportedRanges)
     ProofServer server({}, executor);
     ASSERT_TRUE(server.start());
 
+    // A client whose whole range lies above what this build speaks
+    // gets a typed UnsupportedVersion error, not a silent downgrade.
     Fd raw = connectTcp(server.port());
     ASSERT_TRUE(raw.valid());
     Hello hello;
-    hello.min_version = 2;
-    hello.max_version = 9;
+    hello.min_version = kWireVersion + 1;
+    hello.max_version = kWireVersion + 7;
     auto frame = encodeFrame(Message{hello});
     ASSERT_GT(sendSome(raw.get(), frame), 0);
 

@@ -284,7 +284,9 @@ TEST_P(DurableIdempotency, DuplicatesAndDoubleReplayYieldOneProof)
     char tmpl[] = "/tmp/bzk_idem_XXXXXX";
     std::string dir = ::mkdtemp(tmpl);
 
-    // Random mix: 3-5 unique tasks, sizes 8-9, random priorities.
+    // Random mix: 3-5 unique tasks, sizes 8-9, random priorities,
+    // random protocol kinds (the journal carries the kind, so replay
+    // and idempotency hold identically for both protocols).
     size_t unique = 3 + rng.nextBounded(3);
     std::vector<DurableTaskSpec> specs;
     for (size_t i = 0; i < unique; ++i) {
@@ -293,6 +295,9 @@ TEST_P(DurableIdempotency, DuplicatesAndDoubleReplayYieldOneProof)
         spec.n_vars = 8 + static_cast<unsigned>(rng.nextBounded(2));
         spec.seed = seed;
         spec.priority = static_cast<int>(rng.nextBounded(4));
+        spec.kind = rng.nextBounded(2)
+                        ? sched::ProtocolKind::HighDegreeGate
+                        : sched::ProtocolKind::TableCommit;
         specs.push_back(spec);
     }
     // Interleave duplicates: every submission after the first of an id
@@ -348,6 +353,61 @@ TEST_P(DurableIdempotency, DuplicatesAndDoubleReplayYieldOneProof)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DurableIdempotency,
                          ::testing::Range<uint64_t>(1, 5));
+
+TEST(DurableMixedBatch, ProcessesAndVerifiesBothKinds)
+{
+    char tmpl[] = "/tmp/bzk_mixed_XXXXXX";
+    std::string dir = ::mkdtemp(tmpl);
+    gpusim::Device dev(gpusim::DeviceSpec::gh200());
+    obs::MetricsRegistry metrics;
+    {
+        DurableProofService service(dev, {dir}, {}, &metrics);
+        for (uint64_t i = 0; i < 4; ++i) {
+            DurableTaskSpec spec;
+            spec.id = 600 + i;
+            spec.n_vars = 8;
+            spec.seed = 42;
+            spec.kind = (i % 2)
+                            ? sched::ProtocolKind::HighDegreeGate
+                            : sched::ProtocolKind::TableCommit;
+            ASSERT_TRUE(service.submit(spec));
+        }
+        EXPECT_EQ(service.processAll(), 4u);
+        // verifyAll dispatches on each blob's own serialization tag.
+        EXPECT_TRUE(service.verifyAll());
+        ASSERT_EQ(service.proofs().size(), 4u);
+        for (const auto &[id, completion] : service.proofs()) {
+            ASSERT_FALSE(completion.proof.empty());
+            // Tag 0x01 = Snark (table-commit), 0x04 = high-degree.
+            EXPECT_EQ(completion.proof[0],
+                      (id % 2) ? 0x04 : 0x01)
+                << "task " << id;
+        }
+        EXPECT_DOUBLE_EQ(
+            metrics
+                .counter(
+                    "bzk_journal_proofs_completed_table_commit_total")
+                .value(),
+            2.0);
+        EXPECT_DOUBLE_EQ(
+            metrics
+                .counter("bzk_journal_proofs_completed_high_degree_"
+                         "gate_total")
+                .value(),
+            2.0);
+    }
+
+    // A restart on the same journal restores both kinds' proofs and
+    // still verifies them.
+    DurableProofService restarted(dev, {dir});
+    EXPECT_EQ(restarted.recovery().proofs_restored, 4u);
+    EXPECT_EQ(restarted.pendingCount(), 0u);
+    EXPECT_TRUE(restarted.verifyAll());
+
+    for (uint64_t i = 1; i <= 16; ++i)
+        ::unlink(journal::Journal::segmentPath(dir, i).c_str());
+    ::rmdir(dir.c_str());
+}
 
 } // namespace
 } // namespace bzk

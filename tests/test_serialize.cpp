@@ -9,6 +9,7 @@
 
 #include "circuit/Circuit.h"
 #include "core/FullSnark.h"
+#include "core/HighDegreeSnark.h"
 #include "core/Serialize.h"
 #include "core/Snark.h"
 #include "ff/Fields.h"
@@ -97,6 +98,28 @@ TEST(Serialize, WrongTagRejected)
     // A Snark proof is not a FullSnark proof.
     auto bytes2 = serializeProof(f.proof);
     EXPECT_FALSE(deserializeFullProof<Fr>(bytes2).has_value());
+}
+
+TEST(Serialize, HighDegreeProofRoundTrip)
+{
+    Rng rng(3);
+    auto tables = highDegreeInstance<Fr>(6, rng);
+    HighDegreeSnark<Fr> snark(6, 99);
+    auto proof = snark.prove(tables, {});
+    auto bytes = serializeHighDegreeProof(proof);
+    EXPECT_EQ(bytes[0], 0x04); // its own tag, distinct from Snark's
+    auto back = deserializeHighDegreeProof<Fr>(bytes);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(snark.verify(*back, {}));
+    // Canonical: re-serialization is byte-identical.
+    EXPECT_EQ(serializeHighDegreeProof(*back), bytes);
+    // The tag keeps the codecs from crossing: a high-degree blob is
+    // not a table-commit proof and vice versa.
+    EXPECT_FALSE(deserializeProof<Fr>(bytes).has_value());
+    auto &f = fixture();
+    EXPECT_FALSE(
+        deserializeHighDegreeProof<Fr>(serializeProof(f.proof))
+            .has_value());
 }
 
 TEST(Serialize, TrailingGarbageRejected)
@@ -396,8 +419,11 @@ TEST(JournalRecords, DecodersRejectBadVersionAndType)
 
     // A future format version must not decode as the current one.
     auto bumped = task_body;
-    bumped[1] = journal::kJournalVersion + 1;
+    bumped[1] = journal::kTaskRecordVersion + 1;
     EXPECT_FALSE(journal::decodeTaskRecord(bumped).has_value());
+    journal::TaskRecord out;
+    EXPECT_EQ(journal::decodeTaskRecordChecked(bumped, &out),
+              journal::RecordDecodeError::BadVersion);
     bumped = completion_body;
     bumped[1] = journal::kJournalVersion + 1;
     EXPECT_FALSE(journal::decodeCompletionRecord(bumped).has_value());
@@ -405,10 +431,74 @@ TEST(JournalRecords, DecodersRejectBadVersionAndType)
     // Cross-typed decodes fail: a task body is not a completion.
     EXPECT_FALSE(journal::decodeCompletionRecord(task_body).has_value());
     EXPECT_FALSE(journal::decodeTaskRecord(completion_body).has_value());
+    EXPECT_EQ(journal::decodeTaskRecordChecked(completion_body, &out),
+              journal::RecordDecodeError::BadType);
     EXPECT_FALSE(
         journal::recordType(std::vector<uint8_t>{0x7F}).has_value());
     EXPECT_FALSE(
         journal::recordType(std::span<const uint8_t>{}).has_value());
+}
+
+TEST(JournalRecords, TaskRecordCarriesProtocolKind)
+{
+    journal::TaskRecord task;
+    task.task_id = 31;
+    task.n_vars = 9;
+    task.priority = 1;
+    task.seed = 77;
+    task.kind = sched::ProtocolKind::HighDegreeGate;
+    auto body = journal::encodeTaskRecord(task);
+    EXPECT_EQ(body[1], journal::kTaskRecordVersion);
+    auto decoded = journal::decodeTaskRecord(body);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->kind, sched::ProtocolKind::HighDegreeGate);
+    EXPECT_EQ(*decoded, task);
+}
+
+TEST(JournalRecords, V1TaskRecordDecodesAsLegacyKind)
+{
+    // A version-1 body as written before protocol kinds existed:
+    // type, version=1, task_id, n_vars, priority, seed — no kind byte.
+    ByteWriter w;
+    w.u8(static_cast<uint8_t>(journal::RecordType::Task));
+    w.u8(1);
+    w.u64(42);
+    w.u32(11);
+    w.u32(static_cast<uint32_t>(-3));
+    w.u64(2024);
+    auto v1_body = w.take();
+    ASSERT_EQ(v1_body.size(), 26u);
+
+    auto decoded = journal::decodeTaskRecord(v1_body);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->task_id, 42u);
+    EXPECT_EQ(decoded->n_vars, 11u);
+    EXPECT_EQ(decoded->priority, -3);
+    EXPECT_EQ(decoded->seed, 2024u);
+    EXPECT_EQ(decoded->kind, sched::ProtocolKind::TableCommit);
+
+    // A v1 body with a stray trailing byte is not silently v2.
+    auto padded = v1_body;
+    padded.push_back(0);
+    journal::TaskRecord out;
+    EXPECT_EQ(journal::decodeTaskRecordChecked(padded, &out),
+              journal::RecordDecodeError::Malformed);
+}
+
+TEST(JournalRecords, UnknownProtocolKindIsTypedError)
+{
+    auto body = journal::encodeTaskRecord(
+        {5, 10, 0, 2, sched::ProtocolKind::HighDegreeGate});
+    body.back() = 0xEE; // a kind this build does not know
+    EXPECT_FALSE(journal::decodeTaskRecord(body).has_value());
+    journal::TaskRecord out;
+    out.task_id = 999;
+    EXPECT_EQ(journal::decodeTaskRecordChecked(body, &out),
+              journal::RecordDecodeError::UnknownKind);
+    EXPECT_EQ(out.task_id, 999u); // output untouched on error
+    EXPECT_STREQ(journal::recordDecodeErrorName(
+                     journal::RecordDecodeError::UnknownKind),
+                 "unknown-kind");
 }
 
 TEST(JournalRecords, DecodersRejectTruncationAndTrailingBytes)

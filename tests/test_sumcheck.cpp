@@ -12,6 +12,7 @@
 #include "ff/Fields.h"
 #include "gpusim/Device.h"
 #include "sumcheck/GpuSumcheck.h"
+#include "sumcheck/HighDegreeGate.h"
 #include "sumcheck/Sumcheck.h"
 
 namespace bzk {
@@ -272,6 +273,161 @@ TYPED_TEST(SumcheckT, ProductSumcheckRejectsWrongSum)
     Transcript vt("psc-test");
     vt.absorbField("sum", sum);
     EXPECT_FALSE(verifyProductSumcheckFs(sum + F::one(), proof, vt).ok);
+}
+
+/** Satisfied high-degree gate tables: c = a^4 * b pointwise. */
+template <typename F>
+struct HdgInstance
+{
+    std::vector<F> tau;
+    std::vector<F> eq;
+    std::vector<F> a, b, c;
+};
+
+template <typename F>
+HdgInstance<F>
+randomHdgInstance(unsigned n, Rng &rng)
+{
+    HdgInstance<F> inst;
+    inst.tau.resize(n);
+    for (auto &t : inst.tau)
+        t = F::random(rng);
+    inst.eq = eqTable(inst.tau);
+    size_t size = size_t{1} << n;
+    inst.a.resize(size);
+    inst.b.resize(size);
+    inst.c.resize(size);
+    for (size_t i = 0; i < size; ++i) {
+        inst.a[i] = F::random(rng);
+        inst.b[i] = F::random(rng);
+        inst.c[i] = pow4(inst.a[i]) * inst.b[i];
+    }
+    return inst;
+}
+
+TYPED_TEST(SumcheckT, HighDegreeGateCompleteness)
+{
+    using F = TypeParam;
+    Rng rng(71);
+    for (unsigned n : {1u, 3u, 5u}) {
+        auto inst = randomHdgInstance<F>(n, rng);
+        auto fold = inst; // prover folds in place
+        Transcript pt("hdg-test");
+        std::vector<F> point;
+        auto proof = proveHighDegreeGateFs(fold.eq, fold.a, fold.b,
+                                           fold.c, pt, &point);
+        ASSERT_EQ(proof.rounds.size(), n);
+        for (const auto &g : proof.rounds)
+            EXPECT_EQ(g.size(), kHighDegreeGateEvals);
+
+        Transcript vt("hdg-test");
+        auto verdict = verifyHighDegreeGateFs(F::zero(), proof, vt);
+        ASSERT_TRUE(verdict.ok) << "n=" << n;
+        EXPECT_EQ(verdict.point, point);
+
+        // The final claim reduces to the gate polynomial at the
+        // sum-check point, evaluated through the folded tables.
+        F expected = fold.eq[0] *
+                     (pow4(fold.a[0]) * fold.b[0] - fold.c[0]);
+        EXPECT_EQ(verdict.final_claim, expected);
+
+        // The folded tables agree with the multilinear extensions.
+        EXPECT_EQ(fold.a[0],
+                  Multilinear<F>(inst.a).evaluate(verdict.point));
+        EXPECT_EQ(fold.c[0],
+                  Multilinear<F>(inst.c).evaluate(verdict.point));
+    }
+}
+
+TYPED_TEST(SumcheckT, HighDegreeGateRejectsUnsatisfiedRow)
+{
+    using F = TypeParam;
+    Rng rng(72);
+    auto inst = randomHdgInstance<F>(4, rng);
+    inst.c[5] += F::one(); // break the gate identity at one row
+    Transcript pt("hdg-test");
+    auto proof =
+        proveHighDegreeGateFs(inst.eq, inst.a, inst.b, inst.c, pt);
+    Transcript vt("hdg-test");
+    auto verdict = verifyHighDegreeGateFs(F::zero(), proof, vt);
+    // With overwhelming probability eq(tau, 5) != 0, so the sum is
+    // nonzero and the first-round check g[0] + g[1] == 0 fails.
+    EXPECT_FALSE(verdict.ok);
+}
+
+TYPED_TEST(SumcheckT, HighDegreeGateRejectsTamperedRound)
+{
+    using F = TypeParam;
+    Rng rng(73);
+    auto inst = randomHdgInstance<F>(4, rng);
+    auto fold = inst;
+    Transcript pt("hdg-test");
+    auto proof = proveHighDegreeGateFs(fold.eq, fold.a, fold.b,
+                                       fold.c, pt);
+    for (size_t round = 0; round < 4; ++round) {
+        for (size_t t : {size_t{0}, size_t{3}, size_t{6}}) {
+            auto bad = proof;
+            bad.rounds[round][t] += F::one();
+            Transcript vt("hdg-test");
+            auto verdict =
+                verifyHighDegreeGateFs(F::zero(), bad, vt);
+            // A tampered evaluation either breaks a round-sum check
+            // directly or (via Fiat-Shamir) derails every later
+            // challenge; the final claim then cannot match the gate.
+            auto check = inst;
+            Transcript ct("hdg-test");
+            std::vector<F> pt2;
+            bool caught = !verdict.ok;
+            if (!caught) {
+                auto honest = proveHighDegreeGateFs(
+                    check.eq, check.a, check.b, check.c, ct, &pt2);
+                caught = verdict.point != pt2;
+            }
+            EXPECT_TRUE(caught)
+                << "round " << round << " eval " << t;
+        }
+    }
+}
+
+TYPED_TEST(SumcheckT, HighDegreeGateWrongEvalCountIsRejected)
+{
+    using F = TypeParam;
+    Rng rng(74);
+    auto inst = randomHdgInstance<F>(3, rng);
+    Transcript pt("hdg-test");
+    auto proof =
+        proveHighDegreeGateFs(inst.eq, inst.a, inst.b, inst.c, pt);
+    auto bad = proof;
+    bad.rounds[1].pop_back(); // 6 evals cannot pin a degree-6 poly
+    Transcript vt("hdg-test");
+    EXPECT_FALSE(verifyHighDegreeGateFs(F::zero(), bad, vt).ok);
+}
+
+TYPED_TEST(SumcheckT, HighDegreeGateProofBitIdenticalAcrossThreadCounts)
+{
+    using F = TypeParam;
+    Rng rng(75);
+    auto inst = randomHdgInstance<F>(8, rng);
+
+    auto serial = inst;
+    Transcript st("hdg-threads");
+    std::vector<F> serial_point;
+    auto serial_proof = proveHighDegreeGateFs(
+        serial.eq, serial.a, serial.b, serial.c, st, &serial_point);
+
+    for (size_t threads : {size_t{2}, size_t{5}}) {
+        exec::ExecConfig cfg;
+        cfg.threads = threads;
+        exec::ExecContext exec(cfg);
+        auto par = inst;
+        Transcript ptt("hdg-threads");
+        std::vector<F> point;
+        auto proof = proveHighDegreeGateFs(par.eq, par.a, par.b,
+                                           par.c, ptt, &point, &exec);
+        ASSERT_EQ(proof.rounds, serial_proof.rounds)
+            << "threads=" << threads;
+        EXPECT_EQ(point, serial_point);
+    }
 }
 
 class GpuSumcheckTest : public ::testing::Test

@@ -36,6 +36,12 @@ struct Args
     uint64_t rate = 0;           // serve: per-tenant submits/s (0 = off)
     size_t window = 0;           // serve: in-flight window (0 = derive)
     size_t queue_cap = 4096;     // serve: admission-queue capacity
+    // Proving protocol: "table-commit", "high-degree-gate", or (sched
+    // only) "mixed" for a batch alternating between the two.
+    std::string kind = "table-commit";
+    // sched: lane split policy, "proportional", "fixed-ratio", or
+    // "measured-cost".
+    std::string lane_policy = "proportional";
 };
 
 /** Outcome of a parse: ok, or a diagnostic for stderr. */
@@ -60,7 +66,9 @@ usage()
            "[--gpu NAME] [--batch B] [--faults PLAN] "
            "[--format prom|json] [--sizes N,N,...] [--threads T] "
            "[--journal-dir DIR] [--port P] [--tenant T] [--rate R] "
-           "[--window W] [--queue-cap C]\n";
+           "[--window W] [--queue-cap C] "
+           "[--kind table-commit|high-degree-gate|mixed] "
+           "[--lane-policy proportional|fixed-ratio|measured-cost]\n";
 }
 
 /**
@@ -175,6 +183,22 @@ parse(int argc, char **argv, Args &args)
             if (!numeric)
                 return need_number("--queue-cap");
             args.queue_cap = number;
+        } else if (key == "--kind") {
+            if (value != "table-commit" &&
+                value != "high-degree-gate" && value != "mixed")
+                return ParseResult::fail(
+                    "flag '--kind' needs table-commit, "
+                    "high-degree-gate, or mixed, got '" +
+                    value + "'");
+            args.kind = value;
+        } else if (key == "--lane-policy") {
+            if (value != "proportional" && value != "fixed-ratio" &&
+                value != "measured-cost")
+                return ParseResult::fail(
+                    "flag '--lane-policy' needs proportional, "
+                    "fixed-ratio, or measured-cost, got '" +
+                    value + "'");
+            args.lane_policy = value;
         } else {
             return ParseResult::fail("unknown flag '" + key + "'");
         }

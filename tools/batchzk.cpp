@@ -71,6 +71,7 @@
 #include "BatchzkCli.h"
 #include "core/DurableService.h"
 #include "core/FullSnark.h"
+#include "core/HighDegreeSnark.h"
 #include "core/PipelinedSystem.h"
 #include "core/Serialize.h"
 #include "core/Snark.h"
@@ -97,6 +98,29 @@ constexpr char kMagic[4] = {'B', 'Z', 'K', 'P'};
 constexpr uint8_t kVersion = 2;
 constexpr uint8_t kSystemTable = 0;
 constexpr uint8_t kSystemFull = 1;
+constexpr uint8_t kSystemHdg = 2;
+
+/** --kind for single-protocol commands (mixed is sched-only). */
+sched::ProtocolKind
+kindByName(const std::string &name)
+{
+    if (name == "high-degree-gate")
+        return sched::ProtocolKind::HighDegreeGate;
+    if (name == "table-commit")
+        return sched::ProtocolKind::TableCommit;
+    fatal("--kind '%s' is not valid here (mixed is sched-only)",
+          name.c_str());
+}
+
+sched::LanePolicy
+lanePolicyByName(const std::string &name)
+{
+    if (name == "fixed-ratio")
+        return sched::LanePolicy::FixedRatio;
+    if (name == "measured-cost")
+        return sched::LanePolicy::MeasuredCost;
+    return sched::LanePolicy::Proportional;
+}
 
 /**
  * Deterministic demo circuit with one public input, regenerable from
@@ -158,6 +182,25 @@ cmdProve(const Args &args)
 {
     if (args.log_gates < 8 || args.log_gates > 20)
         fatal("--log-gates must be in [8, 20] for the CLI prover");
+    if (kindByName(args.kind) == sched::ProtocolKind::HighDegreeGate) {
+        // High-degree gate protocol: a^4 * b = c row-wise, instance
+        // regenerable from the seed alone (verify needs only the
+        // proof file).
+        std::printf("building a satisfied high-degree gate instance "
+                    "with 2^%u rows...\n",
+                    args.log_gates);
+        Rng rng(args.seed);
+        auto tables = highDegreeInstance<Fr>(args.log_gates, rng);
+        HighDegreeSnark<Fr> snark(args.log_gates, args.seed);
+        exec::ExecContext exec;
+        snark.setExec(&exec);
+        Timer timer;
+        auto proof = snark.prove(tables, {});
+        std::printf("proved in %.1f ms\n", timer.milliseconds());
+        writeProofFile(args, kSystemHdg,
+                       serializeHighDegreeProof(proof));
+        return 0;
+    }
     std::printf("building a deterministic satisfied instance with "
                 "~2^%u gates (%s system)...\n",
                 args.log_gates, args.system.c_str());
@@ -324,6 +367,15 @@ cmdVerify(const Args &args)
         FullSnark<Fr> snark(buildR1cs(circuit), seed);
         timer.reset();
         ok = snark.verify(*proof, inputs);
+    } else if (system == kSystemHdg) {
+        auto proof = deserializeHighDegreeProof<Fr>(blob);
+        if (!proof) {
+            std::printf("REJECT (malformed proof)\n");
+            return 1;
+        }
+        HighDegreeSnark<Fr> snark(proof->commit_a.n_vars, seed);
+        timer.reset();
+        ok = snark.verify(*proof, {});
     } else {
         auto proof = deserializeProof<Fr>(blob);
         if (!proof) {
@@ -351,7 +403,9 @@ cmdInfo(const Args &args)
     std::printf("file        : %s\n", args.in.c_str());
     std::printf("format      : BZKP v%u\n", kVersion);
     std::printf("system      : %s\n",
-                system == kSystemFull ? "full (wiring-sound)" : "table");
+                system == kSystemFull   ? "full (wiring-sound)"
+                : system == kSystemHdg ? "high-degree-gate"
+                                        : "table");
     std::printf("circuit     : ~2^%u gates\n", log_gates);
     std::printf("encoder seed: %llu\n",
                 static_cast<unsigned long long>(seed));
@@ -365,6 +419,15 @@ cmdInfo(const Args &args)
                         proof->phase1.rounds.size(),
                         proof->phase2.rounds.size(),
                         proof->open_w.columns.size());
+    } else if (system == kSystemHdg) {
+        auto proof = deserializeHighDegreeProof<Fr>(blob);
+        std::printf("blob        : %zu bytes (%s)\n", blob.size(),
+                    proof ? "well-formed" : "MALFORMED");
+        if (proof)
+            std::printf("sum-check   : %zu degree-6 rounds; %zu opened "
+                        "columns per table\n",
+                        proof->gate_sc.rounds.size(),
+                        proof->open_a.columns.size());
     } else {
         auto proof = deserializeProof<Fr>(blob);
         std::printf("blob        : %zu bytes (%s)\n", blob.size(),
@@ -592,22 +655,31 @@ cmdSched(const Args &args)
     SystemOptions opt;
     opt.functional = 0;
     opt.seed = args.seed;
+    opt.lane_policy = lanePolicyByName(args.lane_policy);
     PipelinedZkpSystem system(dev, opt);
     std::vector<sched::ProofTask> tasks;
     tasks.reserve(sizes.size());
-    for (size_t i = 0; i < sizes.size(); ++i)
-        tasks.push_back(makeProofTask(sizes[i], opt.seed, i));
+    for (size_t i = 0; i < sizes.size(); ++i) {
+        sched::ProtocolKind kind =
+            args.kind == "mixed"
+                ? (i % 2 ? sched::ProtocolKind::HighDegreeGate
+                         : sched::ProtocolKind::TableCommit)
+                : kindByName(args.kind);
+        tasks.push_back(makeProofTask(kind, sizes[i], opt.seed, i));
+    }
     auto result = system.runTasks(std::move(tasks));
 
     std::printf("device      : %s (%u lanes @ %.2f GHz)\n",
                 dev.spec().name.c_str(), dev.spec().cuda_cores,
                 dev.spec().clock_ghz);
-    std::printf("workload    : %zu tasks, log-sizes %s\n",
+    std::printf("workload    : %zu tasks, log-sizes %s, kind %s, "
+                "lane policy %s\n",
                 sizes.size(),
                 args.sizes.empty()
                     ? ("uniform " + std::to_string(args.log_gates))
                           .c_str()
-                    : args.sizes.c_str());
+                    : args.sizes.c_str(),
+                args.kind.c_str(), args.lane_policy.c_str());
     size_t cycles = 0;
     for (const auto &ts : result.task_stats)
         cycles = std::max(cycles, ts.complete_cycle + 1);
@@ -619,10 +691,11 @@ cmdSched(const Args &args)
                 result.cycle_ms, result.comm_ms_per_cycle,
                 result.comp_ms_per_cycle);
 
-    TablePrinter table({"task", "log-size", "admit cyc", "complete cyc",
-                        "wait cyc", "turnaround ms"});
+    TablePrinter table({"task", "kind", "log-size", "admit cyc",
+                        "complete cyc", "wait cyc", "turnaround ms"});
     for (const auto &ts : result.task_stats)
         table.addRow({std::to_string(ts.id),
+                      sched::protocolKindName(ts.kind),
                       std::to_string(ts.n_vars),
                       std::to_string(ts.admit_cycle),
                       std::to_string(ts.complete_cycle),
@@ -708,6 +781,15 @@ cmdSubmit(const Args &args)
     std::printf("connected (wire v%u, server window %u)\n",
                 unsigned{client.ack().version}, client.ack().window);
 
+    sched::ProtocolKind kind = kindByName(args.kind);
+    if (kind != sched::ProtocolKind::TableCommit &&
+        client.version() < 2) {
+        std::fprintf(stderr,
+                     "submit: server negotiated wire v%u, which "
+                     "cannot carry --kind %s\n",
+                     unsigned{client.version()}, args.kind.c_str());
+        return 2;
+    }
     size_t verified = 0, retried = 0;
     Timer timer;
     for (size_t i = 0; i < args.batch; ++i) {
@@ -715,6 +797,7 @@ cmdSubmit(const Args &args)
         task.task_id = args.tenant * 100000 + i + 1;
         task.n_vars = args.log_gates;
         task.seed = args.seed;
+        task.kind = kind;
         std::optional<net::Result> result;
         for (int attempt = 0; attempt < 50; ++attempt) {
             result = client.roundTrip(task);
@@ -736,9 +819,18 @@ cmdSubmit(const Args &args)
                          result ? "rejected" : "connection lost");
             return 1;
         }
-        auto proof = deserializeProof<Fr>(result->proof);
-        Snark<Fr> snark(task.n_vars, task.seed);
-        if (!proof || !snark.verify(*proof, {})) {
+        bool proof_ok = false;
+        if (kind == sched::ProtocolKind::HighDegreeGate) {
+            auto proof =
+                deserializeHighDegreeProof<Fr>(result->proof);
+            HighDegreeSnark<Fr> snark(task.n_vars, task.seed);
+            proof_ok = proof && snark.verify(*proof, {});
+        } else {
+            auto proof = deserializeProof<Fr>(result->proof);
+            Snark<Fr> snark(task.n_vars, task.seed);
+            proof_ok = proof && snark.verify(*proof, {});
+        }
+        if (!proof_ok) {
             std::fprintf(stderr,
                          "submit: task %llu proof REJECTED\n",
                          static_cast<unsigned long long>(task.task_id));
