@@ -4,11 +4,13 @@
  * modules are built from. These are the real host-side costs behind the
  * measured CPU baseline columns in Tables 3-5 and 7.
  *
- * Before the google-benchmark suite runs, a scalar-vs-SIMD sweep of
- * the packed Goldilocks field kernels is measured and printed; with
- * `--json <path>` it is dumped in the JsonBench schema that
+ * Before the google-benchmark suite runs, scalar-vs-SIMD sweeps of
+ * the packed Goldilocks kernels and the wide BN254 Fr kernels (plus
+ * the 2^14-point MSM acceptance sweep) are measured and printed; with
+ * `--json <path>` they are dumped in the JsonBench schema that
  * tools/check_bench.py gates in the perf-smoke CI job (the checked-in
- * baseline pins the packed-vs-scalar mul speedup).
+ * baseline pins the packed-vs-scalar mul speedups and the vectorized
+ * MSM speedup).
  */
 
 #include <benchmark/benchmark.h>
@@ -161,6 +163,46 @@ BM_FrInverse(benchmark::State &state)
     }
 }
 BENCHMARK(BM_FrInverse);
+
+void
+BM_FrMulLanes(benchmark::State &state)
+{
+    Rng rng(15);
+    size_t n = static_cast<size_t>(state.range(0));
+    std::vector<Fr> a(n), b(n), out(n);
+    for (size_t i = 0; i < n; ++i) {
+        a[i] = Fr::random(rng);
+        b[i] = Fr::random(rng);
+    }
+    for (auto _ : state) {
+        ff::mulLanes(a.data(), b.data(), out.data(), n);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(n));
+    state.SetLabel(ff::wideBackendName(ff::activeWideBackend()));
+}
+BENCHMARK(BM_FrMulLanes)->Range(1 << 10, 1 << 14);
+
+void
+BM_FrBatchInverse(benchmark::State &state)
+{
+    Rng rng(16);
+    size_t n = static_cast<size_t>(state.range(0));
+    std::vector<Fr> x(n);
+    for (auto &v : x)
+        v = Fr::random(rng);
+    std::vector<Fr> scratch(n);
+    for (auto _ : state) {
+        std::copy(x.begin(), x.end(), scratch.begin());
+        ff::batchInverse(scratch.data(), n);
+        benchmark::DoNotOptimize(scratch.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(n));
+    state.SetLabel(ff::wideBackendName(ff::activeWideBackend()));
+}
+BENCHMARK(BM_FrBatchInverse)->Range(1 << 10, 1 << 12);
 
 void
 BM_GoldilocksMul(benchmark::State &state)
@@ -503,6 +545,157 @@ runFieldSweep(bench::JsonBench &json)
         "inversion on the same backend.");
 }
 
+/**
+ * Scalar-vs-packed sweep of the wide 4x64-limb Montgomery kernels on
+ * BN254 Fr, plus the 2^14-point MSM acceptance sweep: the vectorized
+ * batch-affine bucket pass must beat the scalar Jacobian bucket loop
+ * and produce a bit-identical point. Outputs under the forced scalar
+ * table and the host's best wide backend are cross-checked
+ * element-by-element before any throughput is reported.
+ */
+void
+runWideFieldSweep(bench::JsonBench &json)
+{
+    using bzk::ff::Backend;
+    constexpr size_t kN = size_t{1} << 14;
+    constexpr size_t kIters = 16;
+    constexpr size_t kInvN = size_t{1} << 12;
+
+    Rng rng(0xb254);
+    std::vector<Fr> a(kN), b(kN), out(kN), scratch(kN);
+    for (size_t i = 0; i < kN; ++i) {
+        a[i] = Fr::random(rng);
+        b[i] = Fr::random(rng);
+    }
+
+    Backend best = ff::detectBackend();
+    const char *wide_name =
+        ff::wideBackendName(ff::activeWideBackend());
+    json.meta("wide_backend", wide_name);
+    json.meta("wide_lanes", std::to_string(ff::wideBackendLanes(
+                                ff::activeWideBackend())));
+    json.meta("wide_ifma",
+              ff::wideIfmaAvailable() ? "available" : "absent");
+
+    TablePrinter table({"Kernel", "scalar Melem/s",
+                        std::string(wide_name) + " Melem/s",
+                        "speedup"});
+    double total_elems = static_cast<double>(kN) * kIters;
+
+    struct Kernel
+    {
+        const char *label;
+        void (*run)(std::vector<Fr> &, std::vector<Fr> &,
+                    std::vector<Fr> &);
+    };
+    const Kernel kernels[] = {
+        {"wide_field_mul",
+         [](std::vector<Fr> &x, std::vector<Fr> &y,
+            std::vector<Fr> &o) {
+             for (size_t it = 0; it < kIters; ++it)
+                 ff::mulLanes(x.data(), y.data(), o.data(), x.size());
+         }},
+        {"wide_field_add",
+         [](std::vector<Fr> &x, std::vector<Fr> &y,
+            std::vector<Fr> &o) {
+             for (size_t it = 0; it < kIters; ++it)
+                 ff::addLanes(x.data(), y.data(), o.data(), x.size());
+         }},
+        {"wide_field_dot",
+         [](std::vector<Fr> &x, std::vector<Fr> &y,
+            std::vector<Fr> &o) {
+             for (size_t it = 0; it < kIters; ++it)
+                 o[0] = ff::dotLanes(x.data(), y.data(), x.size());
+         }},
+    };
+    for (const Kernel &k : kernels) {
+        ff::forceBackend(Backend::kScalar);
+        double scalar_ms = medianMs([&] { k.run(a, b, out); });
+        std::vector<Fr> scalar_out = out;
+        ff::forceBackend(best);
+        double wide_ms = medianMs([&] { k.run(a, b, out); });
+        if (out != scalar_out)
+            fatal("bench_micro: %s diverged between wide backends",
+                  k.label);
+        double scalar_tp = total_elems / scalar_ms / 1e3;
+        double wide_tp = total_elems / wide_ms / 1e3;
+        double speedup = scalar_ms / wide_ms;
+        table.addRow({k.label, formatSig(scalar_tp, 4),
+                      formatSig(wide_tp, 4),
+                      bench::fmtSpeedup(speedup)});
+        json.addRow(k.label,
+                    {{"scalar_elems_per_ms", scalar_tp * 1e3},
+                     {"wide_elems_per_ms", wide_tp * 1e3},
+                     {"wide_simd_speedup", speedup}});
+    }
+    ff::clearForcedBackend();
+
+    // Batch inversion: one Fermat inversion plus 3n packed muls vs.
+    // n independent Fermat inversions. This is the same shared
+    // denominator the MSM batch-affine pass amortizes.
+    std::vector<Fr> inv_in(a.begin(), a.begin() + kInvN);
+    double fermat_ms = medianMs([&] {
+        std::copy(inv_in.begin(), inv_in.end(), scratch.begin());
+        for (size_t i = 0; i < kInvN; ++i)
+            scratch[i] = scratch[i].inverse();
+    });
+    std::vector<Fr> fermat_out(scratch.begin(),
+                               scratch.begin() + kInvN);
+    double batch_ms = medianMs([&] {
+        std::copy(inv_in.begin(), inv_in.end(), scratch.begin());
+        ff::batchInverse(scratch.data(), kInvN);
+    });
+    if (!std::equal(fermat_out.begin(), fermat_out.end(),
+                    scratch.begin()))
+        fatal("bench_micro: Fr batchInverse diverged from Fermat");
+    table.addRow({"fr_batch_inverse",
+                  formatSig(kInvN / fermat_ms / 1e3, 4),
+                  formatSig(kInvN / batch_ms / 1e3, 4),
+                  bench::fmtSpeedup(fermat_ms / batch_ms)});
+    json.addRow("fr_batch_inverse",
+                {{"elems_per_ms", kInvN / batch_ms},
+                 {"speedup_vs_fermat", fermat_ms / batch_ms}});
+
+    // MSM acceptance sweep: 2^14 points, scalar Jacobian bucket loop
+    // vs. vectorized batch-affine accumulation, bit-identical affine
+    // serialization required.
+    constexpr size_t kMsmN = size_t{1} << 14;
+    auto points = randomPoints(kMsmN, rng);
+    std::vector<Fr> scalars(kMsmN);
+    for (auto &s : scalars)
+        s = Fr::random(rng);
+    G1Point jac_result, vec_result;
+    double jac_ms =
+        medianMs([&] { jac_result = msmPippengerJacobian(points, scalars); });
+    double vec_ms =
+        medianMs([&] { vec_result = msmPippenger(points, scalars); });
+    G1Affine jac_aff = jac_result.toAffine();
+    G1Affine vec_aff = vec_result.toAffine();
+    if (jac_aff.infinity != vec_aff.infinity ||
+        (!jac_aff.infinity &&
+         (jac_aff.x.toHexString() != vec_aff.x.toHexString() ||
+          jac_aff.y.toHexString() != vec_aff.y.toHexString())))
+        fatal("bench_micro: vectorized MSM diverged from Jacobian");
+    table.addRow({"msm_pippenger_2e14",
+                  formatSig(kMsmN / jac_ms / 1e3, 4),
+                  formatSig(kMsmN / vec_ms / 1e3, 4),
+                  bench::fmtSpeedup(jac_ms / vec_ms)});
+    json.addRow("msm_pippenger_2e14",
+                {{"jacobian_ms", jac_ms},
+                 {"vector_ms", vec_ms},
+                 {"vector_speedup", jac_ms / vec_ms}});
+
+    bench::printTable(
+        "Wide BN254 Fr kernels and MSM (scalar vs " +
+            std::string(wide_name) + ")",
+        table,
+        "Single-threaded; outputs verified bit-identical across "
+        "backends. fr_batch_inverse compares one shared inversion "
+        "against per-element Fermat; msm_pippenger_2e14 compares the "
+        "batch-affine bucket pass against the scalar Jacobian loop "
+        "(columns are Mpoint/s for that row).");
+}
+
 } // namespace
 } // namespace bzk
 
@@ -515,6 +708,7 @@ main(int argc, char **argv)
 {
     bzk::bench::JsonBench json("bench_micro", argc, argv);
     bzk::runFieldSweep(json);
+    bzk::runWideFieldSweep(json);
     json.write();
 
     std::vector<std::string> opts;

@@ -268,6 +268,54 @@ PipelinedZkpSystem::run(size_t batch, unsigned n_vars, Rng &rng)
                 ->gauge("bzk_field_batch_inverse_calls",
                         "field batchInverse calls")
                 .set(static_cast<double>(fc.batch_inverse));
+            metrics_
+                ->gauge("bzk_field_wide_backend",
+                        "active wide 4x64-limb field backend "
+                        "(0=scalar 1=avx2 2=ifma)")
+                .set(static_cast<double>(
+                    static_cast<int>(ff::activeWideBackend())));
+            metrics_
+                ->gauge("bzk_field_wide_lanes",
+                        "field elements per packed op on the active "
+                        "wide backend")
+                .set(static_cast<double>(
+                    ff::wideBackendLanes(ff::activeWideBackend())));
+            metrics_
+                ->gauge("bzk_field_wide_ifma_available",
+                        "1 if the host CPU supports AVX-512 IFMA")
+                .set(ff::wideIfmaAvailable() ? 1.0 : 0.0);
+            metrics_
+                ->gauge("bzk_field_wide_add_calls",
+                        "wide field addLanes kernel calls")
+                .set(static_cast<double>(fc.wide_add_lanes));
+            metrics_
+                ->gauge("bzk_field_wide_sub_calls",
+                        "wide field subLanes kernel calls")
+                .set(static_cast<double>(fc.wide_sub_lanes));
+            metrics_
+                ->gauge("bzk_field_wide_mul_calls",
+                        "wide field mulLanes kernel calls")
+                .set(static_cast<double>(fc.wide_mul_lanes));
+            metrics_
+                ->gauge("bzk_field_wide_fold_calls",
+                        "wide field foldLanes kernel calls")
+                .set(static_cast<double>(fc.wide_fold_lanes));
+            metrics_
+                ->gauge("bzk_field_wide_axpy_calls",
+                        "wide field axpyLanes kernel calls")
+                .set(static_cast<double>(fc.wide_axpy_lanes));
+            metrics_
+                ->gauge("bzk_field_wide_sum_calls",
+                        "wide field sumLanes kernel calls")
+                .set(static_cast<double>(fc.wide_sum_lanes));
+            metrics_
+                ->gauge("bzk_field_wide_dot_calls",
+                        "wide field dotLanes kernel calls")
+                .set(static_cast<double>(fc.wide_dot_lanes));
+            metrics_
+                ->gauge("bzk_field_wide_batch_inverse_calls",
+                        "wide field batchInverse calls")
+                .set(static_cast<double>(fc.wide_batch_inverse));
         }
     }
 

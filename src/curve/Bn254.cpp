@@ -1,5 +1,7 @@
 #include "curve/Bn254.h"
 
+#include "ff/FieldBackend.h"
+
 namespace bzk {
 
 G1Point
@@ -131,6 +133,26 @@ G1Point::toAffine() const
     out.x = x_ * z_inv2;
     out.y = y_ * z_inv2 * z_inv;
     out.infinity = false;
+    return out;
+}
+
+std::vector<G1Affine>
+G1Point::batchToAffine(std::span<const G1Point> points)
+{
+    const size_t n = points.size();
+    std::vector<G1Affine> out(n);
+    std::vector<Fq> z_inv(n);
+    for (size_t i = 0; i < n; ++i)
+        z_inv[i] = points[i].z_; // zero for infinity: skipped below
+    ff::batchInverse(z_inv.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+        if (z_inv[i].isZero())
+            continue; // stays affine infinity
+        Fq zi2 = z_inv[i].square();
+        out[i].x = points[i].x_ * zi2;
+        out[i].y = points[i].y_ * zi2 * z_inv[i];
+        out[i].infinity = false;
+    }
     return out;
 }
 

@@ -14,6 +14,9 @@
  * Points use Jacobian coordinates (X, Y, Z) with infinity at Z = 0.
  */
 
+#include <span>
+#include <vector>
+
 #include "ff/Fields.h"
 #include "util/Rng.h"
 
@@ -71,6 +74,14 @@ class G1Point
 
     /** Normalize to affine (one field inversion). */
     G1Affine toAffine() const;
+
+    /**
+     * Normalize a batch with one shared inversion (Montgomery trick
+     * via ff::batchInverse); infinities map to affine infinity.
+     * Identical results to per-point toAffine().
+     */
+    static std::vector<G1Affine>
+    batchToAffine(std::span<const G1Point> points);
 
     /** Affine curve-equation check (true for infinity). */
     bool isOnCurve() const;

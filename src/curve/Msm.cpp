@@ -1,75 +1,331 @@
 #include "curve/Msm.h"
 
 #include <algorithm>
-#include <cmath>
+#include <string>
 
+#include "ff/FieldBackend.h"
 #include "util/Log.h"
 
 namespace bzk {
 
-G1Point
-msmNaive(std::span<const G1Affine> points, std::span<const Fr> scalars)
+MsmSizeMismatch::MsmSizeMismatch(const char *where, size_t points_,
+                                 size_t scalars_)
+    : std::invalid_argument(std::string(where) + ": " +
+                            std::to_string(points_) + " points vs " +
+                            std::to_string(scalars_) + " scalars"),
+      points(points_), scalars(scalars_)
 {
-    if (points.size() != scalars.size())
-        panic("msmNaive: %zu points vs %zu scalars", points.size(),
-              scalars.size());
-    G1Point acc;
-    for (size_t i = 0; i < points.size(); ++i)
-        acc = acc.add(G1Point::fromAffine(points[i]).mul(scalars[i]));
-    return acc;
+}
+
+unsigned
+msmWindowBits(size_t n)
+{
+    // Tuned on the bench_micro MSM sweep (EXPERIMENTS.md): wider
+    // windows than the old log2(n)/1.3 heuristic pay off once the
+    // batch-affine pass amortizes bucket work across one inversion.
+    unsigned lg = 0;
+    while ((size_t{1} << (lg + 1)) <= n && lg < 40)
+        ++lg;
+    if (lg <= 3)
+        return 2;
+    if (lg <= 5)
+        return 4;
+    if (lg <= 9)
+        return 6;
+    if (lg <= 12)
+        return 8;
+    if (lg <= 15)
+        return 10;
+    if (lg <= 18)
+        return 12;
+    if (lg <= 21)
+        return 13;
+    return 16;
+}
+
+namespace {
+
+constexpr unsigned kScalarBits = 254;
+
+/**
+ * All window digits for all scalars, extracted once up front
+ * (digits[w * n + i] is scalar i's digit in window w). Digit values
+ * fit 16 bits because window widths are capped at 16.
+ */
+std::vector<uint32_t>
+decomposeScalars(std::span<const Fr> scalars, unsigned window_bits,
+                 unsigned windows)
+{
+    const size_t n = scalars.size();
+    const uint64_t mask = (uint64_t{1} << window_bits) - 1;
+    std::vector<uint32_t> digits(static_cast<size_t>(windows) * n);
+    for (size_t i = 0; i < n; ++i) {
+        U256 e = scalars[i].toU256();
+        for (unsigned w = 0; w < windows; ++w) {
+            unsigned shift = w * window_bits;
+            size_t limb = shift / 64;
+            unsigned off = shift % 64;
+            uint64_t v = e.limb[limb] >> off;
+            if (off != 0 && limb + 1 < 4)
+                v |= e.limb[limb + 1] << (64 - off);
+            digits[static_cast<size_t>(w) * n + i] =
+                static_cast<uint32_t>(v & mask);
+        }
+    }
+    return digits;
+}
+
+/** How each pair in a batch-affine round produces its output. */
+enum class PairAction : uint8_t {
+    kVector = 0, // chord or tangent: R from the shared-slope algebra
+    kCopyP,      // Q is infinity
+    kCopyQ,      // P is infinity
+    kInfinity,   // P == -Q
+};
+
+/**
+ * Scratch for the batch-affine adder, reused across rounds so the
+ * per-pass cost is the field work, not allocation.
+ */
+struct BatchAddScratch
+{
+    std::vector<Fq> px, py, qx, qy, den, num, lam, t;
+    std::vector<PairAction> action;
+
+    void
+    resize(size_t m)
+    {
+        px.resize(m);
+        py.resize(m);
+        qx.resize(m);
+        qy.resize(m);
+        den.resize(m);
+        num.resize(m);
+        lam.resize(m);
+        t.resize(m);
+        action.resize(m);
+    }
+};
+
+/**
+ * r[k] = p[k] + q[k] for m affine pairs staged in @p s (px/py/qx/qy
+ * and action filled by the caller), writing results to @p out.
+ *
+ * One ff::batchInverse shares the modular inversion across every
+ * pair's slope denominator; the remaining slope algebra runs through
+ * the packed Fq lane kernels, which is where the wide Montgomery
+ * backend earns its keep. Special pairs (infinity operands, P == -Q)
+ * carry a zero denominator — batchInverse's documented skip-zero
+ * semantics leave them inert — and are patched from `action` after
+ * the vector pass.
+ */
+void
+batchAffineAdd(BatchAddScratch &s, size_t m, G1Affine *out)
+{
+    // Chord slope by default: den = qx - px, num = qy - py.
+    ff::subLanes(s.qx.data(), s.px.data(), s.den.data(), m);
+    ff::subLanes(s.qy.data(), s.py.data(), s.num.data(), m);
+    for (size_t k = 0; k < m; ++k) {
+        if (s.action[k] != PairAction::kVector) {
+            s.den[k] = Fq::zero();
+            continue;
+        }
+        if (!s.den[k].isZero())
+            continue;
+        if (s.num[k].isZero()) {
+            // P == Q: tangent slope 3x^2 / 2y (y != 0 on this curve;
+            // y^2 = x^3 + 3 has no 2-torsion).
+            Fq x2 = s.px[k].square();
+            s.num[k] = x2 + x2 + x2;
+            s.den[k] = s.py[k].dbl();
+        } else {
+            // P == -Q.
+            s.action[k] = PairAction::kInfinity;
+        }
+    }
+
+    ff::batchInverse(s.den.data(), m);
+    ff::mulLanes(s.num.data(), s.den.data(), s.lam.data(), m);
+    // rx = lam^2 - px - qx (reusing den for lam^2 and then rx).
+    ff::mulLanes(s.lam.data(), s.lam.data(), s.den.data(), m);
+    ff::subLanes(s.den.data(), s.px.data(), s.den.data(), m);
+    ff::subLanes(s.den.data(), s.qx.data(), s.den.data(), m);
+    // ry = lam * (px - rx) - py (t holds the intermediate).
+    ff::subLanes(s.px.data(), s.den.data(), s.t.data(), m);
+    ff::mulLanes(s.lam.data(), s.t.data(), s.t.data(), m);
+    ff::subLanes(s.t.data(), s.py.data(), s.t.data(), m);
+
+    for (size_t k = 0; k < m; ++k) {
+        switch (s.action[k]) {
+          case PairAction::kVector:
+            out[k].x = s.den[k];
+            out[k].y = s.t[k];
+            out[k].infinity = false;
+            break;
+          case PairAction::kCopyP:
+            out[k].x = s.px[k];
+            out[k].y = s.py[k];
+            out[k].infinity = false;
+            break;
+          case PairAction::kCopyQ:
+            out[k].x = s.qx[k];
+            out[k].y = s.qy[k];
+            out[k].infinity = false;
+            break;
+          case PairAction::kInfinity:
+            out[k] = G1Affine{};
+            break;
+        }
+    }
+}
+
+/** Stage one pair into slot @p k of the scratch. */
+void
+stagePair(BatchAddScratch &s, size_t k, const G1Affine &p,
+          const G1Affine &q)
+{
+    if (p.infinity && q.infinity) {
+        s.action[k] = PairAction::kInfinity;
+        return;
+    }
+    if (q.infinity) {
+        s.action[k] = PairAction::kCopyP;
+        s.px[k] = p.x;
+        s.py[k] = p.y;
+        return;
+    }
+    if (p.infinity) {
+        s.action[k] = PairAction::kCopyQ;
+        s.qx[k] = q.x;
+        s.qy[k] = q.y;
+        return;
+    }
+    s.action[k] = PairAction::kVector;
+    s.px[k] = p.x;
+    s.py[k] = p.y;
+    s.qx[k] = q.x;
+    s.qy[k] = q.y;
 }
 
 G1Point
-msmPippenger(std::span<const G1Affine> points, std::span<const Fr> scalars,
-             unsigned window_bits)
+msmPippengerImpl(std::span<const G1Affine> points,
+                 std::span<const Fr> scalars, unsigned window_bits,
+                 bool batch_affine)
 {
-    if (points.size() != scalars.size())
-        panic("msmPippenger: %zu points vs %zu scalars", points.size(),
-              scalars.size());
     if (points.empty())
         return G1Point();
-    if (window_bits == 0) {
-        // Classic heuristic: c ~ ln(n).
-        window_bits = std::max(
-            2u, static_cast<unsigned>(std::log2(
-                    static_cast<double>(points.size()) + 1.0) /
-                    1.3));
-        window_bits = std::min(window_bits, 16u);
-    }
+    if (window_bits == 0)
+        window_bits = msmWindowBits(points.size());
+    window_bits = std::min(window_bits, 16u);
 
-    // Standard-form scalars for windowed digit extraction.
-    std::vector<U256> es(scalars.size());
-    for (size_t i = 0; i < scalars.size(); ++i)
-        es[i] = scalars[i].toU256();
-
-    const unsigned total_bits = 254;
+    const size_t n = points.size();
     const unsigned windows =
-        (total_bits + window_bits - 1) / window_bits;
+        (kScalarBits + window_bits - 1) / window_bits;
     const size_t n_buckets = (size_t{1} << window_bits) - 1;
+    std::vector<uint32_t> digits =
+        decomposeScalars(scalars, window_bits, windows);
+
+    // Per-window reusable bucket storage.
+    std::vector<uint32_t> count(n_buckets + 1);
+    std::vector<uint32_t> offset(n_buckets + 1);
+    std::vector<uint32_t> len(n_buckets);
+    std::vector<G1Affine> entries;
+    std::vector<G1Affine> results;
+    BatchAddScratch scratch;
+    std::vector<G1Point> jac_buckets;
 
     G1Point result;
     for (int w = static_cast<int>(windows) - 1; w >= 0; --w) {
         for (unsigned s = 0; s < window_bits; ++s)
             result = result.dbl();
+        const uint32_t *wdigits = digits.data() +
+                                  static_cast<size_t>(w) * n;
 
-        std::vector<G1Point> buckets(n_buckets);
-        unsigned shift = static_cast<unsigned>(w) * window_bits;
-        for (size_t i = 0; i < points.size(); ++i) {
-            uint64_t digit = 0;
-            for (unsigned b = 0; b < window_bits; ++b) {
-                unsigned bit = shift + b;
-                if (bit < 256)
-                    digit |= static_cast<uint64_t>(es[i].bit(bit)) << b;
+        if (!batch_affine) {
+            // Reference path: Jacobian accumulation per bucket.
+            jac_buckets.assign(n_buckets, G1Point());
+            for (size_t i = 0; i < n; ++i) {
+                uint32_t d = wdigits[i];
+                if (d != 0)
+                    jac_buckets[d - 1] =
+                        jac_buckets[d - 1].addMixed(points[i]);
             }
-            if (digit != 0)
-                buckets[digit - 1] = buckets[digit - 1].addMixed(points[i]);
+            G1Point running;
+            G1Point window_sum;
+            for (size_t j = n_buckets; j-- > 0;) {
+                running = running.add(jac_buckets[j]);
+                window_sum = window_sum.add(running);
+            }
+            result = result.add(window_sum);
+            continue;
         }
 
-        // Suffix-sum trick: sum_j j * bucket_j with 2*n_buckets adds.
+        // Counting sort of the window's points by bucket, so each
+        // bucket's members sit in one contiguous segment of `entries`.
+        std::fill(count.begin(), count.end(), 0);
+        for (size_t i = 0; i < n; ++i)
+            ++count[wdigits[i]];
+        offset[0] = 0; // bucket digit d occupies offset[d-1]..
+        uint32_t acc = 0;
+        for (size_t d = 1; d <= n_buckets; ++d) {
+            offset[d - 1] = acc;
+            acc += count[d];
+            len[d - 1] = count[d];
+        }
+        offset[n_buckets] = acc;
+        entries.resize(acc);
+        {
+            std::vector<uint32_t> cursor(offset.begin(),
+                                         offset.end() - 1);
+            for (size_t i = 0; i < n; ++i) {
+                uint32_t d = wdigits[i];
+                if (d != 0)
+                    entries[cursor[d - 1]++] = points[i];
+            }
+        }
+
+        // Pairwise tree reduction: every pass halves each bucket's
+        // segment, pairing members across *all* buckets into one
+        // batch-affine round so the shared inversion amortizes over
+        // the whole window.
+        bool more = true;
+        while (more) {
+            more = false;
+            size_t m = 0;
+            for (size_t b = 0; b < n_buckets; ++b)
+                m += len[b] / 2;
+            if (m == 0)
+                break;
+            scratch.resize(m);
+            results.resize(m);
+            size_t k = 0;
+            for (size_t b = 0; b < n_buckets; ++b) {
+                uint32_t off = offset[b];
+                for (uint32_t p = 0; p + 1 < len[b]; p += 2)
+                    stagePair(scratch, k++, entries[off + p],
+                              entries[off + p + 1]);
+            }
+            batchAffineAdd(scratch, m, results.data());
+            k = 0;
+            for (size_t b = 0; b < n_buckets; ++b) {
+                uint32_t off = offset[b];
+                uint32_t pairs = len[b] / 2;
+                for (uint32_t p = 0; p < pairs; ++p)
+                    entries[off + p] = results[k++];
+                if (len[b] & 1)
+                    entries[off + pairs] = entries[off + len[b] - 1];
+                len[b] = pairs + (len[b] & 1);
+                if (len[b] > 1)
+                    more = true;
+            }
+        }
+
+        // Suffix-sum over the (now single-member) buckets.
         G1Point running;
         G1Point window_sum;
         for (size_t j = n_buckets; j-- > 0;) {
-            running = running.add(buckets[j]);
+            if (len[j] != 0)
+                running = running.addMixed(entries[offset[j]]);
             window_sum = window_sum.add(running);
         }
         result = result.add(window_sum);
@@ -77,20 +333,57 @@ msmPippenger(std::span<const G1Affine> points, std::span<const Fr> scalars,
     return result;
 }
 
+} // namespace
+
+G1Point
+msmNaive(std::span<const G1Affine> points, std::span<const Fr> scalars)
+{
+    if (points.size() != scalars.size())
+        throw MsmSizeMismatch("msmNaive", points.size(),
+                              scalars.size());
+    G1Point acc;
+    for (size_t i = 0; i < points.size(); ++i)
+        acc = acc.add(G1Point::fromAffine(points[i]).mul(scalars[i]));
+    return acc;
+}
+
+G1Point
+msmPippenger(std::span<const G1Affine> points,
+             std::span<const Fr> scalars, unsigned window_bits)
+{
+    if (points.size() != scalars.size())
+        throw MsmSizeMismatch("msmPippenger", points.size(),
+                              scalars.size());
+    return msmPippengerImpl(points, scalars, window_bits,
+                            /*batch_affine=*/true);
+}
+
+G1Point
+msmPippengerJacobian(std::span<const G1Affine> points,
+                     std::span<const Fr> scalars, unsigned window_bits)
+{
+    if (points.size() != scalars.size())
+        throw MsmSizeMismatch("msmPippengerJacobian", points.size(),
+                              scalars.size());
+    return msmPippengerImpl(points, scalars, window_bits,
+                            /*batch_affine=*/false);
+}
+
 std::vector<G1Affine>
 randomPoints(size_t n, Rng &rng)
 {
-    std::vector<G1Affine> out;
-    out.reserve(n);
     // Derive points by walking multiples of the generator with random
-    // strides — cheap and guarantees on-curve points.
+    // strides — cheap and guarantees on-curve points. Normalization
+    // runs through one shared batch inversion instead of n.
+    std::vector<G1Point> jac;
+    jac.reserve(n);
     G1Point cur = G1Point::random(rng);
     G1Point stride = G1Point::random(rng);
     for (size_t i = 0; i < n; ++i) {
-        out.push_back(cur.toAffine());
+        jac.push_back(cur);
         cur = cur.add(stride);
     }
-    return out;
+    return G1Point::batchToAffine(jac);
 }
 
 } // namespace bzk

@@ -6,26 +6,68 @@
  * Multi-scalar multiplication over BN254 G1 — the dominant cost of the
  * Groth16-family provers the paper compares against (Table 7's MSM
  * column).
+ *
+ * The default msmPippenger accumulates each window's buckets with
+ * batch-affine additions: bucket members are paired up and added as
+ * affine points, with the per-pair slope denominators inverted in one
+ * shared Montgomery batch inversion (ff::batchInverse) and the slope
+ * algebra running through the packed wide-field Fq kernels. All paths
+ * return the same group element (curve addition is exact), pinned by
+ * test_msm against msmNaive down to serialized affine bytes.
  */
 
+#include <cstddef>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "curve/Bn254.h"
 
 namespace bzk {
 
+/**
+ * Thrown by the MSM entry points when the point and scalar spans
+ * disagree in length (catching it beats the span-indexing UB that a
+ * mismatched zip loop would hit).
+ */
+struct MsmSizeMismatch : std::invalid_argument
+{
+    MsmSizeMismatch(const char *where, size_t points, size_t scalars);
+
+    size_t points;
+    size_t scalars;
+};
+
+/**
+ * Bucket window width (bits) used for an n-point Pippenger run when
+ * the caller passes window_bits = 0. A log2(n)-based table tuned from
+ * the bench_micro MSM sweep (EXPERIMENTS.md) instead of the old
+ * log2(n)/1.3 heuristic.
+ */
+unsigned msmWindowBits(size_t n);
+
 /** Naive sum of scalar multiplications — reference for testing. */
 G1Point msmNaive(std::span<const G1Affine> points,
                  std::span<const Fr> scalars);
 
 /**
- * Pippenger bucket MSM.
- * @param window_bits bucket window width; 0 picks a size-derived value.
+ * Pippenger bucket MSM with the vectorized batch-affine bucket
+ * accumulation.
+ * @param window_bits bucket window width; 0 picks msmWindowBits(n).
+ * @throws MsmSizeMismatch when the spans disagree in length.
  */
 G1Point msmPippenger(std::span<const G1Affine> points,
                      std::span<const Fr> scalars,
                      unsigned window_bits = 0);
+
+/**
+ * Pippenger with the scalar Jacobian bucket loop (one addMixed per
+ * point per window). Reference and bench baseline for the vectorized
+ * pass; same group element out.
+ */
+G1Point msmPippengerJacobian(std::span<const G1Affine> points,
+                             std::span<const Fr> scalars,
+                             unsigned window_bits = 0);
 
 /** Generate @p n pseudo-random affine points (and their generator). */
 std::vector<G1Affine> randomPoints(size_t n, Rng &rng);

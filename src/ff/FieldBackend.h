@@ -29,17 +29,27 @@
  * by test_ff_kat and the system goldens).
  *
  * The generic templates below run the portable loop for any field
- * type; Goldilocks (the only field whose element fits a SIMD lane) has
- * specializations that route through the dispatched backend. The
- * 256-bit Montgomery fields stay on the scalar path — CIOS carry
- * chains do not map onto 64-bit lanes without IFMA-class hardware (see
- * docs/PERFORMANCE.md).
+ * type. Two families have specializations that route through the
+ * dispatched backends instead:
+ *
+ *  - Goldilocks (one 64-bit canonical limb per SIMD lane) uses the
+ *    kernels declared in GoldilocksKernels.h.
+ *  - The 4x64-limb Montgomery fields BN254 Fr and Fq use the *wide*
+ *    kernels of WideKernels.h: blocks of elements are transposed to a
+ *    limb-major (struct-of-arrays) layout and multiplied 8-way with
+ *    AVX-512 IFMA vpmadd52 (radix-52), 4-way with AVX2 widening
+ *    64x64 multiplies (radix-64 CIOS), or element-wise on the scalar
+ *    reference. On AVX-512F hosts without IFMA — and whenever
+ *    BZK_FIELD_IFMA=0 or forceWideIfma(0) disables it — the AVX2
+ *    4-way table serves as the fallback. See docs/PERFORMANCE.md.
  */
 
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "ff/FieldParams.h"
+#include "ff/Fp.h"
 #include "ff/Goldilocks.h"
 
 namespace bzk::ff {
@@ -81,6 +91,44 @@ void clearForcedBackend();
 /** Lanes processed per packed op by @p backend (1 for scalar). */
 size_t backendLanes(Backend backend);
 
+/**
+ * The wide-field (4x64-limb Montgomery) kernel families. Which one
+ * runs is derived from activeBackend() plus IFMA availability:
+ * kAvx512 + IFMA -> kIfma (8-way radix-52); kAvx512 without IFMA or
+ * kAvx2 -> kAvx2 (4-way radix-64 CIOS); anything else -> kScalar.
+ */
+enum class WideBackend {
+    kScalar = 0,
+    kAvx2 = 1,
+    kIfma = 2,
+};
+
+/** Stable lower-case name ("scalar", "avx2", "ifma"). */
+const char *wideBackendName(WideBackend backend);
+
+/** Elements per packed wide-field block (1, 4 or 8). */
+size_t wideBackendLanes(WideBackend backend);
+
+/** The wide-field table Fr/Fq lane kernels dispatch to right now. */
+WideBackend activeWideBackend();
+
+/** True when this host has AVX-512 IFMA (vpmadd52). */
+bool wideIfmaAvailable();
+
+/**
+ * True when wide-field dispatch may use the IFMA table: the host has
+ * it and neither BZK_FIELD_IFMA=0 nor forceWideIfma(0) disabled it.
+ * (The table actually runs only when activeBackend() is kAvx512.)
+ */
+bool wideIfmaEnabled();
+
+/**
+ * Test hook: 0 disables the IFMA table (exercises the AVX2 fallback
+ * on IFMA hosts), 1 re-enables it (fatal when the host lacks IFMA),
+ * -1 restores env/CPUID resolution.
+ */
+void forceWideIfma(int mode);
+
 /** Cumulative packed-kernel invocation counts (exported as metrics). */
 struct KernelCounters
 {
@@ -92,6 +140,17 @@ struct KernelCounters
     uint64_t sum_lanes = 0;
     uint64_t dot_lanes = 0;
     uint64_t batch_inverse = 0;
+    // Wide-field (Fr/Fq) kernel invocations, counted separately so
+    // the metrics can tell 64-bit Goldilocks traffic from 256-bit
+    // Montgomery traffic.
+    uint64_t wide_add_lanes = 0;
+    uint64_t wide_sub_lanes = 0;
+    uint64_t wide_mul_lanes = 0;
+    uint64_t wide_fold_lanes = 0;
+    uint64_t wide_axpy_lanes = 0;
+    uint64_t wide_sum_lanes = 0;
+    uint64_t wide_dot_lanes = 0;
+    uint64_t wide_batch_inverse = 0;
 };
 
 /** Snapshot of the process-wide counters (relaxed; monotonic). */
@@ -112,11 +171,50 @@ enum class Kernel {
     kSum,
     kDot,
     kBatchInverse,
+    kWideAdd,
+    kWideSub,
+    kWideMul,
+    kWideFold,
+    kWideAxpy,
+    kWideSum,
+    kWideDot,
+    kWideBatchInverse,
     kCount_,
 };
 
 /** Bump one kernel's call counter (relaxed atomic). */
 void countKernel(Kernel kernel);
+
+/**
+ * The Montgomery-trick body shared by the generic batchInverse and
+ * the wide-field specializations (only the counter slot differs).
+ */
+template <typename F>
+size_t
+batchInverseImpl(F *x, size_t n)
+{
+    std::vector<F> prefix(n);
+    F run = F::one();
+    size_t inverted = 0;
+    for (size_t i = 0; i < n; ++i) {
+        if (x[i].isZero())
+            continue;
+        prefix[i] = run;
+        run *= x[i];
+        ++inverted;
+    }
+    if (inverted == 0)
+        return 0;
+    F inv = run.inverse();
+    for (size_t i = n; i-- > 0;) {
+        if (x[i].isZero())
+            continue;
+        F xi = x[i];
+        x[i] = inv * prefix[i];
+        inv *= xi;
+    }
+    return inverted;
+}
 
 } // namespace detail
 
@@ -211,27 +309,7 @@ size_t
 batchInverse(F *x, size_t n)
 {
     detail::countKernel(detail::Kernel::kBatchInverse);
-    std::vector<F> prefix(n);
-    F run = F::one();
-    size_t inverted = 0;
-    for (size_t i = 0; i < n; ++i) {
-        if (x[i].isZero())
-            continue;
-        prefix[i] = run;
-        run *= x[i];
-        ++inverted;
-    }
-    if (inverted == 0)
-        return 0;
-    F inv = run.inverse();
-    for (size_t i = n; i-- > 0;) {
-        if (x[i].isZero())
-            continue;
-        F xi = x[i];
-        x[i] = inv * prefix[i];
-        inv *= xi;
-    }
-    return inverted;
+    return detail::batchInverseImpl(x, n);
 }
 
 // Goldilocks is the packed field: its 64-bit canonical elements map
@@ -256,6 +334,70 @@ template <> Goldilocks sumLanes<Goldilocks>(const Goldilocks *a, size_t n);
 template <>
 Goldilocks dotLanes<Goldilocks>(const Goldilocks *a, const Goldilocks *b,
                                 size_t n);
+
+// BN254 Fr and Fq route through the wide-field (4x64-limb Montgomery)
+// kernel tables: limb-transposed SoA blocks, 8-way under AVX-512 IFMA,
+// 4-way under AVX2, scalar otherwise. Bit-identical to the portable
+// loop for every backend (each element result is fully canonical).
+using Bn254Fr = Fp<Bn254FrParams>;
+using Bn254Fq = Fp<Bn254FqParams>;
+
+template <>
+void addLanes<Bn254Fr>(const Bn254Fr *a, const Bn254Fr *b, Bn254Fr *out,
+                       size_t n);
+template <>
+void subLanes<Bn254Fr>(const Bn254Fr *a, const Bn254Fr *b, Bn254Fr *out,
+                       size_t n);
+template <>
+void mulLanes<Bn254Fr>(const Bn254Fr *a, const Bn254Fr *b, Bn254Fr *out,
+                       size_t n);
+template <>
+void foldLanes<Bn254Fr>(Bn254Fr *lo, const Bn254Fr *hi, const Bn254Fr &r,
+                        size_t n);
+template <>
+void axpyLanes<Bn254Fr>(Bn254Fr *acc, const Bn254Fr *x, const Bn254Fr &s,
+                        size_t n);
+template <> Bn254Fr sumLanes<Bn254Fr>(const Bn254Fr *a, size_t n);
+template <>
+Bn254Fr dotLanes<Bn254Fr>(const Bn254Fr *a, const Bn254Fr *b, size_t n);
+
+template <>
+void addLanes<Bn254Fq>(const Bn254Fq *a, const Bn254Fq *b, Bn254Fq *out,
+                       size_t n);
+template <>
+void subLanes<Bn254Fq>(const Bn254Fq *a, const Bn254Fq *b, Bn254Fq *out,
+                       size_t n);
+template <>
+void mulLanes<Bn254Fq>(const Bn254Fq *a, const Bn254Fq *b, Bn254Fq *out,
+                       size_t n);
+template <>
+void foldLanes<Bn254Fq>(Bn254Fq *lo, const Bn254Fq *hi, const Bn254Fq &r,
+                        size_t n);
+template <>
+void axpyLanes<Bn254Fq>(Bn254Fq *acc, const Bn254Fq *x, const Bn254Fq &s,
+                        size_t n);
+template <> Bn254Fq sumLanes<Bn254Fq>(const Bn254Fq *a, size_t n);
+template <>
+Bn254Fq dotLanes<Bn254Fq>(const Bn254Fq *a, const Bn254Fq *b, size_t n);
+
+// The wide batch inversion shares the generic Montgomery-trick body
+// (its multiplies are already single-element chains) but is counted
+// on the wide_batch_inverse slot so metrics and the bench can see it.
+template <>
+inline size_t
+batchInverse<Bn254Fr>(Bn254Fr *x, size_t n)
+{
+    detail::countKernel(detail::Kernel::kWideBatchInverse);
+    return detail::batchInverseImpl(x, n);
+}
+
+template <>
+inline size_t
+batchInverse<Bn254Fq>(Bn254Fq *x, size_t n)
+{
+    detail::countKernel(detail::Kernel::kWideBatchInverse);
+    return detail::batchInverseImpl(x, n);
+}
 
 } // namespace bzk::ff
 

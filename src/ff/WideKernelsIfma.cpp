@@ -1,0 +1,500 @@
+/**
+ * @file
+ * 8-way AVX-512 IFMA wide-field kernels (BN254 Fr/Fq class moduli).
+ * Compiled with -mavx512ifma in its own translation unit; only
+ * reached after __builtin_cpu_supports("avx512ifma") (see
+ * FieldBackend.cpp), so no illegal instruction can leak onto
+ * non-IFMA hosts.
+ *
+ * Lane layout: elements are stored AoS (4 little-endian 64-bit limbs
+ * each, Montgomery form with R = 2^256); each block of 8 elements is
+ * transposed in-register to a limb-major (struct-of-arrays) form, so
+ * one __m512i holds the same limb of 8 elements. Montgomery
+ * multiplication then runs in a redundant radix-2^52 representation
+ * (five 52-bit limbs per element) where vpmadd52luq/vpmadd52huq do
+ * 8x 52x52->104-bit multiply-accumulates per instruction.
+ *
+ * Domain fix-up: a 5-round radix-52 Montgomery reduction divides by
+ * 2^260, not the 2^256 the scalar CIOS uses. Instead of leaving the
+ * packed domain, one operand is pre-shifted left by 4 bits during the
+ * 64->52-bit re-slicing, so the kernel computes
+ * (a*2^4) * b * 2^-260 = a * b * 2^-256 mod p — the exact scalar
+ * Montgomery product. The result is fully canonicalized (< p), and
+ * since a*b*2^-256 mod p is a unique value, outputs are bit-identical
+ * to the scalar reference despite the different radix.
+ *
+ * Bounds: p < 2^255 (static-asserted via the 255-bit requirement in
+ * Fp<>), so a*16 < 2^259 < 2^260 fits five 52-bit limbs and the
+ * Montgomery result is < 2^252 + p < 2p — one conditional subtract
+ * canonicalizes. Accumulator slots absorb at most ~25 products of
+ * 52-bit values (< 2^57) before any carry is propagated, far inside
+ * the 64-bit lane.
+ */
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include "ff/WideKernels.h"
+
+namespace bzk::ff::detail {
+namespace {
+
+using V = __m512i;
+
+// Broadcast constants come from per-call setup, not file-scope
+// globals: a global __m512i initializer would execute AVX-512
+// instructions during static init on hosts that must never reach this
+// TU's code.
+
+/** Per-call vector view of one field's constants. */
+struct ConstsV
+{
+    V p64[4];  // modulus, radix-64 limbs
+    V p52[5];  // modulus, radix-52 limbs
+    V inv52;   // -p^{-1} mod 2^52
+    V mask52;
+    V zero;
+    V one;
+};
+
+inline ConstsV
+makeConstsV(const WideFieldConstants &c)
+{
+    ConstsV k;
+    for (int j = 0; j < 4; ++j)
+        k.p64[j] = _mm512_set1_epi64(
+            static_cast<long long>(c.modulus[j]));
+    for (int j = 0; j < 5; ++j)
+        k.p52[j] = _mm512_set1_epi64(
+            static_cast<long long>(c.modulus52[j]));
+    k.inv52 = _mm512_set1_epi64(static_cast<long long>(c.inv52));
+    k.mask52 = _mm512_set1_epi64(static_cast<long long>(kMask52));
+    k.zero = _mm512_setzero_si512();
+    k.one = _mm512_set1_epi64(1);
+    return k;
+}
+
+/** AoS block of 8 elements (32 limbs) -> limb-major L[0..3]. */
+inline void
+loadSoA(const uint64_t *p, V L[4])
+{
+    V a = _mm512_loadu_si512(p);      // e0, e1
+    V b = _mm512_loadu_si512(p + 8);  // e2, e3
+    V c = _mm512_loadu_si512(p + 16); // e4, e5
+    V d = _mm512_loadu_si512(p + 24); // e6, e7
+    const V idx01 = _mm512_setr_epi64(0, 4, 8, 12, 1, 5, 9, 13);
+    const V idx23 = _mm512_setr_epi64(2, 6, 10, 14, 3, 7, 11, 15);
+    V ab01 = _mm512_permutex2var_epi64(a, idx01, b);
+    V cd01 = _mm512_permutex2var_epi64(c, idx01, d);
+    V ab23 = _mm512_permutex2var_epi64(a, idx23, b);
+    V cd23 = _mm512_permutex2var_epi64(c, idx23, d);
+    const V lo_half = _mm512_setr_epi64(0, 1, 2, 3, 8, 9, 10, 11);
+    const V hi_half = _mm512_setr_epi64(4, 5, 6, 7, 12, 13, 14, 15);
+    L[0] = _mm512_permutex2var_epi64(ab01, lo_half, cd01);
+    L[1] = _mm512_permutex2var_epi64(ab01, hi_half, cd01);
+    L[2] = _mm512_permutex2var_epi64(ab23, lo_half, cd23);
+    L[3] = _mm512_permutex2var_epi64(ab23, hi_half, cd23);
+}
+
+/** Limb-major L[0..3] -> AoS block of 8 elements at @p p. */
+inline void
+storeAoS(uint64_t *p, const V L[4])
+{
+    const V pair_lo = _mm512_setr_epi64(0, 8, 1, 9, 2, 10, 3, 11);
+    const V pair_hi = _mm512_setr_epi64(4, 12, 5, 13, 6, 14, 7, 15);
+    V l01_lo = _mm512_permutex2var_epi64(L[0], pair_lo, L[1]);
+    V l01_hi = _mm512_permutex2var_epi64(L[0], pair_hi, L[1]);
+    V l23_lo = _mm512_permutex2var_epi64(L[2], pair_lo, L[3]);
+    V l23_hi = _mm512_permutex2var_epi64(L[2], pair_hi, L[3]);
+    const V quad_lo = _mm512_setr_epi64(0, 1, 8, 9, 2, 3, 10, 11);
+    const V quad_hi = _mm512_setr_epi64(4, 5, 12, 13, 6, 7, 14, 15);
+    _mm512_storeu_si512(p,
+                        _mm512_permutex2var_epi64(l01_lo, quad_lo,
+                                                  l23_lo));
+    _mm512_storeu_si512(p + 8,
+                        _mm512_permutex2var_epi64(l01_lo, quad_hi,
+                                                  l23_lo));
+    _mm512_storeu_si512(p + 16,
+                        _mm512_permutex2var_epi64(l01_hi, quad_lo,
+                                                  l23_hi));
+    _mm512_storeu_si512(p + 24,
+                        _mm512_permutex2var_epi64(l01_hi, quad_hi,
+                                                  l23_hi));
+}
+
+/**
+ * Re-slice radix-64 limbs into radix-52, multiplying by 2^Shift
+ * (Shift = 0, or 4 for the Montgomery-domain fix-up operand).
+ * Requires the value < 2^(256-Shift) + headroom; canonical inputs are
+ * < p < 2^255 so both variants fit five 52-bit limbs.
+ */
+template <int Shift>
+inline void
+to52(const ConstsV &k, const V L[4], V t[5])
+{
+    static_assert(Shift == 0 || Shift == 4, "supported pre-shifts");
+    if constexpr (Shift == 0) {
+        t[0] = _mm512_and_si512(L[0], k.mask52);
+        t[1] = _mm512_and_si512(
+            _mm512_or_si512(_mm512_srli_epi64(L[0], 52),
+                            _mm512_slli_epi64(L[1], 12)),
+            k.mask52);
+        t[2] = _mm512_and_si512(
+            _mm512_or_si512(_mm512_srli_epi64(L[1], 40),
+                            _mm512_slli_epi64(L[2], 24)),
+            k.mask52);
+        t[3] = _mm512_and_si512(
+            _mm512_or_si512(_mm512_srli_epi64(L[2], 28),
+                            _mm512_slli_epi64(L[3], 36)),
+            k.mask52);
+        t[4] = _mm512_srli_epi64(L[3], 16);
+    } else {
+        t[0] = _mm512_and_si512(_mm512_slli_epi64(L[0], 4), k.mask52);
+        t[1] = _mm512_and_si512(
+            _mm512_or_si512(_mm512_srli_epi64(L[0], 48),
+                            _mm512_slli_epi64(L[1], 16)),
+            k.mask52);
+        t[2] = _mm512_and_si512(
+            _mm512_or_si512(_mm512_srli_epi64(L[1], 36),
+                            _mm512_slli_epi64(L[2], 28)),
+            k.mask52);
+        t[3] = _mm512_and_si512(
+            _mm512_or_si512(_mm512_srli_epi64(L[2], 24),
+                            _mm512_slli_epi64(L[3], 40)),
+            k.mask52);
+        t[4] = _mm512_srli_epi64(L[3], 12);
+    }
+}
+
+/** Canonical radix-52 limbs (< 2^52 each) back to radix-64. */
+inline void
+from52(const V t[5], V L[4])
+{
+    L[0] = _mm512_or_si512(t[0], _mm512_slli_epi64(t[1], 52));
+    L[1] = _mm512_or_si512(_mm512_srli_epi64(t[1], 12),
+                           _mm512_slli_epi64(t[2], 40));
+    L[2] = _mm512_or_si512(_mm512_srli_epi64(t[2], 24),
+                           _mm512_slli_epi64(t[3], 28));
+    L[3] = _mm512_or_si512(_mm512_srli_epi64(t[3], 36),
+                           _mm512_slli_epi64(t[4], 16));
+}
+
+/**
+ * 8-way radix-52 Montgomery product: t = x * y * 2^-260 mod p,
+ * canonical. x may be up to 2^259 (a pre-shifted operand); y must be
+ * canonical.
+ */
+inline void
+montMul52(const ConstsV &k, const V x[5], const V y[5], V t[5])
+{
+    V a0 = k.zero, a1 = k.zero, a2 = k.zero, a3 = k.zero, a4 = k.zero,
+      a5 = k.zero;
+    for (int i = 0; i < 5; ++i) {
+        V yi = y[i];
+        a0 = _mm512_madd52lo_epu64(a0, x[0], yi);
+        a1 = _mm512_madd52lo_epu64(a1, x[1], yi);
+        a2 = _mm512_madd52lo_epu64(a2, x[2], yi);
+        a3 = _mm512_madd52lo_epu64(a3, x[3], yi);
+        a4 = _mm512_madd52lo_epu64(a4, x[4], yi);
+        a1 = _mm512_madd52hi_epu64(a1, x[0], yi);
+        a2 = _mm512_madd52hi_epu64(a2, x[1], yi);
+        a3 = _mm512_madd52hi_epu64(a3, x[2], yi);
+        a4 = _mm512_madd52hi_epu64(a4, x[3], yi);
+        a5 = _mm512_madd52hi_epu64(a5, x[4], yi);
+
+        // m = -t0 * p^{-1} mod 2^52; folding in m*p zeroes the low
+        // 52 bits of slot 0, whose exact carry then shifts the whole
+        // accumulator down one limb.
+        V m = _mm512_madd52lo_epu64(k.zero, a0, k.inv52);
+        a0 = _mm512_madd52lo_epu64(a0, m, k.p52[0]);
+        V carry = _mm512_srli_epi64(a0, 52);
+        a1 = _mm512_add_epi64(a1, carry);
+        a1 = _mm512_madd52lo_epu64(a1, m, k.p52[1]);
+        a2 = _mm512_madd52lo_epu64(a2, m, k.p52[2]);
+        a3 = _mm512_madd52lo_epu64(a3, m, k.p52[3]);
+        a4 = _mm512_madd52lo_epu64(a4, m, k.p52[4]);
+        a1 = _mm512_madd52hi_epu64(a1, m, k.p52[0]);
+        a2 = _mm512_madd52hi_epu64(a2, m, k.p52[1]);
+        a3 = _mm512_madd52hi_epu64(a3, m, k.p52[2]);
+        a4 = _mm512_madd52hi_epu64(a4, m, k.p52[3]);
+        a5 = _mm512_madd52hi_epu64(a5, m, k.p52[4]);
+        a0 = a1;
+        a1 = a2;
+        a2 = a3;
+        a3 = a4;
+        a4 = a5;
+        a5 = k.zero;
+    }
+    V acc[5] = {a0, a1, a2, a3, a4};
+    for (int j = 0; j < 4; ++j) {
+        V c = _mm512_srli_epi64(acc[j], 52);
+        acc[j] = _mm512_and_si512(acc[j], k.mask52);
+        acc[j + 1] = _mm512_add_epi64(acc[j + 1], c);
+    }
+    // Conditional subtract p (value < 2p). Limbs are < 2^52, so the
+    // sign bit of the 64-bit difference is the borrow.
+    V d[5];
+    V bw = k.zero;
+    for (int j = 0; j < 5; ++j) {
+        V s = _mm512_sub_epi64(_mm512_sub_epi64(acc[j], k.p52[j]), bw);
+        bw = _mm512_srli_epi64(s, 63);
+        d[j] = _mm512_and_si512(s, k.mask52);
+    }
+    __mmask8 ge = _mm512_cmpeq_epi64_mask(bw, k.zero);
+    for (int j = 0; j < 5; ++j)
+        t[j] = _mm512_mask_blend_epi64(ge, acc[j], d[j]);
+}
+
+/** (a + b) mod p on limb-major radix-64 blocks, canonical in/out. */
+inline void
+addModSoA(const ConstsV &k, const V a[4], const V b[4], V out[4])
+{
+    // Canonical inputs sum below 2^256: no carry out of limb 3.
+    V sum[4];
+    V carry = k.zero;
+    for (int j = 0; j < 4; ++j) {
+        V s1 = _mm512_add_epi64(a[j], b[j]);
+        __mmask8 c1 = _mm512_cmplt_epu64_mask(s1, a[j]);
+        V s2 = _mm512_add_epi64(s1, carry);
+        __mmask8 c2 = _mm512_cmplt_epu64_mask(s2, carry);
+        sum[j] = s2;
+        carry = _mm512_maskz_set1_epi64(c1 | c2, 1);
+    }
+    V d[4];
+    V bw = k.zero;
+    for (int j = 0; j < 4; ++j) {
+        V d1 = _mm512_sub_epi64(sum[j], k.p64[j]);
+        __mmask8 b1 = _mm512_cmplt_epu64_mask(sum[j], k.p64[j]);
+        V d2 = _mm512_sub_epi64(d1, bw);
+        __mmask8 b2 = _mm512_cmplt_epu64_mask(d1, bw);
+        d[j] = d2;
+        bw = _mm512_maskz_set1_epi64(b1 | b2, 1);
+    }
+    __mmask8 ge = _mm512_cmpeq_epi64_mask(bw, k.zero);
+    for (int j = 0; j < 4; ++j)
+        out[j] = _mm512_mask_blend_epi64(ge, sum[j], d[j]);
+}
+
+/** (a - b) mod p on limb-major radix-64 blocks, canonical in/out. */
+inline void
+subModSoA(const ConstsV &k, const V a[4], const V b[4], V out[4])
+{
+    V d[4];
+    V bw = k.zero;
+    for (int j = 0; j < 4; ++j) {
+        V d1 = _mm512_sub_epi64(a[j], b[j]);
+        __mmask8 b1 = _mm512_cmplt_epu64_mask(a[j], b[j]);
+        V d2 = _mm512_sub_epi64(d1, bw);
+        __mmask8 b2 = _mm512_cmplt_epu64_mask(d1, bw);
+        d[j] = d2;
+        bw = _mm512_maskz_set1_epi64(b1 | b2, 1);
+    }
+    __mmask8 neg = _mm512_cmpneq_epi64_mask(bw, k.zero);
+    V carry = k.zero;
+    for (int j = 0; j < 4; ++j) {
+        V s1 = _mm512_mask_add_epi64(d[j], neg, d[j], k.p64[j]);
+        __mmask8 c1 = _mm512_cmplt_epu64_mask(s1, d[j]);
+        V s2 = _mm512_add_epi64(s1, carry);
+        __mmask8 c2 = _mm512_cmplt_epu64_mask(s2, carry);
+        out[j] = s2;
+        carry = _mm512_maskz_set1_epi64(c1 | c2, 1);
+    }
+}
+
+/** Montgomery product of two limb-major blocks (a gets the 2^4). */
+inline void
+mulModSoA(const ConstsV &k, const V a[4], const V b[4], V out[4])
+{
+    V x[5], y[5], t[5];
+    to52<4>(k, a, x);
+    to52<0>(k, b, y);
+    montMul52(k, x, y, t);
+    from52(t, out);
+}
+
+/** Broadcast one element's limbs to a limb-major block. */
+inline void
+broadcastSoA(const uint64_t *one, V L[4])
+{
+    for (int j = 0; j < 4; ++j)
+        L[j] = _mm512_set1_epi64(static_cast<long long>(one[j]));
+}
+
+/** Fold 8 lanes of a limb-major accumulator into one element. */
+inline void
+reduceLanes(const WideFieldConstants &c, const V acc[4],
+            uint64_t *out_one)
+{
+    alignas(64) uint64_t lanes[4][8];
+    for (int j = 0; j < 4; ++j)
+        _mm512_store_si512(lanes[j], acc[j]);
+    uint64_t total[4] = {0, 0, 0, 0};
+    uint64_t elem[4];
+    for (int lane = 0; lane < 8; ++lane) {
+        for (int j = 0; j < 4; ++j)
+            elem[j] = lanes[j][lane];
+        wideAddRef(c, total, elem, total);
+    }
+    for (int j = 0; j < 4; ++j)
+        out_one[j] = total[j];
+}
+
+void
+ifmaAdd(const WideFieldConstants &c, const uint64_t *a,
+        const uint64_t *b, uint64_t *out, size_t n)
+{
+    ConstsV k = makeConstsV(c);
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        V av[4], bv[4], ov[4];
+        loadSoA(a + 4 * i, av);
+        loadSoA(b + 4 * i, bv);
+        addModSoA(k, av, bv, ov);
+        storeAoS(out + 4 * i, ov);
+    }
+    for (; i < n; ++i)
+        wideAddRef(c, a + 4 * i, b + 4 * i, out + 4 * i);
+}
+
+void
+ifmaSub(const WideFieldConstants &c, const uint64_t *a,
+        const uint64_t *b, uint64_t *out, size_t n)
+{
+    ConstsV k = makeConstsV(c);
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        V av[4], bv[4], ov[4];
+        loadSoA(a + 4 * i, av);
+        loadSoA(b + 4 * i, bv);
+        subModSoA(k, av, bv, ov);
+        storeAoS(out + 4 * i, ov);
+    }
+    for (; i < n; ++i)
+        wideSubRef(c, a + 4 * i, b + 4 * i, out + 4 * i);
+}
+
+void
+ifmaMul(const WideFieldConstants &c, const uint64_t *a,
+        const uint64_t *b, uint64_t *out, size_t n)
+{
+    ConstsV k = makeConstsV(c);
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        V av[4], bv[4], ov[4];
+        loadSoA(a + 4 * i, av);
+        loadSoA(b + 4 * i, bv);
+        mulModSoA(k, av, bv, ov);
+        storeAoS(out + 4 * i, ov);
+    }
+    for (; i < n; ++i)
+        wideMulRef(c, a + 4 * i, b + 4 * i, out + 4 * i);
+}
+
+void
+ifmaFold(const WideFieldConstants &c, uint64_t *lo, const uint64_t *hi,
+         const uint64_t *r, size_t n)
+{
+    ConstsV k = makeConstsV(c);
+    V rv[4], r52[5];
+    broadcastSoA(r, rv);
+    to52<4>(k, rv, r52);
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        V lov[4], hiv[4], dv[4], y[5], t[5], pv[4];
+        loadSoA(lo + 4 * i, lov);
+        loadSoA(hi + 4 * i, hiv);
+        subModSoA(k, hiv, lov, dv);
+        to52<0>(k, dv, y);
+        montMul52(k, r52, y, t);
+        from52(t, pv);
+        addModSoA(k, lov, pv, lov);
+        storeAoS(lo + 4 * i, lov);
+    }
+    uint64_t d[4], t[4];
+    for (; i < n; ++i) {
+        wideSubRef(c, hi + 4 * i, lo + 4 * i, d);
+        wideMulRef(c, r, d, t);
+        wideAddRef(c, lo + 4 * i, t, lo + 4 * i);
+    }
+}
+
+void
+ifmaAxpy(const WideFieldConstants &c, uint64_t *acc, const uint64_t *x,
+         const uint64_t *s, size_t n)
+{
+    ConstsV k = makeConstsV(c);
+    V sv[4], s52[5];
+    broadcastSoA(s, sv);
+    to52<4>(k, sv, s52);
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        V av[4], xv[4], y[5], t[5], pv[4];
+        loadSoA(acc + 4 * i, av);
+        loadSoA(x + 4 * i, xv);
+        to52<0>(k, xv, y);
+        montMul52(k, s52, y, t);
+        from52(t, pv);
+        addModSoA(k, av, pv, av);
+        storeAoS(acc + 4 * i, av);
+    }
+    uint64_t t[4];
+    for (; i < n; ++i) {
+        wideMulRef(c, s, x + 4 * i, t);
+        wideAddRef(c, acc + 4 * i, t, acc + 4 * i);
+    }
+}
+
+void
+ifmaSum(const WideFieldConstants &c, const uint64_t *a, size_t n,
+        uint64_t *out_one)
+{
+    ConstsV k = makeConstsV(c);
+    V acc[4] = {k.zero, k.zero, k.zero, k.zero};
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        V av[4];
+        loadSoA(a + 4 * i, av);
+        addModSoA(k, acc, av, acc);
+    }
+    reduceLanes(c, acc, out_one);
+    for (; i < n; ++i)
+        wideAddRef(c, out_one, a + 4 * i, out_one);
+}
+
+void
+ifmaDot(const WideFieldConstants &c, const uint64_t *a,
+        const uint64_t *b, size_t n, uint64_t *out_one)
+{
+    ConstsV k = makeConstsV(c);
+    V acc[4] = {k.zero, k.zero, k.zero, k.zero};
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        V av[4], bv[4], pv[4];
+        loadSoA(a + 4 * i, av);
+        loadSoA(b + 4 * i, bv);
+        mulModSoA(k, av, bv, pv);
+        addModSoA(k, acc, pv, acc);
+    }
+    reduceLanes(c, acc, out_one);
+    uint64_t t[4];
+    for (; i < n; ++i) {
+        wideMulRef(c, a + 4 * i, b + 4 * i, t);
+        wideAddRef(c, out_one, t, out_one);
+    }
+}
+
+} // namespace
+
+const WideKernelTable &
+wideIfmaKernels()
+{
+    static const WideKernelTable table{ifmaAdd,  ifmaSub,  ifmaMul,
+                                       ifmaFold, ifmaAxpy, ifmaSum,
+                                       ifmaDot};
+    return table;
+}
+
+} // namespace bzk::ff::detail
+
+#endif // __x86_64__

@@ -120,6 +120,12 @@ TEST(DeathTest, InverseOfZeroAsserts)
                        "inverse of zero");
     EXPECT_DEBUG_DEATH({ (void)Fr::zero().inverse(); },
                        "inverse of zero");
+    // Fq sees zero denominators routinely in the MSM batch-affine
+    // pass (infinity operands, P + (-P) cancellations); those flow
+    // through ff::batchInverse's skip-zero path, and a stray scalar
+    // inverse() of zero must still trip the same assert.
+    EXPECT_DEBUG_DEATH({ (void)Fq::zero().inverse(); },
+                       "inverse of zero");
 }
 
 TEST(DeathTest, EncoderRejectsTinyMessage)

@@ -197,7 +197,11 @@ edgeOperands(size_t n, uint64_t salt)
 class BackendGuard
 {
   public:
-    ~BackendGuard() { ff::clearForcedBackend(); }
+    ~BackendGuard()
+    {
+        ff::clearForcedBackend();
+        ff::forceWideIfma(-1);
+    }
 };
 
 TEST(FieldBackendKat, MulAddSubAtModulusBoundary)
@@ -338,6 +342,233 @@ TEST(FieldBackendKat, BatchInverseAllZeroAndEmpty)
     for (const Gl64 &z : zeros)
         EXPECT_TRUE(z.isZero());
     EXPECT_EQ(ff::batchInverse(zeros.data(), 0), 0u);
+}
+
+// ---- Wide-field (BN254 Fr/Fq) kernel KATs --------------------------
+//
+// Every (backend, IFMA) combination this host can run is swept
+// through the same call sites: the scalar table, the 4-way AVX2
+// table, the AVX2 table as the IFMA-off AVX-512 fallback, and the
+// 8-way IFMA table where the CPU has vpmadd52.
+
+struct WideConfig
+{
+    ff::Backend backend;
+    int ifma; // forceWideIfma argument
+};
+
+std::vector<WideConfig>
+wideConfigs()
+{
+    std::vector<WideConfig> cfgs;
+    for (ff::Backend b : availableBackends()) {
+        cfgs.push_back({b, 0});
+        if (b == ff::Backend::kAvx512 && ff::wideIfmaAvailable())
+            cfgs.push_back({b, 1});
+    }
+    return cfgs;
+}
+
+std::string
+wideTrace(const WideConfig &cfg)
+{
+    return std::string(ff::backendName(cfg.backend)) +
+           (cfg.ifma ? "+ifma" : "-ifma");
+}
+
+/** Operand mix hitting the modulus boundary in SIMD-body lanes. */
+template <typename F>
+std::vector<F>
+wideEdgeOperands(size_t n, uint64_t salt)
+{
+    Rng rng(0x5eed ^ salt);
+    std::vector<F> v(n);
+    for (auto &x : v)
+        x = F::random(rng);
+    if (n > 0)
+        v[0] = -F::one(); // p - 1
+    if (n > 1)
+        v[1] = F::zero();
+    if (n > 2)
+        v[2] = -F::one();
+    if (n > 3)
+        v[3] = F::one();
+    return v;
+}
+
+/**
+ * CPython-pinned lane products and dot over 9 elements (one past the
+ * 8-wide IFMA block, so the scalar tail runs too): a_i = A + i,
+ * b_i = B + i with the file-level kA/kB operands.
+ */
+template <typename F>
+void
+checkWideMulPinned(const char *const (&expect_mul)[9],
+                   const char *expect_dot)
+{
+    BackendGuard guard;
+    std::vector<F> a(9), b(9), out(9);
+    for (uint64_t i = 0; i < 9; ++i) {
+        a[i] = F::fromU256(u256FromHexStr(kA)) + F::fromUint(i);
+        b[i] = F::fromU256(u256FromHexStr(kB)) + F::fromUint(i);
+    }
+    for (const WideConfig &cfg : wideConfigs()) {
+        SCOPED_TRACE(wideTrace(cfg));
+        ff::forceBackend(cfg.backend);
+        ff::forceWideIfma(cfg.ifma);
+        ff::mulLanes(a.data(), b.data(), out.data(), 9);
+        for (size_t i = 0; i < 9; ++i)
+            EXPECT_EQ(out[i].toHexString(), expect_mul[i]) << "lane " << i;
+        EXPECT_EQ(ff::dotLanes(a.data(), b.data(), 9).toHexString(),
+                  expect_dot);
+    }
+}
+
+TEST(WideFieldKat, FrLaneMulPinned)
+{
+    static const char *const kMul[9] = {
+        "1350b4f42ed6ca0a68542755c442c814212d28a6856ee62ce107b3fb917c331b",
+        "042eca05f36c11d9b5e6a13bbc17a2c80b1c74a3621cee151368ce444af2762b",
+        "25712d8a9932f9d2bbc960d8356dd5d91d3fa8e8b884668e89abde20f468b93e",
+        "164f429c5dc841a2095bdabe2d42b08d072ef4e595326e76bc0cf869addefc52",
+        "072d57ae225d897156ee54a425178b40f11e40e271e0765eee6e12b267553f68",
+        "286fbb32c824716a5cd114409e6dbe5203417527c847eed864b1228f10cb8281",
+        "194dd0448cb9b939aa638e2696429905ed30c124a4f5f6c097123cd7ca41c59b",
+        "0a2be556514f0108f7f6080c8e1773b9d7200d2181a3fea8c973572083b808b7",
+        "2b6e48daf715e901fdd8c7a9076da6cae9434166d80b77223fb666fd2d2e4bd6",
+    };
+    checkWideMulPinned<Fr>(
+        kMul,
+        "1033c6ac541834d25610b40ecc528ceb51dc5fad872ab8c51dfcb2b1b1ff3ae3");
+}
+
+TEST(WideFieldKat, FqLaneMulPinned)
+{
+    static const char *const kMul[9] = {
+        "0c760fa44bc48d9e84498818d971edb1667dc4403d458fdf5a49f36fd44a66cf",
+        "2db87328f18b75978a2c47b552c820c278a0f88593ad0858d08d034c7dc0a9e0",
+        "1e96883ab620bd66d7bec19b4a9cfb75f342c23981a2b6450aaf87124eb9efac",
+        "0f749d4c7ab6053625513b814271d6296de48bed6f98643144d20ad81fb3357a",
+        "0052b25e3f4b4d0572e3b5673a46b0dce88655a15d8e121d7ef48e9df0ac7b4a",
+        "219515e2e51234fe78c67503b39ce3edfaa989e6b3f58a96f5379e7a9a22be63",
+        "12732af4a9a77ccdc658eee9ab71bea1754b539aa1eb38832f5a22406b1c0437",
+        "035140066e3cc49d13eb68cfa3469954efed1d4e8fe0e66f697ca6063c154a0d",
+        "2493a38b1403ac9619ce286c1c9ccc6602105193e6485ee8dfbfb5e2e58b8d2c",
+    };
+    checkWideMulPinned<Fq>(
+        kMul,
+        "02e8455039a5b5310a0160a10c7c37c42cb902ac49fea3097699038d761055d6");
+}
+
+template <typename F>
+void
+checkWideLaneKernels()
+{
+    BackendGuard guard;
+    F r = F::fromU256(u256FromHexStr(kB));
+    // Lane-boundary sizes for both 4-wide and 8-wide blocks: partial
+    // vectors, exact multiples, and one-past, so the SIMD body and the
+    // scalar tail both run.
+    const size_t sizes[] = {1, 3, 4, 5, 7, 8, 9, 16, 19, 67};
+    for (const WideConfig &cfg : wideConfigs()) {
+        for (size_t n : sizes) {
+            SCOPED_TRACE(wideTrace(cfg) + " n=" + std::to_string(n));
+            auto a = wideEdgeOperands<F>(n, 1);
+            auto b = wideEdgeOperands<F>(n, 2);
+
+            ff::forceBackend(ff::Backend::kScalar);
+            std::vector<F> want_add(n), want_sub(n), want_mul(n);
+            std::vector<F> want_fold = a, want_axpy = a;
+            ff::addLanes(a.data(), b.data(), want_add.data(), n);
+            ff::subLanes(a.data(), b.data(), want_sub.data(), n);
+            ff::mulLanes(a.data(), b.data(), want_mul.data(), n);
+            ff::foldLanes(want_fold.data(), b.data(), r, n);
+            ff::axpyLanes(want_axpy.data(), b.data(), r, n);
+            F want_sum = ff::sumLanes(a.data(), n);
+            F want_dot = ff::dotLanes(a.data(), b.data(), n);
+
+            ff::forceBackend(cfg.backend);
+            ff::forceWideIfma(cfg.ifma);
+            std::vector<F> got(n);
+            ff::addLanes(a.data(), b.data(), got.data(), n);
+            EXPECT_EQ(got, want_add);
+            ff::subLanes(a.data(), b.data(), got.data(), n);
+            EXPECT_EQ(got, want_sub);
+            ff::mulLanes(a.data(), b.data(), got.data(), n);
+            EXPECT_EQ(got, want_mul);
+            got = a;
+            ff::foldLanes(got.data(), b.data(), r, n);
+            EXPECT_EQ(got, want_fold);
+            got = a;
+            ff::axpyLanes(got.data(), b.data(), r, n);
+            EXPECT_EQ(got, want_axpy);
+            EXPECT_EQ(ff::sumLanes(a.data(), n), want_sum);
+            EXPECT_EQ(ff::dotLanes(a.data(), b.data(), n), want_dot);
+
+            // Canonicality audit: packed outputs must stay < p in raw
+            // Montgomery form or serialization and transcript hashing
+            // would diverge between backends.
+            for (const F &v : want_mul)
+                EXPECT_LT(cmp(v.montRaw(), F::kModulus), 0);
+            for (const F &v : got)
+                EXPECT_LT(cmp(v.montRaw(), F::kModulus), 0);
+        }
+    }
+}
+
+TEST(WideFieldKat, FrLaneKernelsMatchScalarAcrossSizes)
+{
+    checkWideLaneKernels<Fr>();
+}
+
+TEST(WideFieldKat, FqLaneKernelsMatchScalarAcrossSizes)
+{
+    checkWideLaneKernels<Fq>();
+}
+
+TEST(WideFieldKat, DispatchControls)
+{
+    BackendGuard guard;
+    EXPECT_STREQ(ff::wideBackendName(ff::WideBackend::kIfma), "ifma");
+    EXPECT_EQ(ff::wideBackendLanes(ff::WideBackend::kScalar), 1u);
+    EXPECT_EQ(ff::wideBackendLanes(ff::WideBackend::kAvx2), 4u);
+    EXPECT_EQ(ff::wideBackendLanes(ff::WideBackend::kIfma), 8u);
+
+    ff::forceBackend(ff::Backend::kScalar);
+    EXPECT_EQ(ff::activeWideBackend(), ff::WideBackend::kScalar);
+    if (ff::backendAvailable(ff::Backend::kAvx2)) {
+        ff::forceBackend(ff::Backend::kAvx2);
+        EXPECT_EQ(ff::activeWideBackend(), ff::WideBackend::kAvx2);
+    }
+    if (ff::backendAvailable(ff::Backend::kAvx512)) {
+        ff::forceBackend(ff::Backend::kAvx512);
+        ff::forceWideIfma(0);
+        // The IFMA-off AVX-512 fallback is the 4-way AVX2 table.
+        EXPECT_EQ(ff::activeWideBackend(), ff::WideBackend::kAvx2);
+        if (ff::wideIfmaAvailable()) {
+            ff::forceWideIfma(1);
+            EXPECT_EQ(ff::activeWideBackend(), ff::WideBackend::kIfma);
+        }
+    }
+}
+
+TEST(WideFieldKat, WideCountersAdvance)
+{
+    BackendGuard guard;
+    ff::resetKernelCounters();
+    std::vector<Fr> a(16, Fr::one()), out(16);
+    ff::mulLanes(a.data(), a.data(), out.data(), 16);
+    ff::mulLanes(a.data(), a.data(), out.data(), 16);
+    (void)ff::sumLanes(a.data(), 16);
+    std::vector<Fr> inv = a;
+    ff::batchInverse(inv.data(), inv.size());
+    ff::KernelCounters c = ff::kernelCounters();
+    EXPECT_EQ(c.wide_mul_lanes, 2u);
+    EXPECT_EQ(c.wide_sum_lanes, 1u);
+    EXPECT_EQ(c.wide_batch_inverse, 1u);
+    EXPECT_EQ(c.wide_add_lanes, 0u);
+    // Goldilocks counters are untouched by wide-field traffic.
+    EXPECT_EQ(c.mul_lanes, 0u);
 }
 
 TEST(FieldBackendKat, BatchInverseWorksForFr)
